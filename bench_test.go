@@ -1,0 +1,399 @@
+package spanhop
+
+// This file is the benchmark harness of DESIGN.md's per-experiment
+// index: one benchmark per table/figure of the paper, each reporting
+// the table's numbers through b.ReportMetric so that
+//
+//	go test -bench=. -benchmem
+//
+// regenerates the evaluation. The same experiment code backs
+// cmd/figures (which prints the full paper-style tables); benchmarks
+// aggregate each experiment to its headline metrics. Seeds are fixed:
+// runs are reproducible.
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/eval"
+	"repro/internal/experiments"
+)
+
+const benchSeed = 2015
+
+// reportSpanner aggregates Figure 1 rows into per-algorithm size and
+// stretch metrics.
+func reportSpanner(b *testing.B, rows []experiments.SpannerRow) {
+	b.Helper()
+	type agg struct {
+		size, work, depth float64
+		stretch           float64
+		n                 int
+	}
+	byAlgo := map[string]*agg{}
+	for _, r := range rows {
+		a := byAlgo[r.Algo]
+		if a == nil {
+			a = &agg{}
+			byAlgo[r.Algo] = a
+		}
+		a.size += float64(r.Size)
+		a.work += float64(r.Work)
+		a.depth += float64(r.Depth)
+		if r.StretchMax > a.stretch {
+			a.stretch = r.StretchMax
+		}
+		a.n++
+	}
+	for algo, a := range byAlgo {
+		key := shortName(algo)
+		b.ReportMetric(a.size/float64(a.n), key+"_size")
+		b.ReportMetric(a.work/float64(a.n), key+"_work")
+		b.ReportMetric(a.depth/float64(a.n), key+"_depth")
+		b.ReportMetric(a.stretch, key+"_stretch_max")
+	}
+}
+
+func shortName(algo string) string {
+	switch {
+	case algo == "est-spanner (ours)" || algo == "est-hopset (ours)":
+		return "ours"
+	case algo == "baswana-sen [BS07]":
+		return "bs07"
+	case algo == "greedy [ADD+93]":
+		return "greedy"
+	case algo == "ks97 sqrt(n) [KS97]":
+		return "ks97"
+	case algo == "cohen-style [Coh00]":
+		return "cohen"
+	case algo == "no hopset":
+		return "none"
+	}
+	return "x"
+}
+
+// BenchmarkFigure1Unweighted regenerates the unweighted table of
+// Figure 1 (experiment F1-U).
+func BenchmarkFigure1Unweighted(b *testing.B) {
+	var rows []experiments.SpannerRow
+	for i := 0; i < b.N; i++ {
+		rows = experiments.Figure1Unweighted(experiments.Small, benchSeed+uint64(i))
+	}
+	reportSpanner(b, rows)
+}
+
+// BenchmarkFigure1Weighted regenerates the weighted table of Figure 1
+// (experiment F1-W; includes the stretch columns of F1-S).
+func BenchmarkFigure1Weighted(b *testing.B) {
+	var rows []experiments.SpannerRow
+	for i := 0; i < b.N; i++ {
+		rows = experiments.Figure1Weighted(experiments.Small, benchSeed+uint64(i))
+	}
+	reportSpanner(b, rows)
+}
+
+// BenchmarkFigure2HopsetComparison regenerates Figure 2 (experiments
+// F2-HOP, F2-SIZE, F2-WORK).
+func BenchmarkFigure2HopsetComparison(b *testing.B) {
+	var rows []experiments.HopsetRow
+	for i := 0; i < b.N; i++ {
+		rows = experiments.Figure2(experiments.Small, benchSeed+uint64(i))
+	}
+	type agg struct {
+		size, work, hops float64
+		n                int
+	}
+	byAlgo := map[string]*agg{}
+	for _, r := range rows {
+		a := byAlgo[r.Algo]
+		if a == nil {
+			a = &agg{}
+			byAlgo[r.Algo] = a
+		}
+		a.size += float64(r.Size)
+		a.work += float64(r.BuildWork)
+		a.hops += r.HopsMean
+		a.n++
+	}
+	for algo, a := range byAlgo {
+		key := shortName(algo)
+		b.ReportMetric(a.size/float64(a.n), key+"_size")
+		b.ReportMetric(a.work/float64(a.n), key+"_build_work")
+		b.ReportMetric(a.hops/float64(a.n), key+"_hops_mean")
+	}
+}
+
+// BenchmarkTheorem11Scaling regenerates the Theorem 1.1 size-law sweep
+// (experiment T1.1): the reported ratio metrics must stay ~flat as n
+// grows.
+func BenchmarkTheorem11Scaling(b *testing.B) {
+	var rows []experiments.ScalingRow
+	for i := 0; i < b.N; i++ {
+		rows = experiments.Theorem11Scaling(experiments.Small, benchSeed)
+	}
+	var ratios []float64
+	for _, r := range rows {
+		ratios = append(ratios, r.Ratio)
+	}
+	b.ReportMetric(eval.Mean(ratios), "size_over_bound_mean")
+	if len(ratios) > 0 {
+		worst := ratios[0]
+		for _, x := range ratios {
+			if x > worst {
+				worst = x
+			}
+		}
+		b.ReportMetric(worst, "size_over_bound_max")
+	}
+}
+
+// BenchmarkTheorem33Weighted regenerates the Theorem 3.3 weighted
+// size-law sweep (experiment T3.3).
+func BenchmarkTheorem33Weighted(b *testing.B) {
+	var rows []experiments.ScalingRow
+	for i := 0; i < b.N; i++ {
+		rows = experiments.Theorem33Contraction(experiments.Small, benchSeed)
+	}
+	var ratios []float64
+	for _, r := range rows {
+		ratios = append(ratios, r.Ratio)
+	}
+	b.ReportMetric(eval.Mean(ratios), "size_over_bound_mean")
+}
+
+// BenchmarkTheorem44Hopset regenerates the Theorem 4.4 γ2 sweep
+// (experiment T4.4).
+func BenchmarkTheorem44Hopset(b *testing.B) {
+	var rows []experiments.ScalingRow
+	for i := 0; i < b.N; i++ {
+		rows = experiments.Theorem44Scaling(experiments.Small, benchSeed)
+	}
+	for _, r := range rows {
+		b.ReportMetric(float64(r.Size), r.Label+"_size")
+		b.ReportMetric(r.Extra, r.Label+"_hops")
+		b.ReportMetric(float64(r.Depth), r.Label+"_depth")
+	}
+}
+
+// BenchmarkTheorem12Pipeline regenerates the end-to-end Theorem 1.2
+// comparison (experiment T1.2): hopset query depth vs plain parallel
+// search vs sequential Dijkstra.
+func BenchmarkTheorem12Pipeline(b *testing.B) {
+	var rows []experiments.PipelineRow
+	for i := 0; i < b.N; i++ {
+		rows = experiments.Theorem12Pipeline(experiments.Small, benchSeed)
+	}
+	var ours, plain, seq, distort []float64
+	for _, r := range rows {
+		switch r.Method {
+		case "est-hopset query (ours)":
+			ours = append(ours, r.QueryLevels)
+			distort = append(distort, r.Distortion)
+		case "weighted parallel BFS":
+			plain = append(plain, r.QueryLevels)
+		case "dijkstra (sequential)":
+			seq = append(seq, r.QueryLevels)
+		}
+	}
+	b.ReportMetric(eval.Mean(ours), "ours_query_levels")
+	b.ReportMetric(eval.Mean(plain), "plainBFS_levels")
+	b.ReportMetric(eval.Mean(seq), "dijkstra_depth")
+	b.ReportMetric(eval.Mean(distort), "ours_distortion")
+	if m := eval.Mean(ours); m > 0 {
+		b.ReportMetric(eval.Mean(plain)/m, "depth_reduction_x")
+	}
+}
+
+// BenchmarkCorollary45Unweighted regenerates the unweighted query
+// comparison (experiment C4.5).
+func BenchmarkCorollary45Unweighted(b *testing.B) {
+	var rows []experiments.PipelineRow
+	for i := 0; i < b.N; i++ {
+		rows = experiments.Corollary45Unweighted(experiments.Small, benchSeed)
+	}
+	for _, r := range rows {
+		if r.Method == "est-hopset (ours)" {
+			b.ReportMetric(r.QueryLevels, "ours_hops")
+		} else {
+			b.ReportMetric(r.QueryLevels, "bfs_hops")
+		}
+	}
+}
+
+// BenchmarkLemma21Diameter regenerates the Lemma 2.1 radius check
+// (experiment L2.1).
+func BenchmarkLemma21Diameter(b *testing.B) {
+	var rows []experiments.StatRow
+	for i := 0; i < b.N; i++ {
+		rows = experiments.Lemma21Diameter(experiments.Small, benchSeed)
+	}
+	reportStats(b, rows)
+}
+
+// BenchmarkLemma22Ball regenerates the Lemma 2.2 tail check
+// (experiment L2.2).
+func BenchmarkLemma22Ball(b *testing.B) {
+	var rows []experiments.StatRow
+	for i := 0; i < b.N; i++ {
+		rows = experiments.Lemma22Ball(experiments.Small, benchSeed)
+	}
+	reportStats(b, rows)
+}
+
+// BenchmarkCorollary23Cut regenerates the Corollary 2.3 cut-mass check
+// (experiment C2.3).
+func BenchmarkCorollary23Cut(b *testing.B) {
+	var rows []experiments.StatRow
+	for i := 0; i < b.N; i++ {
+		rows = experiments.Corollary23Cut(experiments.Small, benchSeed)
+	}
+	reportStats(b, rows)
+}
+
+// BenchmarkCorollary31Ball regenerates the Corollary 3.1 adjacency
+// check (experiment C3.1).
+func BenchmarkCorollary31Ball(b *testing.B) {
+	var rows []experiments.StatRow
+	for i := 0; i < b.N; i++ {
+		rows = experiments.Corollary31Adjacency(experiments.Small, benchSeed)
+	}
+	reportStats(b, rows)
+}
+
+// BenchmarkLemma52Rounding regenerates the Klein–Subramanian rounding
+// check (experiment L5.2).
+func BenchmarkLemma52Rounding(b *testing.B) {
+	var rows []experiments.StatRow
+	for i := 0; i < b.N; i++ {
+		rows = experiments.Lemma52Rounding(experiments.Small, benchSeed)
+	}
+	reportStats(b, rows)
+}
+
+// BenchmarkAppendixB regenerates the weight-class decomposition checks
+// (experiment L5.1/B).
+func BenchmarkAppendixB(b *testing.B) {
+	var rows []experiments.StatRow
+	for i := 0; i < b.N; i++ {
+		rows = experiments.AppendixBDecomposition(experiments.Small, benchSeed)
+	}
+	reportStats(b, rows)
+}
+
+// BenchmarkAppendixC regenerates the limited-hopset rounds (experiment
+// C.1/C.2).
+func BenchmarkAppendixC(b *testing.B) {
+	var rows []experiments.ScalingRow
+	for i := 0; i < b.N; i++ {
+		rows = experiments.AppendixCLimited(experiments.Small, benchSeed)
+	}
+	for _, r := range rows {
+		b.ReportMetric(r.Extra, shortLabel(r.Label)+"_hops")
+	}
+}
+
+func shortLabel(s string) string {
+	out := make([]rune, 0, len(s))
+	for _, c := range s {
+		switch {
+		case c == ' ' || c == '=':
+			out = append(out, '_')
+		default:
+			out = append(out, c)
+		}
+	}
+	return string(out)
+}
+
+// BenchmarkSpannerScaling sweeps input sizes for the headline spanner
+// construction (wall-clock + work/depth per n, complements T1.1's
+// size law with a performance law).
+func BenchmarkSpannerScaling(b *testing.B) {
+	for _, n := range []V{1 << 11, 1 << 13, 1 << 15} {
+		g := RandomGraph(n, 8*int64(n), uint64(n))
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			var work, depth int64
+			for i := 0; i < b.N; i++ {
+				cost := NewCost()
+				UnweightedSpannerWithCost(g, 3, uint64(i), cost)
+				work, depth = cost.Work(), cost.Depth()
+			}
+			b.ReportMetric(float64(work), "work")
+			b.ReportMetric(float64(depth), "depth")
+			b.ReportMetric(float64(work)/float64(g.NumEdges()), "work_per_edge")
+		})
+	}
+}
+
+// BenchmarkHopsetScaling sweeps input sizes for the hopset build.
+func BenchmarkHopsetScaling(b *testing.B) {
+	for _, side := range []V{32, 64, 96} {
+		g := GridGraph(side, side)
+		b.Run(fmt.Sprintf("grid=%dx%d", side, side), func(b *testing.B) {
+			p := DefaultHopsetParams(1)
+			p.Gamma2 = 0.6
+			var size, work, depth int64
+			for i := 0; i < b.N; i++ {
+				p.Seed = uint64(i)
+				cost := NewCost()
+				hs := BuildHopsetWithCost(g, p, cost)
+				size, work, depth = int64(hs.Size()), cost.Work(), cost.Depth()
+			}
+			b.ReportMetric(float64(size), "size")
+			b.ReportMetric(float64(work), "work")
+			b.ReportMetric(float64(depth), "depth")
+		})
+	}
+}
+
+// BenchmarkOracleQuery measures steady-state oracle query latency and
+// depth after preprocessing.
+func BenchmarkOracleQuery(b *testing.B) {
+	g := WithUniformWeights(GridGraph(50, 50), 500, 1)
+	o := NewDistanceOracle(g, 0.25, 2)
+	s, t := V(0), g.NumVertices()-1
+	if _, err := o.Query(s, t); err != nil { // warm caches
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	var levels int64
+	for i := 0; i < b.N; i++ {
+		st, err := o.QueryStats(s, t)
+		if err != nil {
+			b.Fatal(err)
+		}
+		levels = st.Levels
+	}
+	b.ReportMetric(float64(levels), "query_levels")
+}
+
+// BenchmarkConcurrentBFS contrasts the goroutine frontier expansion
+// against the sequential loop at the current GOMAXPROCS.
+func BenchmarkConcurrentBFS(b *testing.B) {
+	g := GridGraph(300, 300)
+	b.Run("sequential", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			ParallelBFS(g, 0, nil)
+		}
+	})
+	b.Run("goroutines", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			ConcurrentBFS(g, 0, nil)
+		}
+	})
+}
+
+func reportStats(b *testing.B, rows []experiments.StatRow) {
+	b.Helper()
+	ok := 0
+	for _, r := range rows {
+		if r.OK {
+			ok++
+		}
+	}
+	b.ReportMetric(float64(ok), "bounds_ok")
+	b.ReportMetric(float64(len(rows)), "bounds_total")
+	if ok != len(rows) {
+		b.Errorf("lemma bounds violated: %d of %d rows failed", len(rows)-ok, len(rows))
+	}
+}

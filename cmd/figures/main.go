@@ -1,0 +1,147 @@
+// Command figures regenerates every table and figure of the paper's
+// evaluation as plain-text tables (the per-experiment index lives in
+// DESIGN.md; the recorded outputs in EXPERIMENTS.md were produced by
+// this binary).
+//
+// Usage:
+//
+//	figures [-exp all|f1u|f1w|f2|t11|t33|t44|t12|c45|appb|appc|lemmas] [-scale small|full] [-seed N]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	exp := flag.String("exp", "all", "experiment id (all, f1u, f1w, f2, t11, t33, t44, t12, c45, appb, appc, lemmas)")
+	scaleFlag := flag.String("scale", "small", "instance scale: small or full")
+	seed := flag.Uint64("seed", 2015, "random seed")
+	flag.Parse()
+
+	var scale experiments.Scale
+	switch *scaleFlag {
+	case "small":
+		scale = experiments.Small
+	case "full":
+		scale = experiments.Full
+	default:
+		fmt.Fprintf(os.Stderr, "figures: unknown scale %q\n", *scaleFlag)
+		os.Exit(2)
+	}
+
+	type runner struct {
+		id, desc string
+		run      func()
+	}
+	runners := []runner{
+		{"f1u", "Figure 1 (unweighted spanners)", func() {
+			t := experiments.RenderSpannerRows(
+				"Figure 1 — unweighted spanners: size / work / depth / measured stretch",
+				experiments.Figure1Unweighted(scale, *seed))
+			t.Render(os.Stdout)
+		}},
+		{"f1w", "Figure 1 (weighted spanners)", func() {
+			t := experiments.RenderSpannerRows(
+				"Figure 1 — weighted spanners across weight ranges U",
+				experiments.Figure1Weighted(scale, *seed))
+			t.Render(os.Stdout)
+		}},
+		{"f2", "Figure 2 (hopsets)", func() {
+			t := experiments.RenderHopsetRows(
+				"Figure 2 — hopset constructions: size / build cost / measured hops at (1+0.5)-approx",
+				experiments.Figure2(scale, *seed))
+			t.Render(os.Stdout)
+		}},
+		{"t11", "Theorem 1.1 size scaling", func() {
+			t := experiments.RenderScalingRows(
+				"Theorem 1.1 — spanner size vs O(n^{1+1/k}) (·log k weighted); flat ratio = law holds",
+				experiments.Theorem11Scaling(scale, *seed))
+			t.Render(os.Stdout)
+		}},
+		{"t33", "Theorem 3.3 weighted size law", func() {
+			t := experiments.RenderScalingRows(
+				"Theorem 3.3 — weighted spanner size vs n^{1+1/k}·log k across k",
+				experiments.Theorem33Contraction(scale, *seed))
+			t.Render(os.Stdout)
+		}},
+		{"t44", "Theorem 4.4 hopset scaling", func() {
+			t := experiments.RenderScalingRows(
+				"Theorem 4.4 — hopset size vs Lemma 4.3 bound; hops vs gamma2",
+				experiments.Theorem44Scaling(scale, *seed))
+			t.Render(os.Stdout)
+		}},
+		{"t12", "Theorem 1.2 end-to-end pipeline", func() {
+			t := experiments.RenderPipelineRows(
+				"Theorem 1.2 / Corollary 5.4 — (1+eps) s-t queries: depth vs exact methods",
+				experiments.Theorem12Pipeline(scale, *seed))
+			t.Render(os.Stdout)
+		}},
+		{"c45", "Corollary 4.5 unweighted queries", func() {
+			t := experiments.RenderPipelineRows(
+				"Corollary 4.5 — unweighted approximate s-t: hop rounds vs BFS",
+				experiments.Corollary45Unweighted(scale, *seed))
+			t.Render(os.Stdout)
+		}},
+		{"appb", "Appendix B decomposition", func() {
+			t := experiments.RenderStatRows(
+				"Appendix B / Lemma 5.1 — weight-class decomposition",
+				experiments.AppendixBDecomposition(scale, *seed))
+			t.Render(os.Stdout)
+		}},
+		{"appc", "Appendix C limited hopsets", func() {
+			t := experiments.RenderScalingRows(
+				"Appendix C / Theorem C.2 — iterated limited hopsets: hops before/after",
+				experiments.AppendixCLimited(scale, *seed))
+			t.Render(os.Stdout)
+		}},
+		{"ablations", "design-choice ablations + Brent projection", func() {
+			experiments.RenderScalingRows("Ablation — EST shifts vs random centers in the spanner",
+				experiments.AblationShifts(scale, *seed)).Render(os.Stdout)
+			fmt.Println()
+			experiments.RenderScalingRows("Ablation — hopset delta (cluster-decay exponent)",
+				experiments.AblationDelta(scale, *seed)).Render(os.Stdout)
+			fmt.Println()
+			experiments.RenderScalingRows("Ablation — query hop-budget escalation factor",
+				experiments.AblationEscalation(scale, *seed)).Render(os.Stdout)
+			fmt.Println()
+			experiments.BrentProjection(scale, *seed).Render(os.Stdout)
+		}},
+		{"lemmas", "probabilistic lemma validations", func() {
+			experiments.RenderStatRows("Lemma 2.1 — cluster radius vs k·beta^{-1}·ln n",
+				experiments.Lemma21Diameter(scale, *seed)).Render(os.Stdout)
+			fmt.Println()
+			experiments.RenderStatRows("Lemma 2.2 — ball/cluster intersection tail",
+				experiments.Lemma22Ball(scale, *seed)).Render(os.Stdout)
+			fmt.Println()
+			experiments.RenderStatRows("Corollary 2.3 — edge cut probability vs beta·w(e)",
+				experiments.Corollary23Cut(scale, *seed)).Render(os.Stdout)
+			fmt.Println()
+			experiments.RenderStatRows("Corollary 3.1 — ball(1) cluster count vs n^{1/k}",
+				experiments.Corollary31Adjacency(scale, *seed)).Render(os.Stdout)
+			fmt.Println()
+			experiments.RenderStatRows("Lemma 5.2 — Klein–Subramanian rounding",
+				experiments.Lemma52Rounding(scale, *seed)).Render(os.Stdout)
+		}},
+	}
+
+	want := strings.ToLower(*exp)
+	ran := false
+	for _, r := range runners {
+		if want != "all" && want != r.id {
+			continue
+		}
+		fmt.Printf("### %s [%s, scale=%s, seed=%d]\n\n", r.desc, r.id, *scaleFlag, *seed)
+		r.run()
+		fmt.Println()
+		ran = true
+	}
+	if !ran {
+		fmt.Fprintf(os.Stderr, "figures: unknown experiment %q\n", *exp)
+		os.Exit(2)
+	}
+}

@@ -1,0 +1,86 @@
+// Command gengraph writes synthetic workload graphs in the text
+// format the other tools read.
+//
+// Usage:
+//
+//	gengraph -family er -n 10000 -m 40000 -out g.txt
+//	gengraph -family grid -rows 100 -cols 100 -weights uniform -maxw 50 -out g.txt
+//	gengraph -family rmat -scale 14 -m 200000 -weights exp -out g.txt
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/graph"
+)
+
+func main() {
+	family := flag.String("family", "er", "family: er, grid, torus, rmat, pa, hypercube, path, cycle")
+	n := flag.Int("n", 1000, "vertices (er, pa, path, cycle)")
+	m := flag.Int64("m", 4000, "edges (er, rmat)")
+	rows := flag.Int("rows", 32, "grid rows")
+	cols := flag.Int("cols", 32, "grid cols")
+	scale := flag.Int("scale", 10, "rmat scale (n = 2^scale)")
+	dim := flag.Int("dim", 10, "hypercube dimension")
+	deg := flag.Int("deg", 3, "preferential attachment degree")
+	weights := flag.String("weights", "none", "weights: none, uniform, exp")
+	maxw := flag.Int64("maxw", 100, "max weight (uniform)")
+	base := flag.Float64("base", 10, "weight base (exp)")
+	scales := flag.Float64("scales", 6, "weight scales (exp)")
+	seed := flag.Uint64("seed", 1, "random seed")
+	out := flag.String("out", "", "output file (default stdout)")
+	flag.Parse()
+
+	var g *graph.Graph
+	switch *family {
+	case "er":
+		g = graph.RandomConnectedGNM(int32(*n), *m, *seed)
+	case "grid":
+		g = graph.Grid2D(int32(*rows), int32(*cols))
+	case "torus":
+		g = graph.Torus2D(int32(*rows), int32(*cols))
+	case "rmat":
+		g = graph.RMAT(*scale, *m, 0.57, 0.19, 0.19, *seed)
+	case "pa":
+		g = graph.PreferentialAttachment(int32(*n), *deg, *seed)
+	case "hypercube":
+		g = graph.Hypercube(*dim)
+	case "path":
+		g = graph.Path(int32(*n))
+	case "cycle":
+		g = graph.Cycle(int32(*n))
+	default:
+		fmt.Fprintf(os.Stderr, "gengraph: unknown family %q\n", *family)
+		os.Exit(2)
+	}
+
+	switch *weights {
+	case "none":
+	case "uniform":
+		g = graph.UniformWeights(g, *maxw, *seed+1)
+	case "exp":
+		g = graph.ExponentialWeights(g, *base, *scales, *seed+1)
+	default:
+		fmt.Fprintf(os.Stderr, "gengraph: unknown weights %q\n", *weights)
+		os.Exit(2)
+	}
+
+	w := os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "gengraph:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		w = f
+	}
+	if err := graph.WriteText(w, g); err != nil {
+		fmt.Fprintln(os.Stderr, "gengraph:", err)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "gengraph: %s n=%d m=%d weighted=%v\n",
+		*family, g.NumVertices(), g.NumEdges(), g.Weighted())
+}

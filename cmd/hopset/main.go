@@ -1,0 +1,97 @@
+// Command hopset builds a hopset for a graph file, reports its size
+// and construction cost, and optionally runs approximate distance
+// queries against exact ground truth.
+//
+// Usage:
+//
+//	hopset -in graph.txt [-algo est|ks97|cohen|limited] [-seed N] [-queries 10] [-gamma2 0.5]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/eval"
+	"repro/internal/graph"
+	"repro/internal/hopset"
+	"repro/internal/par"
+	"repro/internal/rng"
+)
+
+func main() {
+	in := flag.String("in", "", "input graph file (text format; required)")
+	algo := flag.String("algo", "est", "algorithm: est (ours), ks97, cohen, limited")
+	seed := flag.Uint64("seed", 1, "random seed")
+	queries := flag.Int("queries", 10, "approximate distance queries to run (est only)")
+	gamma2 := flag.Float64("gamma2", 0.5, "top-level decomposition exponent (est only)")
+	alpha := flag.Float64("alpha", 0.5, "target depth exponent (limited only)")
+	flag.Parse()
+
+	if *in == "" {
+		fmt.Fprintln(os.Stderr, "hopset: -in is required")
+		flag.Usage()
+		os.Exit(2)
+	}
+	f, err := os.Open(*in)
+	if err != nil {
+		fatal(err)
+	}
+	g, err := graph.ReadText(f)
+	f.Close()
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("graph: n=%d m=%d weighted=%v\n", g.NumVertices(), g.NumEdges(), g.Weighted())
+
+	cost := par.NewCost()
+	switch *algo {
+	case "est":
+		wp := hopset.DefaultWeightedParams(*seed)
+		wp.Gamma2 = *gamma2
+		s := hopset.BuildScaled(g, wp, cost)
+		fmt.Printf("est multi-scale hopset: %d edges over %d bands\n", s.Size(), len(s.Scales))
+		fmt.Printf("cost: work=%d depth=%d\n", cost.Work(), cost.Depth())
+		if *queries > 0 && g.NumVertices() > 1 {
+			r := rng.New(*seed + 3)
+			var levels, ratios []float64
+			for i := 0; i < *queries; i++ {
+				s1 := r.Int31n(g.NumVertices())
+				t1 := r.Int31n(g.NumVertices())
+				if s1 == t1 {
+					continue
+				}
+				exact := s.ExactDistance(s1, t1)
+				if exact == graph.InfDist {
+					continue
+				}
+				q := s.Query(s1, t1, nil)
+				levels = append(levels, float64(q.Levels))
+				ratios = append(ratios, float64(q.Dist)/float64(exact))
+			}
+			fmt.Printf("queries: %d, mean levels %.0f, mean returned/exact %.4f\n",
+				len(levels), eval.Mean(levels), eval.Mean(ratios))
+		}
+	case "ks97":
+		res := hopset.KS97(g, *seed, cost)
+		fmt.Printf("ks97 hopset: %d edges\n", res.Size())
+		fmt.Printf("cost: work=%d depth=%d\n", cost.Work(), cost.Depth())
+	case "cohen":
+		res := hopset.CohenStyle(g, 2, *seed, cost)
+		fmt.Printf("cohen-style hopset: %d edges\n", res.Size())
+		fmt.Printf("cost: work=%d depth=%d\n", cost.Work(), cost.Depth())
+	case "limited":
+		res := hopset.Limited(g, *alpha, 0.4, *seed, cost)
+		fmt.Printf("limited hopset (alpha=%.2f): %d edges over %d rounds\n",
+			*alpha, res.Size(), res.Levels)
+		fmt.Printf("cost: work=%d depth=%d\n", cost.Work(), cost.Depth())
+	default:
+		fmt.Fprintf(os.Stderr, "hopset: unknown algorithm %q\n", *algo)
+		os.Exit(2)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "hopset:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,86 @@
+package spanhop_test
+
+// Godoc examples for the public facade: each compiles, runs, and has
+// its output verified by `go test`.
+
+import (
+	"fmt"
+
+	spanhop "repro"
+)
+
+// ExampleESTCluster shows the paper's key routine: with β = ln(n)/(2k)
+// the clusters have radius O(k) with high probability.
+func ExampleESTCluster() {
+	g := spanhop.GridGraph(16, 16)
+	clus := spanhop.ESTCluster(g, 0.5, 7)
+	fmt.Println("clusters:", clus.NumClusters() > 1)
+	fmt.Println("radius bounded:", clus.MaxRadius() <= 12)
+	// Output:
+	// clusters: true
+	// radius bounded: true
+}
+
+// ExampleUnweightedSpanner builds an O(k)-stretch spanner and shows it
+// sparsifies a dense graph.
+func ExampleUnweightedSpanner() {
+	g := spanhop.RandomGraph(1000, 20000, 42)
+	sp := spanhop.UnweightedSpanner(g, 3, 1)
+	fmt.Println("sparsified:", int64(sp.Size()) < g.NumEdges())
+	fmt.Println("spans graph:", func() bool {
+		h := sp.Graph(g)
+		_, c := h.Components()
+		return c == 1
+	}())
+	// Output:
+	// sparsified: true
+	// spans graph: true
+}
+
+// ExampleBuildHopset shows hop reduction: with the hopset, a few
+// Bellman–Ford rounds reach a far vertex near-optimally.
+func ExampleBuildHopset() {
+	g := spanhop.GridGraph(30, 30) // corner-to-corner distance 58
+	p := spanhop.DefaultHopsetParams(3)
+	p.Gamma2 = 0.6
+	hs := spanhop.BuildHopset(g, p)
+	far := g.NumVertices() - 1
+	exact := spanhop.ShortestPaths(g, 0).Dist[far]
+	with := spanhop.HopLimitedDistances(g, hs.Edges, 0, 10)[far]
+	without := spanhop.HopLimitedDistances(g, nil, 0, 10)[far]
+	fmt.Println("exact distance:", exact)
+	fmt.Println("10 hops with hopset near-exact:", float64(with) <= 1.5*float64(exact))
+	fmt.Println("10 hops without hopset reaches:", without < spanhop.InfDist)
+	// Output:
+	// exact distance: 58
+	// 10 hops with hopset near-exact: true
+	// 10 hops without hopset reaches: false
+}
+
+// ExampleNewDistanceOracle runs the end-to-end Theorem 1.2 pipeline.
+func ExampleNewDistanceOracle() {
+	g := spanhop.WithUniformWeights(spanhop.GridGraph(20, 20), 100, 5)
+	oracle := spanhop.NewDistanceOracle(g, 0.25, 6)
+	approx, err := oracle.Query(0, g.NumVertices()-1)
+	exact := oracle.ExactDistance(0, g.NumVertices()-1)
+	fmt.Println("err:", err)
+	fmt.Println("sound:", approx >= exact)
+	fmt.Println("tight:", float64(approx) <= 1.5*float64(exact))
+	// Output:
+	// err: <nil>
+	// sound: true
+	// tight: true
+}
+
+// ExampleNewCost shows PRAM work/depth accounting.
+func ExampleNewCost() {
+	g := spanhop.GridGraph(32, 32)
+	cost := spanhop.NewCost()
+	spanhop.ParallelBFS(g, 0, cost)
+	// BFS from a corner: one round per level, 62 levels + final.
+	fmt.Println("depth:", cost.Depth())
+	fmt.Println("work >= edges:", cost.Work() >= g.NumEdges())
+	// Output:
+	// depth: 63
+	// work >= edges: true
+}

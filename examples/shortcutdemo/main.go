@@ -1,0 +1,114 @@
+// Shortcut demo: a textual reproduction of Figure 3 of the paper.
+//
+// Figure 3 illustrates how an s-t shortest path interacts with one
+// level of the hopset decomposition: the path enters large clusters,
+// and the star + clique edges let it jump from the first vertex it
+// has inside a large cluster (u) through that cluster's center (c1),
+// across a clique edge to another center (c2), and back down to its
+// last large-cluster vertex (v) — replacing a long stretch of the
+// path with exactly three hopset edges.
+//
+// This program builds a long path graph with local noise, runs one
+// EST clustering, designates large clusters, and prints which
+// segments of the s-t path are shortcut through which centers —
+// the mechanics behind Lemma 4.2's hop-count argument.
+package main
+
+import (
+	"fmt"
+	"strings"
+
+	spanhop "repro"
+	"repro/internal/core"
+	"repro/internal/graph"
+	"repro/internal/rng"
+)
+
+func main() {
+	// A path 0..n-1 with a sprinkle of local chords, so the shortest
+	// 0 -> n-1 route is essentially the path itself (like the curvy
+	// s-t path of Figure 3).
+	const n = 120
+	r := rng.New(5)
+	var edges []spanhop.Edge
+	for i := int32(0); i+1 < n; i++ {
+		edges = append(edges, spanhop.Edge{U: i, V: i + 1, W: 1})
+	}
+	for i := 0; i < 25; i++ {
+		u := r.Int31n(n - 3)
+		edges = append(edges, spanhop.Edge{U: u, V: u + 2 + r.Int31n(2), W: 1})
+	}
+	g := spanhop.NewGraph(n, graph.Simplify(edges), false)
+
+	// One decomposition level with moderate beta.
+	beta := 0.08
+	clus := core.Cluster(g, beta, 11, core.Options{})
+	fmt.Printf("EST clustering with beta=%.2f: %d clusters on %d vertices\n\n",
+		beta, clus.NumClusters(), n)
+
+	// Large clusters: at least a 1/rho fraction, as in Algorithm 4.
+	rho := 4.0
+	threshold := float64(n) / rho
+	large := map[int32]bool{}
+	for ci, cl := range clus.Clusters {
+		if float64(len(cl)) >= threshold {
+			large[int32(ci)] = true
+		}
+	}
+	fmt.Printf("large clusters (>= n/rho = %.0f vertices):", threshold)
+	for ci := range clus.Clusters {
+		if large[int32(ci)] {
+			fmt.Printf(" #%d(center=%d,size=%d)", ci, clus.Centers[ci], len(clus.Clusters[ci]))
+		}
+	}
+	fmt.Println()
+
+	// The s-t path and its cluster structure, rendered like Figure 3:
+	// each path vertex tagged by its cluster; runs compressed.
+	s, t := spanhop.V(0), spanhop.V(n-1)
+	path := spanhop.ShortestPaths(g, s).PathTo(t)
+	fmt.Printf("\ns-t path: %d vertices, %d hops\n", len(path), len(path)-1)
+
+	var segs []string
+	segStart := 0
+	for i := 1; i <= len(path); i++ {
+		if i == len(path) || clus.ClusterOf[path[i]] != clus.ClusterOf[path[segStart]] {
+			ci := clus.ClusterOf[path[segStart]]
+			tag := " "
+			if large[ci] {
+				tag = "L"
+			}
+			segs = append(segs, fmt.Sprintf("[c%d%s x%d]", ci, tag, i-segStart))
+			segStart = i
+		}
+	}
+	fmt.Printf("path through clusters (L = large): %s\n", strings.Join(segs, " - "))
+
+	// Figure 3's shortcut: u = first path vertex in a large cluster,
+	// v = last; replace everything between with u -> c(u) -> c(v) -> v.
+	firstL, lastL := -1, -1
+	for i, pv := range path {
+		if large[clus.ClusterOf[pv]] {
+			if firstL < 0 {
+				firstL = i
+			}
+			lastL = i
+		}
+	}
+	if firstL < 0 || firstL == lastL {
+		fmt.Println("\nno multi-cluster shortcut on this seed; the recursion would handle it lower down")
+		return
+	}
+	u, v := path[firstL], path[lastL]
+	c1 := clus.Center[u]
+	c2 := clus.Center[v]
+	fmt.Printf("\nFigure 3 shortcut:\n")
+	fmt.Printf("  u  = %3d (first path vertex in a large cluster, dist-to-center %d)\n", u, clus.DistToCenter[u])
+	fmt.Printf("  c1 = %3d (its center; star edge u-c1)\n", c1)
+	fmt.Printf("  c2 = %3d (center of the last large cluster; clique edge c1-c2)\n", c2)
+	fmt.Printf("  v  = %3d (last path vertex in a large cluster; star edge c2-v)\n", v)
+	replaced := lastL - firstL
+	fmt.Printf("\nthe shortcut replaces %d path hops with 3 hopset edges;\n", replaced)
+	fmt.Printf("the %d hops before u and %d after v fall into small clusters,\n", firstL, len(path)-1-lastL)
+	fmt.Printf("which the hopset recursion shortcuts at the next level (Lemma 4.2).\n")
+}

@@ -1,0 +1,210 @@
+package distsim
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/graph"
+	"repro/internal/rng"
+	"repro/internal/sssp"
+)
+
+// echoNode sends a counter to all neighbors for a fixed number of
+// rounds, then halts; used to validate the simulator itself.
+type echoNode struct {
+	g        *graph.Graph
+	v        graph.V
+	rounds   int
+	received int
+}
+
+func (e *echoNode) Step(round int, inbox []Envelope) (map[graph.V]Message, bool) {
+	e.received += len(inbox)
+	if round >= e.rounds {
+		return nil, true
+	}
+	return Broadcast(e.g, e.v, round), false
+}
+
+func TestSimulatorDeliversEverything(t *testing.T) {
+	g := graph.Cycle(10)
+	nodes := make([]*echoNode, 10)
+	net := New(g, func(v graph.V) Node {
+		nodes[v] = &echoNode{g: g, v: v, rounds: 5}
+		return nodes[v]
+	})
+	stats, err := net.Run(100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 5 rounds of broadcast × 2 messages per vertex per round × 10
+	// vertices = 100 messages; each vertex receives 2 per round for
+	// rounds 1..5 = 10 (deliveries to halted nodes are dropped but
+	// all nodes halt together here).
+	if stats.Messages != 100 {
+		t.Fatalf("messages = %d, want 100", stats.Messages)
+	}
+	for v, nd := range nodes {
+		if nd.received != 10 {
+			t.Fatalf("vertex %d received %d, want 10", v, nd.received)
+		}
+	}
+	if stats.MaxPerRound != 20 {
+		t.Fatalf("max per round = %d, want 20", stats.MaxPerRound)
+	}
+}
+
+// rogueNode tries to message a non-neighbor.
+type rogueNode struct{ to graph.V }
+
+func (r *rogueNode) Step(round int, inbox []Envelope) (map[graph.V]Message, bool) {
+	return map[graph.V]Message{r.to: "boo"}, true
+}
+
+func TestSimulatorRejectsNonNeighborSend(t *testing.T) {
+	g := graph.Path(4) // 0-1-2-3; 0 and 3 not adjacent
+	net := New(g, func(v graph.V) Node {
+		if v == 0 {
+			return &rogueNode{to: 3}
+		}
+		return &echoNode{g: g, v: v, rounds: 0}
+	})
+	if _, err := net.Run(10); err == nil {
+		t.Fatal("expected non-neighbor send to error")
+	}
+}
+
+type foreverNode struct{}
+
+func (foreverNode) Step(int, []Envelope) (map[graph.V]Message, bool) { return nil, false }
+
+func TestSimulatorMaxRounds(t *testing.T) {
+	g := graph.Path(2)
+	net := New(g, func(graph.V) Node { return foreverNode{} })
+	if _, err := net.Run(7); err == nil {
+		t.Fatal("expected max-rounds error")
+	}
+}
+
+// maxShift returns the largest shift the spanner protocol would draw,
+// so tests can skip the measure-zero clamped cases when comparing to
+// the shared-memory clustering.
+func maxShift(n graph.V, k int, seed uint64) (float64, float64) {
+	beta := math.Log(float64(max32(n, 3))) / (2 * float64(k))
+	c := math.Ceil(3*math.Log(float64(max32(n, 3)))/beta) + 1
+	r := rng.New(seed)
+	worst := 0.0
+	for v := graph.V(0); v < n; v++ {
+		if d := r.Exp(beta); d > worst {
+			worst = d
+		}
+	}
+	return worst, c
+}
+
+// TestDistributedClusteringMatchesSharedMemory: the distributed race
+// must produce exactly the partition of core.Cluster on the same
+// shifts (the order-preservation argument in the file comment).
+func TestDistributedClusteringMatchesSharedMemory(t *testing.T) {
+	cases := []*graph.Graph{
+		graph.Path(40),
+		graph.Cycle(30),
+		graph.Grid2D(8, 9),
+		graph.RandomConnectedGNM(150, 500, 4),
+	}
+	k := 3
+	for gi, g := range cases {
+		seed := uint64(gi + 10)
+		worst, c := maxShift(g.NumVertices(), k, seed)
+		if worst > c-0.5 {
+			t.Logf("graph %d: shift clamped, skipping equivalence", gi)
+			continue
+		}
+		_, nodes, raceEnd := NewSpannerNetwork(g, k, seed)
+		net := New(g, func(v graph.V) Node { return nodes[v] })
+		if _, err := net.Run(raceEnd + 8); err != nil {
+			t.Fatalf("graph %d: %v", gi, err)
+		}
+		beta := math.Log(float64(max32(g.NumVertices(), 3))) / (2 * float64(k))
+		ref := core.Cluster(g, beta, seed, core.Options{})
+		for v := graph.V(0); v < g.NumVertices(); v++ {
+			if nodes[v].Center() != ref.Center[v] {
+				t.Fatalf("graph %d vertex %d: distributed center %d != shared-memory %d",
+					gi, v, nodes[v].Center(), ref.Center[v])
+			}
+		}
+	}
+}
+
+func TestDistributedSpannerStretchAndConnectivity(t *testing.T) {
+	g := graph.RandomConnectedGNM(200, 800, 9)
+	k := 3
+	pairs, stats, err := DistributedSpanner(g, k, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pairs) == 0 {
+		t.Fatal("empty distributed spanner")
+	}
+	// Round bound: the protocol is O(k log n)-flavored; assert the
+	// concrete 2C+2 schedule plus closing rounds.
+	if stats.Rounds > 40*k+40 {
+		t.Fatalf("rounds = %d, too many for k=%d", stats.Rounds, k)
+	}
+	// Message bound: the race sends ≤ 1 claim per edge direction plus
+	// one cluster announcement per direction.
+	if stats.Messages > 5*2*g.NumEdges() {
+		t.Fatalf("messages = %d exceed O(m) envelope", stats.Messages)
+	}
+	// Materialize and check stretch like the shared-memory spanner.
+	edges := make([]graph.Edge, len(pairs))
+	for i, p := range pairs {
+		edges[i] = graph.Edge{U: p[0], V: p[1], W: 1}
+	}
+	h := graph.FromEdges(g.NumVertices(), edges, false)
+	if _, count := h.Components(); count != 1 {
+		t.Fatal("distributed spanner lost connectivity")
+	}
+	worst := 0.0
+	for _, e := range g.Edges() {
+		res := sssp.BFS(h, []graph.V{e.U}, sssp.Options{})
+		if !res.Reached(e.V) {
+			t.Fatal("edge endpoints disconnected in spanner")
+		}
+		if s := float64(res.Dist[e.V]); s > worst {
+			worst = s
+		}
+	}
+	if worst > float64(10*k+2) {
+		t.Fatalf("distributed spanner stretch %v exceeds O(k) envelope", worst)
+	}
+}
+
+func TestDistributedSpannerDeterministic(t *testing.T) {
+	g := graph.RandomConnectedGNM(80, 240, 3)
+	a, _, err1 := DistributedSpanner(g, 2, 5)
+	b, _, err2 := DistributedSpanner(g, 2, 5)
+	if err1 != nil || err2 != nil {
+		t.Fatal(err1, err2)
+	}
+	if len(a) != len(b) {
+		t.Fatalf("sizes differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("same seed produced different spanners")
+		}
+	}
+}
+
+func TestDistributedSpannerSparsifies(t *testing.T) {
+	g := graph.RandomConnectedGNM(400, 6000, 13)
+	pairs, _, err := DistributedSpanner(g, 4, 17)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if int64(len(pairs)) >= g.NumEdges() {
+		t.Fatalf("distributed spanner kept all %d edges", len(pairs))
+	}
+}

@@ -1,0 +1,40 @@
+package eval
+
+// Brent's scheduling principle: a computation with work W and depth D
+// runs on p processors in time T_p with W/p ≤ T_p ≤ W/p + D. The
+// paper's Section 2 discussion ("it is more important to reduce work
+// in order to obtain speed-ups") is exactly about this trade: an
+// algorithm parallelizes fully while D ≤ W/p, so low-work algorithms
+// win at realistic processor counts. The experiment tables use
+// BrentTime to translate measured (work, depth) pairs into predicted
+// running times at several p.
+
+// BrentTime returns the Brent upper bound W/p + D.
+func BrentTime(work, depth int64, p int) float64 {
+	if p < 1 {
+		p = 1
+	}
+	return float64(work)/float64(p) + float64(depth)
+}
+
+// Speedup returns T_1 / T_p under the Brent bound, with T_1 = W (one
+// processor executes the work sequentially): the predicted parallel
+// speedup at p processors. A fully sequential algorithm (D = W) gets
+// speedup ≤ 1 at every p.
+func Speedup(work, depth int64, p int) float64 {
+	tp := BrentTime(work, depth, p)
+	if tp == 0 {
+		return 1
+	}
+	return float64(work) / tp
+}
+
+// SaturationProcessors returns the processor count beyond which added
+// processors stop helping (p* = W/D): the paper's "fully parallelize
+// as long as the depth is less than n^{1−δ}" condition solved for p.
+func SaturationProcessors(work, depth int64) float64 {
+	if depth <= 0 {
+		return float64(work)
+	}
+	return float64(work) / float64(depth)
+}

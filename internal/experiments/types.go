@@ -1,0 +1,126 @@
+// Package experiments implements every reproduction experiment in
+// DESIGN.md's per-experiment index, one function per table/figure of
+// the paper. cmd/figures renders the returned rows as paper-style
+// tables, and the root bench_test.go re-exposes each experiment as a
+// benchmark target reporting the same numbers via b.ReportMetric.
+//
+// Every experiment takes a seed (full determinism) and a Scale that
+// controls instance sizes so the whole suite can run in CI (Small) or
+// reproduce the shapes properly (Full).
+package experiments
+
+import (
+	"repro/internal/eval"
+	"repro/internal/graph"
+)
+
+// Scale selects instance sizes.
+type Scale int
+
+const (
+	// Small finishes the whole suite in tens of seconds.
+	Small Scale = iota
+	// Full is the EXPERIMENTS.md configuration.
+	Full
+)
+
+// pick returns a or b depending on scale.
+func (s Scale) pick(small, full int) int {
+	if s == Small {
+		return small
+	}
+	return full
+}
+
+// SpannerRow is one Figure 1 table row.
+type SpannerRow struct {
+	Workload   string
+	Algo       string
+	K          int
+	N          int64
+	M          int64
+	Size       int64
+	Work       int64
+	Depth      int64
+	StretchMax float64
+	StretchAvg float64
+	Promise    string // the paper's promised stretch, e.g. "O(k)" or "2k-1"
+}
+
+// HopsetRow is one Figure 2 table row.
+type HopsetRow struct {
+	Workload  string
+	Algo      string
+	N         int64
+	M         int64
+	Size      int64
+	BuildWork int64
+	BuildDep  int64
+	HopsMean  float64
+	HopsMax   float64
+	HopsP50   float64
+	Pairs     int
+}
+
+// ScalingRow is one row of a parameter-scaling experiment.
+type ScalingRow struct {
+	Label   string
+	N       int64
+	M       int64
+	K       int
+	Size    int64
+	Bound   float64 // the theorem's envelope for this row
+	Ratio   float64 // Size / Bound — flat means the theorem's shape holds
+	Work    int64
+	Depth   int64
+	Extra   float64 // experiment-specific auxiliary value
+	Extraux string  // its label
+}
+
+// StatRow is one row of a lemma-validation experiment.
+type StatRow struct {
+	Label    string
+	Observed float64
+	Bound    float64
+	OK       bool
+	Detail   string
+}
+
+// PipelineRow is one row of the Theorem 1.2 / Corollary 4.5/5.4
+// end-to-end comparison.
+type PipelineRow struct {
+	Workload    string
+	Method      string
+	N           int64
+	M           int64
+	PrepWork    int64
+	PrepDepth   int64
+	QueryLevels float64 // mean per query
+	Distortion  float64 // mean returned/exact
+	WorstDist   float64
+	Queries     int
+	Fallbacks   int
+}
+
+// connectedPairs samples query pairs that are connected and at least
+// minDist apart (signal-carrying pairs).
+func connectedPairs(g *graph.Graph, count int, minDist graph.Dist, seed uint64) [][2]graph.V {
+	cand := eval.RandomPairs(g, count*8+32, seed)
+	var out [][2]graph.V
+	distCache := map[graph.V][]graph.Dist{}
+	for _, p := range cand {
+		if len(out) >= count {
+			break
+		}
+		d, ok := distCache[p[0]]
+		if !ok {
+			d = exactDistances(g, p[0])
+			distCache[p[0]] = d
+		}
+		if d[p[1]] == graph.InfDist || d[p[1]] < minDist {
+			continue
+		}
+		out = append(out, p)
+	}
+	return out
+}

@@ -1,0 +1,249 @@
+package graph
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestRandomGNM(t *testing.T) {
+	g := RandomGNM(100, 300, 1)
+	mustValidate(t, g)
+	if g.NumVertices() != 100 || g.NumEdges() != 300 {
+		t.Fatalf("n=%d m=%d", g.NumVertices(), g.NumEdges())
+	}
+	// No parallel edges by construction.
+	seen := map[[2]V]bool{}
+	for _, e := range g.Edges() {
+		u, v := e.U, e.V
+		if u > v {
+			u, v = v, u
+		}
+		if seen[[2]V{u, v}] {
+			t.Fatalf("parallel edge (%d,%d)", u, v)
+		}
+		seen[[2]V{u, v}] = true
+	}
+}
+
+func TestRandomGNMDeterministic(t *testing.T) {
+	a := RandomGNM(64, 128, 42)
+	b := RandomGNM(64, 128, 42)
+	ea, eb := a.Edges(), b.Edges()
+	for i := range ea {
+		if ea[i] != eb[i] {
+			t.Fatal("same seed produced different graphs")
+		}
+	}
+	c := RandomGNM(64, 128, 43)
+	diff := false
+	for i := range ea {
+		if ea[i] != c.Edges()[i] {
+			diff = true
+			break
+		}
+	}
+	if !diff {
+		t.Fatal("different seeds produced identical graphs")
+	}
+}
+
+func TestRandomGNMFull(t *testing.T) {
+	// m equal to the maximum yields K_n.
+	g := RandomGNM(10, 45, 9)
+	mustValidate(t, g)
+	if g.NumEdges() != 45 {
+		t.Fatalf("m = %d, want 45", g.NumEdges())
+	}
+}
+
+func TestRandomGNMPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("oversized m did not panic")
+		}
+	}()
+	RandomGNM(4, 7, 1)
+}
+
+func TestRandomConnectedGNM(t *testing.T) {
+	g := RandomConnectedGNM(500, 1200, 11)
+	mustValidate(t, g)
+	if g.NumEdges() != 1200 {
+		t.Fatalf("m = %d", g.NumEdges())
+	}
+	_, count := g.Components()
+	if count != 1 {
+		t.Fatalf("components = %d, want 1", count)
+	}
+}
+
+func TestRandomConnectedGNMTreeOnly(t *testing.T) {
+	g := RandomConnectedGNM(50, 49, 3)
+	mustValidate(t, g)
+	_, count := g.Components()
+	if count != 1 {
+		t.Fatal("spanning tree not connected")
+	}
+}
+
+func TestRMAT(t *testing.T) {
+	g := RMAT(10, 4000, 0.57, 0.19, 0.19, 5)
+	mustValidate(t, g)
+	if g.NumVertices() != 1024 {
+		t.Fatalf("n = %d", g.NumVertices())
+	}
+	if g.NumEdges() < 3000 {
+		t.Fatalf("RMAT produced only %d edges", g.NumEdges())
+	}
+	// Degree skew: the max degree should comfortably exceed the mean.
+	var maxDeg int32
+	for v := V(0); v < g.NumVertices(); v++ {
+		if d := g.Degree(v); d > maxDeg {
+			maxDeg = d
+		}
+	}
+	mean := float64(2*g.NumEdges()) / float64(g.NumVertices())
+	if float64(maxDeg) < 3*mean {
+		t.Fatalf("RMAT max degree %d not skewed vs mean %.1f", maxDeg, mean)
+	}
+}
+
+func TestGrid2D(t *testing.T) {
+	g := Grid2D(5, 7)
+	mustValidate(t, g)
+	if g.NumVertices() != 35 {
+		t.Fatalf("n = %d", g.NumVertices())
+	}
+	// Edges: 5*6 horizontal + 4*7 vertical = 58.
+	if g.NumEdges() != 58 {
+		t.Fatalf("m = %d, want 58", g.NumEdges())
+	}
+	_, count := g.Components()
+	if count != 1 {
+		t.Fatal("grid not connected")
+	}
+	// Corner degree 2, interior degree 4.
+	if g.Degree(0) != 2 {
+		t.Fatalf("corner degree %d", g.Degree(0))
+	}
+	if g.Degree(1*7+1) != 4 {
+		t.Fatalf("interior degree %d", g.Degree(1*7+1))
+	}
+}
+
+func TestTorus2D(t *testing.T) {
+	g := Torus2D(4, 5)
+	mustValidate(t, g)
+	if g.NumVertices() != 20 || g.NumEdges() != 40 {
+		t.Fatalf("n=%d m=%d, want 20, 40", g.NumVertices(), g.NumEdges())
+	}
+	for v := V(0); v < g.NumVertices(); v++ {
+		if g.Degree(v) != 4 {
+			t.Fatalf("torus vertex %d degree %d", v, g.Degree(v))
+		}
+	}
+}
+
+func TestPathCycleStarComplete(t *testing.T) {
+	p := Path(10)
+	mustValidate(t, p)
+	if p.NumEdges() != 9 {
+		t.Fatalf("path m = %d", p.NumEdges())
+	}
+	c := Cycle(10)
+	mustValidate(t, c)
+	if c.NumEdges() != 10 {
+		t.Fatalf("cycle m = %d", c.NumEdges())
+	}
+	s := Star(10)
+	mustValidate(t, s)
+	if s.Degree(0) != 9 {
+		t.Fatalf("star center degree %d", s.Degree(0))
+	}
+	k := Complete(6)
+	mustValidate(t, k)
+	if k.NumEdges() != 15 {
+		t.Fatalf("K6 m = %d", k.NumEdges())
+	}
+}
+
+func TestHypercube(t *testing.T) {
+	g := Hypercube(5)
+	mustValidate(t, g)
+	if g.NumVertices() != 32 || g.NumEdges() != 80 {
+		t.Fatalf("Q5: n=%d m=%d", g.NumVertices(), g.NumEdges())
+	}
+	for v := V(0); v < g.NumVertices(); v++ {
+		if g.Degree(v) != 5 {
+			t.Fatalf("hypercube degree %d at %d", g.Degree(v), v)
+		}
+	}
+}
+
+func TestPreferentialAttachment(t *testing.T) {
+	g := PreferentialAttachment(300, 3, 13)
+	mustValidate(t, g)
+	_, count := g.Components()
+	if count != 1 {
+		t.Fatal("PA graph not connected")
+	}
+	// m = C(4,2) + (n - 4)*3.
+	want := int64(6 + (300-4)*3)
+	if g.NumEdges() != want {
+		t.Fatalf("m = %d, want %d", g.NumEdges(), want)
+	}
+}
+
+func TestUniformWeights(t *testing.T) {
+	g := UniformWeights(Grid2D(8, 8), 100, 21)
+	mustValidate(t, g)
+	if !g.Weighted() {
+		t.Fatal("should be weighted")
+	}
+	for _, e := range g.Edges() {
+		if e.W < 1 || e.W > 100 {
+			t.Fatalf("weight %d out of [1,100]", e.W)
+		}
+	}
+	if g.MaxWeight() < 50 {
+		t.Fatalf("suspiciously low max weight %d", g.MaxWeight())
+	}
+}
+
+func TestExponentialWeights(t *testing.T) {
+	g := ExponentialWeights(RandomConnectedGNM(400, 1200, 2), 10, 6, 22)
+	mustValidate(t, g)
+	// Weights should span several orders of magnitude.
+	ratio := g.WeightRatio()
+	if ratio < 1e3 {
+		t.Fatalf("weight ratio %v too small for a multi-scale instance", ratio)
+	}
+	if g.MaxWeight() > W(math.Pow(10, 6))+1 {
+		t.Fatalf("max weight %d exceeds base^scales", g.MaxWeight())
+	}
+}
+
+// Property: every generator output passes Validate.
+func TestGeneratorsValidateProperty(t *testing.T) {
+	f := func(seedRaw uint32) bool {
+		seed := uint64(seedRaw)
+		gs := []*Graph{
+			RandomGNM(50, 100, seed),
+			RandomConnectedGNM(50, 100, seed),
+			RMAT(6, 100, 0.57, 0.19, 0.19, seed),
+			PreferentialAttachment(40, 2, seed),
+			UniformWeights(Path(30), 16, seed),
+			ExponentialWeights(Cycle(30), 4, 4, seed),
+		}
+		for _, g := range gs {
+			if g.Validate() != nil {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,119 @@
+package graph
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func graphsEqual(a, b *Graph) bool {
+	if a.NumVertices() != b.NumVertices() || a.NumEdges() != b.NumEdges() ||
+		a.Weighted() != b.Weighted() {
+		return false
+	}
+	ea, eb := a.Edges(), b.Edges()
+	for i := range ea {
+		if ea[i] != eb[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func TestTextRoundTrip(t *testing.T) {
+	for _, g := range []*Graph{
+		FromEdges(0, nil, false),
+		FromEdges(3, nil, true),
+		UniformWeights(Grid2D(4, 4), 50, 1),
+		RandomConnectedGNM(80, 200, 2),
+	} {
+		var buf bytes.Buffer
+		if err := WriteText(&buf, g); err != nil {
+			t.Fatalf("WriteText: %v", err)
+		}
+		back, err := ReadText(&buf)
+		if err != nil {
+			t.Fatalf("ReadText: %v", err)
+		}
+		if !graphsEqual(g, back) {
+			t.Fatal("text round trip changed the graph")
+		}
+	}
+}
+
+func TestBinaryRoundTrip(t *testing.T) {
+	for _, g := range []*Graph{
+		FromEdges(0, nil, false),
+		FromEdges(3, nil, true),
+		UniformWeights(Grid2D(4, 4), 50, 1),
+		RandomConnectedGNM(80, 200, 2),
+	} {
+		var buf bytes.Buffer
+		if err := WriteBinary(&buf, g); err != nil {
+			t.Fatalf("WriteBinary: %v", err)
+		}
+		back, err := ReadBinary(&buf)
+		if err != nil {
+			t.Fatalf("ReadBinary: %v", err)
+		}
+		if !graphsEqual(g, back) {
+			t.Fatal("binary round trip changed the graph")
+		}
+	}
+}
+
+func TestReadTextErrors(t *testing.T) {
+	cases := []string{
+		"",
+		"wrong-magic 1 0 0\n",
+		"spanhop-graph/v1 2 1 0\n",        // truncated edge list
+		"spanhop-graph/v1 2 1 0\n0 1\n",   // short edge line
+		"spanhop-graph/v1 2 1 0\nx y z\n", // non-numeric
+		"spanhop-graph/v1 x 1 0\n0 1 1\n", // bad n
+		"spanhop-graph/v1 2 x 0\n0 1 1\n", // bad m
+		"spanhop-graph/v1 2 1\n0 1 1\n",   // short header
+	}
+	for i, c := range cases {
+		if _, err := ReadText(strings.NewReader(c)); err == nil {
+			t.Errorf("case %d: expected error", i)
+		}
+	}
+}
+
+func TestReadBinaryErrors(t *testing.T) {
+	// Bad magic.
+	if _, err := ReadBinary(bytes.NewReader([]byte{1, 2, 3, 4, 0, 0, 0, 0})); err == nil {
+		t.Error("bad magic accepted")
+	}
+	// Truncated stream.
+	var buf bytes.Buffer
+	g := Path(10)
+	if err := WriteBinary(&buf, g); err != nil {
+		t.Fatal(err)
+	}
+	full := buf.Bytes()
+	if _, err := ReadBinary(bytes.NewReader(full[:len(full)-4])); err == nil {
+		t.Error("truncated binary accepted")
+	}
+}
+
+// Property: arbitrary random weighted graphs survive both round trips.
+func TestRoundTripProperty(t *testing.T) {
+	f := func(seed uint64, weighted bool) bool {
+		g := RandomGNM(30, 60, seed)
+		if weighted {
+			g = UniformWeights(g, 1000, seed)
+		}
+		var tb, bb bytes.Buffer
+		if WriteText(&tb, g) != nil || WriteBinary(&bb, g) != nil {
+			return false
+		}
+		t1, err1 := ReadText(&tb)
+		t2, err2 := ReadBinary(&bb)
+		return err1 == nil && err2 == nil && graphsEqual(g, t1) && graphsEqual(g, t2)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}

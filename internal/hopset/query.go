@@ -1,0 +1,186 @@
+package hopset
+
+import (
+	"math"
+
+	"repro/internal/graph"
+	"repro/internal/par"
+	"repro/internal/sssp"
+)
+
+// QueryResult reports an approximate s-t distance query answered
+// through the hopset (the Klein–Subramanian query stage the paper
+// composes with in Theorems 1.2 / 5.3).
+type QueryResult struct {
+	// Dist is the returned estimate; always ≥ the true distance
+	// (rounding only rounds up, and hopset edges are real paths), and
+	// ≤ (1+ζ)·(1+construction distortion)·true once the sweep hits
+	// the right band.
+	Dist graph.Dist
+	// Scale is the index of the band that answered, or -1 when the
+	// exact fallback answered.
+	Scale int
+	// Fallback reports whether the deterministic Dijkstra fallback
+	// was used (level budgets exhausted on every band).
+	Fallback bool
+	// Levels is the total number of synchronous search levels
+	// consumed across all attempted searches — the query depth.
+	Levels int64
+	// Work is the total relaxation work across attempted searches.
+	Work int64
+}
+
+// Query answers an approximate s-t distance query following Section 5.
+// The O(1/η) distance-band estimates race in parallel, exactly as the
+// paper runs them ("we can just try ... O(3/η) estimates, incurring a
+// factor of O(3/η) in the work"): in every round, each band rounds the
+// augmented graph to multiples of ŵ = ζ·d/h (Lemma 5.2, with d the
+// band floor so the additive error ζ·d ≤ ζ·dist) and runs a
+// level-capped weighted parallel BFS; the round's depth is the maximum
+// over bands, its work the sum.
+//
+// The hop budget h escalates geometrically across rounds up to the
+// Lemma 4.2 bound: the bound is a with-high-probability worst case,
+// while the realized shortcut path is usually much shorter, and a
+// too-large budget would round too finely and waste depth. Escalation
+// costs a constant factor in depth (geometric sum) and keeps the
+// per-round level caps at O(n^η · h / ζ) — the Lemma 5.2 level count.
+//
+// If every band exhausts its budget — a probabilistic event — Query
+// falls back to an exact Dijkstra on the augmented graph, so the
+// answer is always finite iff s and t are connected.
+func (s *Scaled) Query(src, dst graph.V, cost *par.Cost) QueryResult {
+	if src == dst {
+		return QueryResult{Dist: 0, Scale: -1}
+	}
+	n := int(s.Base.NumVertices())
+	step := math.Pow(float64(n), s.Params.Eta)
+	if step < 2 {
+		step = 2
+	}
+	zeta := s.Params.Zeta
+	var total QueryResult
+
+	// Per-band hop-budget ceilings (Lemma 4.2 in build-rounded units,
+	// with the paper's 4x Markov slack, clamped to n).
+	hbMax := make([]float64, len(s.Scales))
+	globalMax := 16.0
+	for i, sc := range s.Scales {
+		hb := 4 * s.Params.ExpectedHops(n, 2*sc.D/float64(sc.WHat))
+		if hb < 16 {
+			hb = 16
+		}
+		if hb > float64(n) {
+			hb = float64(n)
+		}
+		hbMax[i] = hb
+		if hb > globalMax {
+			globalMax = hb
+		}
+	}
+
+	esc := s.Params.Escalation
+	if esc < 2 {
+		esc = 8
+	}
+	hb0 := s.Params.InitialHopBudget
+	if hb0 < 1 {
+		hb0 = 16
+	}
+	prev := make([]float64, len(s.Scales)) // last budget attempted per band
+	for hb := hb0; ; hb *= esc {
+		if hb > globalMax {
+			hb = globalMax
+		}
+		roundCosts := make([]*par.Cost, 0, len(s.Scales))
+		bestDist := graph.Dist(-1)
+		bestScale := -1
+		for idx := range s.Scales {
+			b := hb
+			if b > hbMax[idx] {
+				b = hbMax[idx]
+			}
+			if b <= prev[idx] {
+				continue // this band is already exhausted
+			}
+			prev[idx] = b
+			sc := s.Scales[idx]
+			floor := sc.D / step
+			qHat := graph.W(math.Floor(zeta * floor / b))
+			if qHat < 1 {
+				qHat = 1
+			}
+			// A relevant shortcut path has ≤ b hops and weight ≤
+			// ~2·sc.D; rounded, it fits in 2·D/qHat + b levels.
+			levelCap := graph.Dist(math.Ceil(2*sc.D/float64(qHat))) +
+				graph.Dist(math.Ceil(b)) + 16
+			g := s.roundedAugmented(qHat)
+			bandCost := par.NewCost()
+			res := sssp.Dial(g, []graph.V{src}, sssp.Options{
+				Cost:    bandCost,
+				MaxDist: levelCap,
+			})
+			roundCosts = append(roundCosts, bandCost)
+			total.Work += bandCost.Work()
+			if res.Reached(dst) {
+				cand := graph.Dist(qHat) * res.Dist[dst]
+				if bestDist < 0 || cand < bestDist {
+					bestDist, bestScale = cand, idx
+				}
+			}
+		}
+		// The bands of this round ran side by side: depth is the max,
+		// work is the sum.
+		round := par.NewCost()
+		round.JoinMax(roundCosts...)
+		total.Levels += round.Depth()
+		cost.AddSequential(round)
+		if bestDist >= 0 {
+			total.Dist = bestDist
+			total.Scale = bestScale
+			return total
+		}
+		if hb >= globalMax {
+			break
+		}
+	}
+
+	// Deterministic fallback: exact on the augmented graph (same
+	// metric as the base graph).
+	fb := par.NewCost()
+	res := sssp.Dijkstra(s.Augmented(), []graph.V{src}, sssp.Options{Cost: fb})
+	cost.AddSequential(fb)
+	total.Levels += fb.Depth()
+	total.Work += fb.Work()
+	total.Dist = res.Dist[dst]
+	total.Scale = -1
+	total.Fallback = true
+	return total
+}
+
+// roundedAugmented returns (and caches) the augmented graph rounded to
+// multiples of qHat. qHat = 1 shares the plain augmented graph.
+func (s *Scaled) roundedAugmented(qHat graph.W) *graph.Graph {
+	if qHat <= 1 {
+		return s.Augmented()
+	}
+	s.mu.Lock()
+	if g, ok := s.roundedAug[qHat]; ok {
+		s.mu.Unlock()
+		return g
+	}
+	s.mu.Unlock()
+	aug := s.Augmented()
+	g := roundGraph(aug, qHat)
+	s.mu.Lock()
+	s.roundedAug[qHat] = g
+	s.mu.Unlock()
+	return g
+}
+
+// ExactDistance returns the true s-t distance via Dijkstra on the base
+// graph; tests and benchmarks use it as ground truth.
+func (s *Scaled) ExactDistance(src, dst graph.V) graph.Dist {
+	res := sssp.Dijkstra(s.Base, []graph.V{src}, sssp.Options{})
+	return res.Dist[dst]
+}

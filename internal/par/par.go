@@ -1,0 +1,312 @@
+// Package par provides the "machine" on which the paper's algorithms
+// are measured: a PRAM-style work/depth cost model together with a
+// small goroutine substrate for actually running independent chunks in
+// parallel.
+//
+// The paper (Miller, Peng, Vladu, Xu, SPAA 2015) analyzes every
+// algorithm in the standard PRAM model: work is the total number of
+// operations, depth is the longest chain of dependent operations. This
+// repository reproduces those quantities directly rather than proxying
+// them with wall-clock time on a particular machine: every parallel
+// routine threads a *Cost through its call tree and reports
+//
+//   - Work:  total primitive operations performed (edge relaxations,
+//     vertex settlements, bucket scans, ...), and
+//   - Depth: total synchronous rounds on the critical path. Following
+//     the paper's own convention (Appendix A), the O(log* n) CRCW
+//     per-round overhead is treated as a model constant and a round
+//     costs 1 unless the caller says otherwise.
+//
+// Sequential composition adds both work and depth; parallel composition
+// adds work but takes the maximum depth. Cost supports both: AddWork /
+// AddDepth for sequential accumulation inside a routine, and JoinMax
+// for combining the costs of children that execute side by side (e.g.
+// the recursive hopset calls on sibling clusters in Algorithm 4).
+//
+// All methods are safe for concurrent use and are no-ops on a nil
+// receiver, so cost tracking can be switched off by passing nil.
+package par
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Cost accumulates PRAM work and depth for one (sub)computation.
+type Cost struct {
+	work  atomic.Int64
+	depth atomic.Int64
+}
+
+// NewCost returns a fresh zeroed cost accumulator.
+func NewCost() *Cost { return &Cost{} }
+
+// AddWork records n units of work. Safe on nil.
+func (c *Cost) AddWork(n int64) {
+	if c == nil || n == 0 {
+		return
+	}
+	c.work.Add(n)
+}
+
+// AddDepth records d units of critical-path depth (d synchronous
+// rounds). Safe on nil.
+func (c *Cost) AddDepth(d int64) {
+	if c == nil || d == 0 {
+		return
+	}
+	c.depth.Add(d)
+}
+
+// Round records one synchronous round doing n units of work: the usual
+// shape of a frontier step in parallel BFS. Safe on nil.
+func (c *Cost) Round(n int64) {
+	if c == nil {
+		return
+	}
+	c.work.Add(n)
+	c.depth.Add(1)
+}
+
+// Work returns the accumulated work. Safe on nil (returns 0).
+func (c *Cost) Work() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.work.Load()
+}
+
+// Depth returns the accumulated depth. Safe on nil (returns 0).
+func (c *Cost) Depth() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.depth.Load()
+}
+
+// AddSequential composes child after the work recorded so far: work
+// and depth both accumulate. Safe on nil receiver and nil child.
+func (c *Cost) AddSequential(child *Cost) {
+	if c == nil || child == nil {
+		return
+	}
+	c.work.Add(child.work.Load())
+	c.depth.Add(child.depth.Load())
+}
+
+// JoinMax composes the children as a parallel block executed after the
+// work recorded so far: their works sum, and the block contributes the
+// maximum child depth to the critical path. Safe on nil.
+func (c *Cost) JoinMax(children ...*Cost) {
+	if c == nil {
+		return
+	}
+	var w, d int64
+	for _, ch := range children {
+		if ch == nil {
+			continue
+		}
+		w += ch.work.Load()
+		if cd := ch.depth.Load(); cd > d {
+			d = cd
+		}
+	}
+	c.work.Add(w)
+	c.depth.Add(d)
+}
+
+// Snapshot returns the current (work, depth) pair.
+func (c *Cost) Snapshot() (work, depth int64) {
+	return c.Work(), c.Depth()
+}
+
+// ---------------------------------------------------------------------------
+// Goroutine substrate.
+
+// Workers returns the degree of parallelism used by For and friends.
+func Workers() int { return runtime.GOMAXPROCS(0) }
+
+// minGrain is the smallest chunk worth shipping to another goroutine;
+// below this For runs inline to avoid scheduling overhead dominating.
+const minGrain = 512
+
+// For executes body(lo, hi) over a partition of [0, n) using up to
+// Workers() goroutines. body must be safe to call concurrently on
+// disjoint ranges. grain is the target chunk size; pass 0 for an
+// automatic choice. For blocks until all chunks complete.
+//
+// For models one parallel step: callers that want the step accounted
+// should call cost.AddDepth(1) (or Round) themselves, since only the
+// caller knows the per-element work performed inside body.
+func For(n, grain int, body func(lo, hi int)) {
+	if n <= 0 {
+		return
+	}
+	p := Workers()
+	if grain <= 0 {
+		grain = n/(4*p) + 1
+	}
+	if p == 1 || n <= minGrain || n <= grain {
+		body(0, n)
+		return
+	}
+	chunks := (n + grain - 1) / grain
+	if chunks > 4*p {
+		// Re-balance so that we never spawn absurd numbers of
+		// goroutines for tiny grains.
+		grain = (n + 4*p - 1) / (4 * p)
+		chunks = (n + grain - 1) / grain
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	workers := p
+	if workers > chunks {
+		workers = chunks
+	}
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := next.Add(1) - 1
+				lo := int(i) * grain
+				if lo >= n {
+					return
+				}
+				hi := lo + grain
+				if hi > n {
+					hi = n
+				}
+				body(lo, hi)
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// ForIdx executes body(i) for every i in [0, n) in parallel chunks.
+func ForIdx(n, grain int, body func(i int)) {
+	For(n, grain, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			body(i)
+		}
+	})
+}
+
+// Do runs the given thunks in parallel and waits for all of them; it is
+// the fork-join primitive used for "recurse on each cluster in
+// parallel" (Algorithm 4 line 10).
+func Do(thunks ...func()) {
+	switch len(thunks) {
+	case 0:
+		return
+	case 1:
+		thunks[0]()
+		return
+	}
+	var wg sync.WaitGroup
+	wg.Add(len(thunks) - 1)
+	for _, t := range thunks[1:] {
+		t := t
+		go func() {
+			defer wg.Done()
+			t()
+		}()
+	}
+	thunks[0]()
+	wg.Wait()
+}
+
+// DoN runs body(i) for i in [0, n) in parallel and waits, limiting the
+// number of simultaneously running goroutines to Workers(). Unlike
+// ForIdx it gives every i its own invocation even when n is small,
+// which is what recursive algorithm fan-out wants.
+func DoN(n int, body func(i int)) {
+	if n <= 0 {
+		return
+	}
+	if n == 1 {
+		body(0)
+		return
+	}
+	sem := make(chan struct{}, Workers())
+	var wg sync.WaitGroup
+	wg.Add(n)
+	for i := 0; i < n; i++ {
+		sem <- struct{}{}
+		go func(i int) {
+			defer func() { <-sem; wg.Done() }()
+			body(i)
+		}(i)
+	}
+	wg.Wait()
+}
+
+// ---------------------------------------------------------------------------
+// Parallel reductions and scans used by the graph substrate.
+
+// SumInt64 returns the sum of xs, computed in parallel chunks.
+func SumInt64(xs []int64) int64 {
+	n := len(xs)
+	if n == 0 {
+		return 0
+	}
+	var total atomic.Int64
+	For(n, 0, func(lo, hi int) {
+		var s int64
+		for _, v := range xs[lo:hi] {
+			s += v
+		}
+		total.Add(s)
+	})
+	return total.Load()
+}
+
+// MaxInt64 returns the maximum of xs, or def when xs is empty.
+func MaxInt64(xs []int64, def int64) int64 {
+	n := len(xs)
+	if n == 0 {
+		return def
+	}
+	var mu sync.Mutex
+	best := xs[0]
+	For(n, 0, func(lo, hi int) {
+		m := xs[lo]
+		for _, v := range xs[lo:hi] {
+			if v > m {
+				m = v
+			}
+		}
+		mu.Lock()
+		if m > best {
+			best = m
+		}
+		mu.Unlock()
+	})
+	return best
+}
+
+// ExclusivePrefixSum replaces counts with its exclusive prefix sum and
+// returns the total. counts[i] afterwards holds the sum of the original
+// counts[0:i]. This is the standard CSR-building scan; its PRAM depth
+// is O(log n), which callers account with cost.AddDepth.
+func ExclusivePrefixSum(counts []int64) int64 {
+	var run int64
+	for i, c := range counts {
+		counts[i] = run
+		run += c
+	}
+	return run
+}
+
+// ExclusivePrefixSum32 is ExclusivePrefixSum for int32 counters, which
+// the CSR builder uses for per-vertex degrees.
+func ExclusivePrefixSum32(counts []int32) int64 {
+	var run int64
+	for i, c := range counts {
+		counts[i] = int32(run)
+		run += int64(c)
+	}
+	return run
+}

@@ -1,0 +1,174 @@
+// Package rng provides a small, fast, deterministic random number
+// generator used by every randomized routine in this repository.
+//
+// All algorithms in the paper are randomized (exponential start time
+// shifts, Baswana–Sen coin flips, workload generators). To make every
+// experiment reproducible the repository never touches global random
+// state: each routine receives an explicit seed and derives an
+// independent stream from it with Split, so parallel workers can draw
+// without locks and without correlated streams.
+//
+// The generator is splitmix64 (Steele, Lea, Flood 2014), which passes
+// BigCrush, needs only a single uint64 of state, and has a cheap
+// "split" operation (re-seed through the output function) that yields
+// statistically independent streams.
+package rng
+
+import (
+	"math"
+	"math/bits"
+)
+
+// golden is the 64-bit golden ratio constant used by splitmix64.
+const golden = 0x9e3779b97f4a7c15
+
+// RNG is a splitmix64 pseudo random number generator. The zero value
+// is a valid generator seeded with 0, but New should be preferred so
+// that distinct seeds map to well-separated states.
+type RNG struct {
+	state uint64
+}
+
+// New returns a generator seeded with seed. Two generators built from
+// different seeds produce independent-looking streams even when the
+// seeds differ in a single bit, because splitmix64's output function
+// is applied before the first draw.
+func New(seed uint64) *RNG {
+	r := &RNG{state: seed}
+	// Burn one output so that small seeds (0, 1, 2, ...) diverge
+	// immediately instead of after the first increment.
+	r.state = mix(r.state + golden)
+	return r
+}
+
+// mix is the splitmix64 output function.
+func mix(z uint64) uint64 {
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// Uint64 returns the next 64 uniformly random bits.
+func (r *RNG) Uint64() uint64 {
+	r.state += golden
+	return mix(r.state)
+}
+
+// Split returns a new generator whose stream is independent of the
+// remainder of r's stream. It consumes one draw from r.
+func (r *RNG) Split() *RNG {
+	return &RNG{state: mix(r.Uint64())}
+}
+
+// SplitN returns n independent generators derived from r, one per
+// parallel worker. It consumes n draws from r.
+func (r *RNG) SplitN(n int) []*RNG {
+	out := make([]*RNG, n)
+	for i := range out {
+		out[i] = r.Split()
+	}
+	return out
+}
+
+// Int63 returns a uniformly random non-negative int64.
+func (r *RNG) Int63() int64 {
+	return int64(r.Uint64() >> 1)
+}
+
+// Intn returns a uniformly random int in [0, n). It panics if n <= 0.
+// Uses Lemire's multiply-shift rejection method to avoid modulo bias.
+func (r *RNG) Intn(n int) int {
+	if n <= 0 {
+		panic("rng: Intn with n <= 0")
+	}
+	return int(r.Uint64n(uint64(n)))
+}
+
+// Int31n returns a uniformly random int32 in [0, n). It panics if n <= 0.
+func (r *RNG) Int31n(n int32) int32 {
+	if n <= 0 {
+		panic("rng: Int31n with n <= 0")
+	}
+	return int32(r.Uint64n(uint64(n)))
+}
+
+// Int63n returns a uniformly random int64 in [0, n). It panics if n <= 0.
+func (r *RNG) Int63n(n int64) int64 {
+	if n <= 0 {
+		panic("rng: Int63n with n <= 0")
+	}
+	return int64(r.Uint64n(uint64(n)))
+}
+
+// Uint64n returns a uniformly random uint64 in [0, n).
+// It panics if n == 0.
+func (r *RNG) Uint64n(n uint64) uint64 {
+	if n == 0 {
+		panic("rng: Uint64n with n == 0")
+	}
+	// Lemire's method with a rejection step: unbiased for all n.
+	hi, lo := bits.Mul64(r.Uint64(), n)
+	if lo < n {
+		thresh := (-n) % n
+		for lo < thresh {
+			hi, lo = bits.Mul64(r.Uint64(), n)
+		}
+	}
+	return hi
+}
+
+// Float64 returns a uniformly random float64 in [0, 1) with 53 bits of
+// precision.
+func (r *RNG) Float64() float64 {
+	return float64(r.Uint64()>>11) / (1 << 53)
+}
+
+// Float64Open returns a uniformly random float64 in the open interval
+// (0, 1). It never returns 0, which makes it safe to pass to math.Log.
+func (r *RNG) Float64Open() float64 {
+	for {
+		f := (float64(r.Uint64()>>11) + 0.5) / (1 << 53)
+		if f > 0 && f < 1 {
+			return f
+		}
+	}
+}
+
+// Exp returns a draw from the exponential distribution with rate beta,
+// i.e. with mean 1/beta. This is the distribution of the start-time
+// shifts delta_u in exponential start time clustering (paper §2.1).
+// It panics if beta <= 0.
+func (r *RNG) Exp(beta float64) float64 {
+	if beta <= 0 {
+		panic("rng: Exp with beta <= 0")
+	}
+	return -math.Log(r.Float64Open()) / beta
+}
+
+// Bernoulli returns true with probability p.
+func (r *RNG) Bernoulli(p float64) bool {
+	return r.Float64() < p
+}
+
+// Perm returns a uniformly random permutation of [0, n) as int32
+// values, matching the repository's vertex id type.
+func (r *RNG) Perm(n int) []int32 {
+	p := make([]int32, n)
+	for i := range p {
+		p[i] = int32(i)
+	}
+	for i := n - 1; i > 0; i-- {
+		j := r.Intn(i + 1)
+		p[i], p[j] = p[j], p[i]
+	}
+	return p
+}
+
+// Shuffle permutes the first n elements using the provided swap
+// function, exactly like math/rand.Shuffle.
+func (r *RNG) Shuffle(n int, swap func(i, j int)) {
+	for i := n - 1; i > 0; i-- {
+		j := r.Intn(i + 1)
+		swap(i, j)
+	}
+}

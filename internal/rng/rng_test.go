@@ -1,0 +1,282 @@
+package rng
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestDeterminism(t *testing.T) {
+	a := New(42)
+	b := New(42)
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatalf("same seed diverged at draw %d", i)
+		}
+	}
+}
+
+func TestDistinctSeedsDiverge(t *testing.T) {
+	a := New(1)
+	b := New(2)
+	same := 0
+	for i := 0; i < 100; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same > 0 {
+		t.Fatalf("seeds 1 and 2 collided on %d of 100 draws", same)
+	}
+}
+
+func TestSplitIndependence(t *testing.T) {
+	r := New(7)
+	s := r.Split()
+	// The parent stream after Split must differ from the child stream.
+	for i := 0; i < 100; i++ {
+		if r.Uint64() == s.Uint64() {
+			t.Fatalf("split streams collided at draw %d", i)
+		}
+	}
+}
+
+func TestSplitN(t *testing.T) {
+	r := New(9)
+	streams := r.SplitN(8)
+	if len(streams) != 8 {
+		t.Fatalf("SplitN(8) returned %d streams", len(streams))
+	}
+	seen := map[uint64]int{}
+	for i, s := range streams {
+		v := s.Uint64()
+		if j, ok := seen[v]; ok {
+			t.Fatalf("streams %d and %d produced identical first draw", i, j)
+		}
+		seen[v] = i
+	}
+}
+
+func TestIntnRange(t *testing.T) {
+	r := New(3)
+	for n := 1; n < 100; n++ {
+		for i := 0; i < 50; i++ {
+			v := r.Intn(n)
+			if v < 0 || v >= n {
+				t.Fatalf("Intn(%d) = %d out of range", n, v)
+			}
+		}
+	}
+}
+
+func TestIntnUniform(t *testing.T) {
+	r := New(11)
+	const n, draws = 10, 100000
+	counts := make([]int, n)
+	for i := 0; i < draws; i++ {
+		counts[r.Intn(n)]++
+	}
+	want := float64(draws) / n
+	for i, c := range counts {
+		if math.Abs(float64(c)-want) > 5*math.Sqrt(want) {
+			t.Errorf("bucket %d: got %d want ~%.0f", i, c, want)
+		}
+	}
+}
+
+func TestIntnPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Intn(0) did not panic")
+		}
+	}()
+	New(1).Intn(0)
+}
+
+func TestFloat64Range(t *testing.T) {
+	r := New(5)
+	for i := 0; i < 100000; i++ {
+		f := r.Float64()
+		if f < 0 || f >= 1 {
+			t.Fatalf("Float64() = %v out of [0,1)", f)
+		}
+	}
+}
+
+func TestFloat64OpenRange(t *testing.T) {
+	r := New(6)
+	for i := 0; i < 100000; i++ {
+		f := r.Float64Open()
+		if f <= 0 || f >= 1 {
+			t.Fatalf("Float64Open() = %v out of (0,1)", f)
+		}
+	}
+}
+
+func TestFloat64Mean(t *testing.T) {
+	r := New(8)
+	const draws = 200000
+	sum := 0.0
+	for i := 0; i < draws; i++ {
+		sum += r.Float64()
+	}
+	mean := sum / draws
+	if math.Abs(mean-0.5) > 0.005 {
+		t.Fatalf("Float64 mean = %v, want ~0.5", mean)
+	}
+}
+
+// TestExpMean validates that Exp(beta) has mean 1/beta, the property
+// the paper's Lemma 2.1 diameter bound depends on.
+func TestExpMean(t *testing.T) {
+	for _, beta := range []float64{0.1, 0.5, 1, 2, 10} {
+		r := New(uint64(beta*1000) + 17)
+		const draws = 200000
+		sum := 0.0
+		for i := 0; i < draws; i++ {
+			sum += r.Exp(beta)
+		}
+		mean := sum / draws
+		want := 1 / beta
+		if math.Abs(mean-want) > 0.03*want {
+			t.Errorf("Exp(%v) mean = %v, want ~%v", beta, mean, want)
+		}
+	}
+}
+
+// TestExpTail validates the exponential tail P[X > t] = exp(-beta t),
+// which is exactly the quantity in Lemma 2.1's union bound.
+func TestExpTail(t *testing.T) {
+	r := New(23)
+	const beta, cut, draws = 1.0, 2.0, 200000
+	over := 0
+	for i := 0; i < draws; i++ {
+		if r.Exp(beta) > cut {
+			over++
+		}
+	}
+	got := float64(over) / draws
+	want := math.Exp(-beta * cut)
+	if math.Abs(got-want) > 0.01 {
+		t.Fatalf("tail P[X>%v] = %v, want ~%v", cut, got, want)
+	}
+}
+
+func TestExpPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Exp(0) did not panic")
+		}
+	}()
+	New(1).Exp(0)
+}
+
+func TestBernoulli(t *testing.T) {
+	r := New(31)
+	const p, draws = 0.3, 200000
+	hits := 0
+	for i := 0; i < draws; i++ {
+		if r.Bernoulli(p) {
+			hits++
+		}
+	}
+	got := float64(hits) / draws
+	if math.Abs(got-p) > 0.01 {
+		t.Fatalf("Bernoulli(%v) rate = %v", p, got)
+	}
+}
+
+func TestPermIsPermutation(t *testing.T) {
+	r := New(13)
+	for _, n := range []int{0, 1, 2, 10, 1000} {
+		p := r.Perm(n)
+		if len(p) != n {
+			t.Fatalf("Perm(%d) has length %d", n, len(p))
+		}
+		seen := make([]bool, n)
+		for _, v := range p {
+			if v < 0 || int(v) >= n || seen[v] {
+				t.Fatalf("Perm(%d) not a permutation: %v", n, p)
+			}
+			seen[v] = true
+		}
+	}
+}
+
+func TestShuffleIsPermutation(t *testing.T) {
+	r := New(14)
+	xs := []int{0, 1, 2, 3, 4, 5, 6, 7}
+	r.Shuffle(len(xs), func(i, j int) { xs[i], xs[j] = xs[j], xs[i] })
+	seen := make([]bool, len(xs))
+	for _, v := range xs {
+		if seen[v] {
+			t.Fatalf("shuffle duplicated %d: %v", v, xs)
+		}
+		seen[v] = true
+	}
+}
+
+// Property: Uint64n(n) is always < n, for arbitrary n.
+func TestUint64nProperty(t *testing.T) {
+	r := New(99)
+	f := func(n uint64) bool {
+		if n == 0 {
+			n = 1
+		}
+		return r.Uint64n(n) < n
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: Intn/Int63n/Int31n stay in range for arbitrary positive bounds.
+func TestIntBoundsProperty(t *testing.T) {
+	r := New(101)
+	f := func(a uint16, b uint32, c uint64) bool {
+		n1 := int(a)%1000 + 1
+		n2 := int32(b%100000) + 1
+		n3 := int64(c%1000000) + 1
+		v1 := r.Intn(n1)
+		v2 := r.Int31n(n2)
+		v3 := r.Int63n(n3)
+		return v1 >= 0 && v1 < n1 && v2 >= 0 && v2 < n2 && v3 >= 0 && v3 < n3
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: small bounds on Uint64n still produce every residue,
+// i.e. the rejection step does not starve any value.
+func TestUint64nCoversAllResidues(t *testing.T) {
+	r := New(77)
+	const n = 7
+	seen := make([]bool, n)
+	for i := 0; i < 10000; i++ {
+		seen[r.Uint64n(n)] = true
+	}
+	for v, ok := range seen {
+		if !ok {
+			t.Fatalf("Uint64n(%d) never produced %d", n, v)
+		}
+	}
+}
+
+func BenchmarkUint64(b *testing.B) {
+	r := New(1)
+	var sink uint64
+	for i := 0; i < b.N; i++ {
+		sink += r.Uint64()
+	}
+	_ = sink
+}
+
+func BenchmarkExp(b *testing.B) {
+	r := New(1)
+	var sink float64
+	for i := 0; i < b.N; i++ {
+		sink += r.Exp(0.5)
+	}
+	_ = sink
+}

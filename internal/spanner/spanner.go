@@ -1,0 +1,264 @@
+// Package spanner implements the paper's spanner constructions
+// (Section 3) and the baselines it compares against in Figure 1.
+//
+//   - Unweighted (Algorithm 2 / Lemma 3.2): one exponential start time
+//     clustering with β = ln(n)/(2k); keep the cluster forest and one
+//     edge from each boundary vertex to each adjacent cluster. Stretch
+//     O(k), expected size O(n^{1+1/k}), work O(m), depth O(k log* n).
+//
+//   - WellSeparated (Algorithm 3): for graphs whose edge-weight buckets
+//     are separated by factors ≥ k^c, iterate buckets in increasing
+//     weight, cluster the unit-weight quotient graph G[A_i]/H_{i-1},
+//     and contract the new forests into H_i.
+//
+//   - Weighted (Theorem 3.3): bucket edges by powers of two, deal the
+//     buckets into O(log k) well-separated groups, and run
+//     WellSeparated on every group (in parallel in the model).
+//
+// Baselines (separate files): Baswana–Sen's (2k−1)-spanner [BS07] and
+// the greedy (2k−1)-spanner [ADD+93].
+package spanner
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/core"
+	"repro/internal/graph"
+	"repro/internal/par"
+	"repro/internal/rng"
+	"repro/internal/ufind"
+)
+
+// Result is a spanner: a subset of the input graph's canonical edge
+// ids, plus diagnostics.
+type Result struct {
+	// EdgeIDs are the spanner edges as canonical edge ids of the
+	// input graph, sorted ascending.
+	EdgeIDs []int32
+	// Clustering is the single EST clustering used by the unweighted
+	// construction; nil for weighted constructions (which use many).
+	Clustering *core.Result
+	// Levels is the number of clustering rounds performed (1 for
+	// unweighted; buckets × groups for weighted).
+	Levels int
+}
+
+// Size returns the number of spanner edges.
+func (r *Result) Size() int { return len(r.EdgeIDs) }
+
+// Graph materializes the spanner as a standalone graph over the same
+// vertex set as g.
+func (r *Result) Graph(g *graph.Graph) *graph.Graph {
+	return g.SubgraphFromEdgeIDs(r.EdgeIDs)
+}
+
+// betaFor returns the clustering parameter β = ln(n)/(2k) from Lemma
+// 3.2, guarded for tiny n.
+func betaFor(n int32, k int) float64 {
+	if n < 3 {
+		n = 3
+	}
+	return math.Log(float64(n)) / (2 * float64(k))
+}
+
+// Unweighted builds an O(k)-stretch spanner of expected size
+// O(n^{1+1/k}) for an unweighted graph (Algorithm 2). Edge weights, if
+// any, are ignored (every edge counts as 1), matching the paper's
+// unweighted setting. k must be ≥ 1.
+func Unweighted(g *graph.Graph, k int, seed uint64, cost *par.Cost) *Result {
+	if k < 1 {
+		panic(fmt.Sprintf("spanner: k = %d", k))
+	}
+	ids, clus := unweightedStep(g, k, seed, cost)
+	sortIDs(ids)
+	return &Result{EdgeIDs: ids, Clustering: clus, Levels: 1}
+}
+
+// unweightedStep performs the decomposition-plus-boundary-edges step
+// shared by Unweighted and WellSeparated: cluster g with unit weights,
+// keep the forest, and add one edge per (boundary vertex, adjacent
+// cluster) pair. Returns edge ids of g (unsorted, duplicate-free).
+func unweightedStep(g *graph.Graph, k int, seed uint64, cost *par.Cost) ([]int32, *core.Result) {
+	n := g.NumVertices()
+	if n == 0 || g.NumEdges() == 0 {
+		return nil, core.Cluster(g, 1, seed, core.Options{Cost: cost})
+	}
+	beta := betaFor(n, k)
+	clus := core.Cluster(g, beta, seed, core.Options{Cost: cost, UnitWeights: true})
+	ids := core.ForestEdges(g, clus)
+
+	// Boundary edges: per vertex, the lightest edge to each adjacent
+	// foreign cluster (Algorithm 2 line 2). One parallel round over
+	// vertices in the model.
+	var boundaryWork int64
+	best := map[int32]int32{} // adjacent cluster -> edge id, reused
+	for v := graph.V(0); v < n; v++ {
+		adj := g.Neighbors(v)
+		eids := g.AdjEdgeIDs(v)
+		cv := clus.ClusterOf[v]
+		clear(best)
+		for i, u := range adj {
+			boundaryWork++
+			cu := clus.ClusterOf[u]
+			if cu == cv {
+				continue
+			}
+			e := eids[i]
+			if prev, ok := best[cu]; !ok || better(g, e, prev) {
+				best[cu] = e
+			}
+		}
+		for _, e := range best {
+			ids = append(ids, e)
+		}
+	}
+	cost.AddWork(boundaryWork)
+	cost.AddDepth(1)
+	return dedupeIDs(ids), clus
+}
+
+// better orders candidate boundary edges by (weight, id) so selection
+// is deterministic.
+func better(g *graph.Graph, a, b int32) bool {
+	wa, wb := g.EdgeWeight(a), g.EdgeWeight(b)
+	if wa != wb {
+		return wa < wb
+	}
+	return a < b
+}
+
+func dedupeIDs(ids []int32) []int32 {
+	sortIDs(ids)
+	w := 0
+	for i, e := range ids {
+		if i > 0 && e == ids[w-1] {
+			continue
+		}
+		ids[w] = e
+		w++
+	}
+	return ids[:w]
+}
+
+func sortIDs(ids []int32) {
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+}
+
+// bucketIndex returns the power-of-two weight bucket of w relative to
+// the graph minimum: E_i = {e : w(e)/minW ∈ [2^i, 2^{i+1})}.
+func bucketIndex(w, minW graph.W) int {
+	i := 0
+	for x := w / minW; x > 1; x >>= 1 {
+		i++
+	}
+	return i
+}
+
+// numGroups returns the O(log k) group count of Theorem 3.3's
+// bucketing (c = 2, so weights in consecutive buckets of a group
+// differ by at least ~k²).
+func numGroups(k int) int {
+	if k <= 1 {
+		return 1
+	}
+	g := int(math.Ceil(2 * math.Log2(float64(k))))
+	if g < 1 {
+		g = 1
+	}
+	return g
+}
+
+// WellSeparated runs Algorithm 3 on the sub-multigraph of g given by
+// groupEdges (canonical edge ids), whose weight buckets must be well
+// separated (consecutive non-empty buckets differ by ≥ k^c; the caller
+// guarantees this by construction). It returns spanner edge ids of g.
+func WellSeparated(g *graph.Graph, groupEdges []int32, k int, seed uint64, cost *par.Cost) []int32 {
+	if len(groupEdges) == 0 {
+		return nil
+	}
+	minW := g.MinWeight()
+	// Bucket the group's edges by weight scale, ascending.
+	byBucket := map[int][]int32{}
+	for _, e := range groupEdges {
+		b := bucketIndex(g.EdgeWeight(e), minW)
+		byBucket[b] = append(byBucket[b], e)
+	}
+	bucketKeys := make([]int, 0, len(byBucket))
+	for b := range byBucket {
+		bucketKeys = append(bucketKeys, b)
+	}
+	sort.Ints(bucketKeys)
+
+	uf := ufind.New(g.NumVertices())
+	r := rng.New(seed)
+	var out []int32
+	for _, b := range bucketKeys {
+		bucketIDs := byBucket[b]
+		// Quotient the bucket edges by the contraction state H_{i-1}
+		// (Algorithm 3 line 4): Γ_i = G[A_i]/H_{i-1}.
+		labels, numLabels := uf.DenseLabels()
+		bucketEdges := make([]graph.Edge, len(bucketIDs))
+		for i, e := range bucketIDs {
+			bucketEdges[i] = g.Edges()[e]
+		}
+		bucketG := graph.FromEdges(g.NumVertices(), bucketEdges, true)
+		gamma := bucketG.Contract(labels, numLabels)
+		cost.AddWork(int64(len(bucketIDs)) + int64(g.NumVertices()))
+		cost.AddDepth(1)
+		if gamma.NumEdges() == 0 {
+			continue
+		}
+		// Cluster Γ_i with uniform weights and collect forest +
+		// boundary edges, mapped back to g's edge ids.
+		gammaIDs, clus := unweightedStep(gamma, k, r.Uint64(), cost)
+		for _, ge := range gammaIDs {
+			// gamma -> bucketG -> g.
+			out = append(out, bucketIDs[gamma.OrigEdgeID(ge)])
+		}
+		// Contract the new forest into H_i (Algorithm 3 line 7): union
+		// the original endpoints of every Γ-forest edge, merging the
+		// H-components the tree connects.
+		forest := core.ForestEdges(gamma, clus)
+		for _, ge := range forest {
+			orig := g.Edges()[bucketIDs[gamma.OrigEdgeID(ge)]]
+			uf.Union(orig.U, orig.V)
+		}
+	}
+	return dedupeIDs(out)
+}
+
+// Weighted builds an O(k)-stretch spanner of expected size
+// O(n^{1+1/k} log k) for a weighted graph (Theorem 3.3): it deals the
+// power-of-two weight buckets into numGroups(k) well-separated groups
+// and runs WellSeparated on each. The groups are independent — in the
+// PRAM model they run side by side, which the cost accounting reflects
+// with JoinMax.
+func Weighted(g *graph.Graph, k int, seed uint64, cost *par.Cost) *Result {
+	if k < 1 {
+		panic(fmt.Sprintf("spanner: k = %d", k))
+	}
+	if !g.Weighted() {
+		return Unweighted(g, k, seed, cost)
+	}
+	groups := numGroups(k)
+	minW := g.MinWeight()
+	groupEdges := make([][]int32, groups)
+	for e := int32(0); int64(e) < g.NumEdges(); e++ {
+		b := bucketIndex(g.EdgeWeight(e), minW)
+		groupEdges[b%groups] = append(groupEdges[b%groups], e)
+	}
+	r := rng.New(seed)
+	costs := make([]*par.Cost, groups)
+	var all []int32
+	levels := 0
+	for j := 0; j < groups; j++ {
+		costs[j] = par.NewCost()
+		ids := WellSeparated(g, groupEdges[j], k, r.Uint64(), costs[j])
+		all = append(all, ids...)
+		levels++
+	}
+	cost.JoinMax(costs...)
+	return &Result{EdgeIDs: dedupeIDs(all), Levels: levels}
+}

@@ -1,0 +1,130 @@
+package sparsify
+
+import (
+	"testing"
+
+	"repro/internal/graph"
+	"repro/internal/par"
+	"repro/internal/rng"
+)
+
+func TestSpectralBasics(t *testing.T) {
+	g := graph.RandomConnectedGNM(500, 10000, 1)
+	cost := par.NewCost()
+	res := Spectral(g, Options{K: 2, BundleSize: 3, MaxRounds: 10, Seed: 2, Cost: cost})
+	if len(res.Edges) == 0 {
+		t.Fatal("empty sparsifier")
+	}
+	if int64(len(res.Edges)) >= g.NumEdges() {
+		t.Fatalf("sparsifier has %d edges, input %d: no sparsification", len(res.Edges), g.NumEdges())
+	}
+	if cost.Work() == 0 {
+		t.Fatal("no cost recorded")
+	}
+	h := res.Graph(g.NumVertices())
+	if _, count := h.Components(); count != 1 {
+		t.Fatal("sparsifier disconnected a connected graph")
+	}
+	if res.Rounds < 2 {
+		t.Fatalf("rounds = %d; sampling never iterated", res.Rounds)
+	}
+}
+
+func TestSpectralPreservesTotalWeightInExpectation(t *testing.T) {
+	g := graph.UniformWeights(graph.RandomConnectedGNM(300, 6000, 3), 9, 4)
+	var orig float64
+	for _, e := range g.Edges() {
+		orig += float64(e.W)
+	}
+	// Average over seeds: resampling with doubling preserves the
+	// total Laplacian weight in expectation.
+	var sum float64
+	const trials = 8
+	for s := uint64(0); s < trials; s++ {
+		res := Spectral(g, Options{K: 2, BundleSize: 2, MaxRounds: 12, Seed: s})
+		var w float64
+		for _, e := range res.Edges {
+			w += float64(e.W)
+		}
+		sum += w
+	}
+	mean := sum / trials
+	if mean < 0.7*orig || mean > 1.3*orig {
+		t.Fatalf("mean sparsifier weight %.0f vs original %.0f: expectation not preserved", mean, orig)
+	}
+}
+
+// TestSpectralQuadraticForms: the sparsifier's Laplacian quadratic
+// form approximates the original on random test vectors. Single-digit
+// bundle sizes give loose constants, so the envelope is generous; the
+// point is the two-sided approximation, not the exact ε.
+func TestSpectralQuadraticForms(t *testing.T) {
+	g := graph.RandomConnectedGNM(400, 12000, 5)
+	res := Spectral(g, Options{K: 2, BundleSize: 4, MaxRounds: 12, Seed: 6})
+	var base []graph.Edge
+	for _, e := range g.Edges() {
+		base = append(base, graph.Edge{U: e.U, V: e.V, W: 1})
+	}
+	r := rng.New(7)
+	for trial := 0; trial < 10; trial++ {
+		x := make([]float64, g.NumVertices())
+		for i := range x {
+			x[i] = r.Float64()*2 - 1
+		}
+		qf0 := QuadraticForm(base, x)
+		qf1 := QuadraticForm(res.Edges, x)
+		ratio := qf1 / qf0
+		if ratio < 0.4 || ratio > 2.5 {
+			t.Fatalf("trial %d: quadratic form ratio %.3f out of envelope", trial, ratio)
+		}
+	}
+}
+
+func TestSpectralDeterministic(t *testing.T) {
+	g := graph.RandomConnectedGNM(200, 2000, 8)
+	a := Spectral(g, Options{K: 3, BundleSize: 2, MaxRounds: 8, Seed: 9})
+	b := Spectral(g, Options{K: 3, BundleSize: 2, MaxRounds: 8, Seed: 9})
+	if len(a.Edges) != len(b.Edges) {
+		t.Fatal("same seed, different sizes")
+	}
+	for i := range a.Edges {
+		if a.Edges[i] != b.Edges[i] {
+			t.Fatal("same seed, different edges")
+		}
+	}
+}
+
+func TestSpectralSmallAndDegenerate(t *testing.T) {
+	res := Spectral(graph.FromEdges(3, nil, false), Options{K: 2, BundleSize: 1, MaxRounds: 3, Seed: 1})
+	if len(res.Edges) != 0 {
+		t.Fatal("edgeless graph produced edges")
+	}
+	tree := graph.Path(20)
+	res = Spectral(tree, Options{K: 2, BundleSize: 1, MaxRounds: 5, Seed: 2})
+	// A tree is its own spanner: everything should graduate intact.
+	if len(res.Edges) != 19 {
+		t.Fatalf("tree sparsifier has %d edges, want 19", len(res.Edges))
+	}
+	h := res.Graph(20)
+	if _, count := h.Components(); count != 1 {
+		t.Fatal("tree sparsifier disconnected")
+	}
+}
+
+func TestSpectralPanicsOnBadK(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("K=0 did not panic")
+		}
+	}()
+	Spectral(graph.Path(3), Options{K: 0})
+}
+
+func TestQuadraticForm(t *testing.T) {
+	edges := []graph.Edge{{U: 0, V: 1, W: 2}, {U: 1, V: 2, W: 3}}
+	x := []float64{1, 0, 2}
+	// 2*(1-0)^2 + 3*(0-2)^2 = 2 + 12 = 14.
+	if got := QuadraticForm(edges, x); got != 14 {
+		t.Fatalf("quadratic form = %v, want 14", got)
+	}
+}

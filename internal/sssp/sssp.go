@@ -1,0 +1,376 @@
+// Package sssp implements the shortest-path searches the paper builds
+// on: level-synchronous parallel BFS in the style of Ullman–Yannakakis
+// [UY91], its weighted counterpart via Dial bucket queues (the
+// "weighted parallel BFS" of Section 5), hop-limited Bellman–Ford
+// rounds (the h-hop distances that define hopsets), and a sequential
+// Dijkstra used as the exact reference in tests and evaluations.
+//
+// Depth accounting follows the paper: one synchronous round per BFS
+// level (or per Dial bucket), with the CRCW O(log* n) per-round factor
+// treated as a model constant (Appendix A). Work is the number of
+// edge relaxations plus vertex settlements.
+//
+// All searches accept an optional vertex restriction (Mark/Token):
+// only vertices v with Mark[v] == Token participate. The hopset
+// recursion uses this to search inside a cluster without materializing
+// the induced subgraph.
+package sssp
+
+import (
+	"container/heap"
+	"fmt"
+
+	"repro/internal/graph"
+	"repro/internal/par"
+)
+
+// Options configures a search.
+type Options struct {
+	// Cost accumulates PRAM work/depth; may be nil.
+	Cost *par.Cost
+	// MaxDist stops the search once settled distances would exceed
+	// this bound; 0 means unbounded. Vertices beyond it keep InfDist.
+	MaxDist graph.Dist
+	// Mark/Token restrict the search to vertices v with
+	// Mark[v] == Token. A nil Mark admits every vertex.
+	Mark  []int32
+	Token int32
+}
+
+func (o *Options) admits(v graph.V) bool {
+	return o.Mark == nil || o.Mark[v] == o.Token
+}
+
+func (o *Options) bound() graph.Dist {
+	if o.MaxDist <= 0 {
+		return graph.InfDist
+	}
+	return o.MaxDist
+}
+
+// Result holds per-vertex distances and BFS/SSSP tree parents.
+// Unreached vertices have Dist = InfDist and Parent = NoVertex.
+type Result struct {
+	Dist   []graph.Dist
+	Parent []graph.V
+}
+
+func newResult(n int32) *Result {
+	r := &Result{
+		Dist:   make([]graph.Dist, n),
+		Parent: make([]graph.V, n),
+	}
+	for i := range r.Dist {
+		r.Dist[i] = graph.InfDist
+		r.Parent[i] = graph.NoVertex
+	}
+	return r
+}
+
+// Reached reports whether v was settled.
+func (r *Result) Reached(v graph.V) bool { return r.Dist[v] < graph.InfDist }
+
+// PathTo reconstructs the tree path from the source set to v, or nil
+// if v was not reached.
+func (r *Result) PathTo(v graph.V) []graph.V {
+	if !r.Reached(v) {
+		return nil
+	}
+	var rev []graph.V
+	for u := v; u != graph.NoVertex; u = r.Parent[u] {
+		rev = append(rev, u)
+		if len(rev) > len(r.Dist)+1 {
+			panic("sssp: parent cycle")
+		}
+	}
+	for i, j := 0, len(rev)-1; i < j; i, j = i+1, j-1 {
+		rev[i], rev[j] = rev[j], rev[i]
+	}
+	return rev
+}
+
+// BFS runs level-synchronous breadth-first search from the given
+// sources over unit edge costs (edge weights are ignored), recording
+// one depth unit per level. This is the [UY91]-style parallel BFS the
+// paper uses for unweighted graphs and for clique-edge distances in
+// Algorithm 4.
+func BFS(g *graph.Graph, sources []graph.V, opt Options) *Result {
+	n := g.NumVertices()
+	res := newResult(n)
+	bound := opt.bound()
+	frontier := make([]graph.V, 0, len(sources))
+	for _, s := range sources {
+		if !opt.admits(s) || res.Dist[s] == 0 {
+			continue
+		}
+		res.Dist[s] = 0
+		frontier = append(frontier, s)
+	}
+	level := graph.Dist(0)
+	for len(frontier) > 0 && level < bound {
+		level++
+		var next []graph.V
+		var touched int64
+		for _, v := range frontier {
+			for _, u := range g.Neighbors(v) {
+				touched++
+				if !opt.admits(u) || res.Dist[u] != graph.InfDist {
+					continue
+				}
+				res.Dist[u] = level
+				res.Parent[u] = v
+				next = append(next, u)
+			}
+		}
+		opt.Cost.Round(touched + int64(len(frontier)))
+		frontier = next
+	}
+	return res
+}
+
+// Dial runs the weighted multi-source shortest-path search with a
+// circular bucket queue (Dial's algorithm): exact for positive integer
+// weights, with depth equal to the number of distance levels advanced —
+// the weighted parallel BFS depth the paper quotes in Section 5. The
+// graph must be weighted (or all weights are 1 and BFS is equivalent).
+func Dial(g *graph.Graph, sources []graph.V, opt Options) *Result {
+	n := g.NumVertices()
+	res := newResult(n)
+	bound := opt.bound()
+	maxW := g.MaxWeight()
+	if maxW < 1 {
+		maxW = 1
+	}
+	// Circular buckets: a relaxation increases the key by at most
+	// maxW, so maxW+1 buckets suffice. A bounded search never keeps
+	// keys above the bound, so the bucket span clamps to it — this is
+	// what keeps level-capped searches on huge-weight graphs cheap.
+	span := maxW
+	if bound < graph.InfDist && graph.W(bound)+1 < span {
+		span = graph.W(bound) + 1
+	}
+	const maxBuckets = 1 << 28
+	if span+1 > maxBuckets {
+		panic(fmt.Sprintf("sssp: Dial bucket span %d too large; round weights or set MaxDist", span))
+	}
+	nb := int(span) + 1
+	buckets := make([][]graph.V, nb)
+	pending := 0
+	for _, s := range sources {
+		if !opt.admits(s) || res.Dist[s] == 0 {
+			continue
+		}
+		res.Dist[s] = 0
+		buckets[0] = append(buckets[0], s)
+		pending++
+	}
+	settled := make([]bool, n)
+	for level := graph.Dist(0); pending > 0 && level <= bound; level++ {
+		// Every distance level is one synchronous round of the
+		// weighted parallel BFS, empty or not: this is the "depth
+		// linear in path lengths" that Section 5's rounding scheme
+		// exists to shrink.
+		opt.Cost.AddDepth(1)
+		b := buckets[int(level)%nb]
+		if len(b) == 0 {
+			continue
+		}
+		buckets[int(level)%nb] = nil
+		pending -= len(b)
+		var touched int64
+		for _, v := range b {
+			if settled[v] || res.Dist[v] != level {
+				continue // stale entry
+			}
+			settled[v] = true
+			adj := g.Neighbors(v)
+			wts := g.AdjWeights(v)
+			for i, u := range adj {
+				touched++
+				if !opt.admits(u) || settled[u] {
+					continue
+				}
+				w := graph.W(1)
+				if wts != nil {
+					w = wts[i]
+				}
+				nd := level + w
+				if nd < res.Dist[u] && nd <= bound {
+					res.Dist[u] = nd
+					res.Parent[u] = v
+					buckets[int(nd)%nb] = append(buckets[int(nd)%nb], u)
+					pending++
+				}
+			}
+		}
+		opt.Cost.AddWork(touched + int64(len(b)))
+	}
+	// Clear any tentative distances that were never settled within the
+	// bound (stale bucket entries beyond it).
+	if bound < graph.InfDist {
+		for v := range res.Dist {
+			if res.Dist[v] != graph.InfDist && !settled[v] {
+				res.Dist[v] = graph.InfDist
+				res.Parent[v] = graph.NoVertex
+			}
+		}
+	}
+	return res
+}
+
+// Dijkstra is the exact sequential reference implementation (binary
+// heap). It accepts the same Options; cost accounting treats it as a
+// sequential algorithm: depth equals work.
+func Dijkstra(g *graph.Graph, sources []graph.V, opt Options) *Result {
+	n := g.NumVertices()
+	res := newResult(n)
+	bound := opt.bound()
+	pq := &distHeap{}
+	for _, s := range sources {
+		if !opt.admits(s) {
+			continue
+		}
+		res.Dist[s] = 0
+		heap.Push(pq, distEntry{v: s, d: 0})
+	}
+	settled := make([]bool, n)
+	var ops int64
+	for pq.Len() > 0 {
+		top := heap.Pop(pq).(distEntry)
+		v := top.v
+		if settled[v] || top.d != res.Dist[v] {
+			continue
+		}
+		if top.d > bound {
+			res.Dist[v] = graph.InfDist
+			res.Parent[v] = graph.NoVertex
+			continue
+		}
+		settled[v] = true
+		adj := g.Neighbors(v)
+		wts := g.AdjWeights(v)
+		for i, u := range adj {
+			ops++
+			if !opt.admits(u) || settled[u] {
+				continue
+			}
+			w := graph.W(1)
+			if wts != nil {
+				w = wts[i]
+			}
+			nd := top.d + w
+			if nd < res.Dist[u] {
+				res.Dist[u] = nd
+				res.Parent[u] = v
+				heap.Push(pq, distEntry{v: u, d: nd})
+			}
+		}
+	}
+	// Clear tentative-but-unsettled labels beyond the bound.
+	for v := range res.Dist {
+		if res.Dist[v] != graph.InfDist && !settled[v] {
+			res.Dist[v] = graph.InfDist
+			res.Parent[v] = graph.NoVertex
+		}
+	}
+	opt.Cost.AddWork(ops)
+	opt.Cost.AddDepth(ops)
+	return res
+}
+
+type distEntry struct {
+	v graph.V
+	d graph.Dist
+}
+
+type distHeap []distEntry
+
+func (h distHeap) Len() int            { return len(h) }
+func (h distHeap) Less(i, j int) bool  { return h[i].d < h[j].d }
+func (h distHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *distHeap) Push(x interface{}) { *h = append(*h, x.(distEntry)) }
+func (h *distHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}
+
+// HopLimited computes h-hop-limited distances dist^h_{E ∪ extra}(s, ·)
+// by h synchronous Bellman–Ford rounds over the graph's edges plus the
+// extra (hopset) edges. This is the defining quantity of Definition
+// 2.4; the evaluation uses it to certify hopset quality. Each round is
+// one depth unit of work O(m + |extra|).
+func HopLimited(g *graph.Graph, extra []graph.Edge, sources []graph.V, hops int, cost *par.Cost) []graph.Dist {
+	n := g.NumVertices()
+	dist := make([]graph.Dist, n)
+	for i := range dist {
+		dist[i] = graph.InfDist
+	}
+	for _, s := range sources {
+		dist[s] = 0
+	}
+	next := make([]graph.Dist, n)
+	edges := g.Edges()
+	for round := 0; round < hops; round++ {
+		copy(next, dist)
+		changed := false
+		relax := func(u, v graph.V, w graph.W) {
+			if dist[u] != graph.InfDist && dist[u]+w < next[v] {
+				next[v] = dist[u] + w
+				changed = true
+			}
+			if dist[v] != graph.InfDist && dist[v]+w < next[u] {
+				next[u] = dist[v] + w
+				changed = true
+			}
+		}
+		for i := range edges {
+			w := graph.W(1)
+			if g.Weighted() {
+				w = edges[i].W
+			}
+			relax(edges[i].U, edges[i].V, w)
+		}
+		for i := range extra {
+			relax(extra[i].U, extra[i].V, extra[i].W)
+		}
+		cost.Round(int64(len(edges) + len(extra)))
+		dist, next = next, dist
+		if !changed {
+			break
+		}
+	}
+	return dist
+}
+
+// Eccentricity returns the maximum finite BFS distance from v (hop
+// eccentricity). Used by diameter estimation.
+func Eccentricity(g *graph.Graph, v graph.V) graph.Dist {
+	res := BFS(g, []graph.V{v}, Options{})
+	var ecc graph.Dist
+	for _, d := range res.Dist {
+		if d < graph.InfDist && d > ecc {
+			ecc = d
+		}
+	}
+	return ecc
+}
+
+// EstimateDiameter lower-bounds the hop diameter with the standard
+// double-sweep heuristic: BFS from v0, then BFS from the farthest
+// vertex found. Exact on trees; a good lower bound elsewhere.
+func EstimateDiameter(g *graph.Graph, v0 graph.V) graph.Dist {
+	if g.NumVertices() == 0 {
+		return 0
+	}
+	res := BFS(g, []graph.V{v0}, Options{})
+	far, fd := v0, graph.Dist(0)
+	for v, d := range res.Dist {
+		if d < graph.InfDist && d > fd {
+			far, fd = graph.V(v), d
+		}
+	}
+	return Eccentricity(g, far)
+}

@@ -1,0 +1,329 @@
+package sssp
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/graph"
+	"repro/internal/par"
+	"repro/internal/rng"
+)
+
+func TestBFSPath(t *testing.T) {
+	g := graph.Path(6)
+	res := BFS(g, []graph.V{0}, Options{})
+	for v := graph.V(0); v < 6; v++ {
+		if res.Dist[v] != graph.Dist(v) {
+			t.Fatalf("dist[%d] = %d, want %d", v, res.Dist[v], v)
+		}
+	}
+	p := res.PathTo(5)
+	if len(p) != 6 || p[0] != 0 || p[5] != 5 {
+		t.Fatalf("path to 5 = %v", p)
+	}
+}
+
+func TestBFSMultiSource(t *testing.T) {
+	g := graph.Path(10)
+	res := BFS(g, []graph.V{0, 9}, Options{})
+	if res.Dist[4] != 4 || res.Dist[5] != 4 {
+		t.Fatalf("multi-source dist = %d, %d", res.Dist[4], res.Dist[5])
+	}
+}
+
+func TestBFSDisconnected(t *testing.T) {
+	g := graph.FromEdges(4, []graph.Edge{{U: 0, V: 1, W: 1}}, false)
+	res := BFS(g, []graph.V{0}, Options{})
+	if res.Reached(2) || res.Reached(3) {
+		t.Fatal("reached disconnected vertices")
+	}
+	if res.PathTo(3) != nil {
+		t.Fatal("path to unreached vertex should be nil")
+	}
+}
+
+func TestBFSMaxDist(t *testing.T) {
+	g := graph.Path(10)
+	res := BFS(g, []graph.V{0}, Options{MaxDist: 3})
+	if res.Dist[3] != 3 {
+		t.Fatalf("dist[3] = %d", res.Dist[3])
+	}
+	if res.Reached(4) {
+		t.Fatal("BFS went beyond MaxDist")
+	}
+}
+
+func TestBFSMarkRestriction(t *testing.T) {
+	// Cycle of 6; restrict to {0,1,2,3}: distance 0->3 is 3 not 3 via
+	// other side (blocked by marks).
+	g := graph.Cycle(6)
+	mark := []int32{7, 7, 7, 7, 0, 0}
+	res := BFS(g, []graph.V{0}, Options{Mark: mark, Token: 7})
+	if res.Dist[3] != 3 {
+		t.Fatalf("restricted dist[3] = %d, want 3", res.Dist[3])
+	}
+	if res.Reached(4) || res.Reached(5) {
+		t.Fatal("BFS escaped the marked set")
+	}
+}
+
+func TestBFSDepthEqualsLevels(t *testing.T) {
+	g := graph.Path(100)
+	cost := par.NewCost()
+	BFS(g, []graph.V{0}, Options{Cost: cost})
+	// 99 productive levels plus the final round that discovers the
+	// frontier is exhausted.
+	if d := cost.Depth(); d != 100 {
+		t.Fatalf("BFS depth = %d, want 100 rounds", d)
+	}
+}
+
+func TestDialSimpleWeighted(t *testing.T) {
+	//  0 --5-- 1 --1-- 2   and a long direct 0--7--2
+	g := graph.FromEdges(3, []graph.Edge{
+		{U: 0, V: 1, W: 5}, {U: 1, V: 2, W: 1}, {U: 0, V: 2, W: 7},
+	}, true)
+	res := Dial(g, []graph.V{0}, Options{})
+	if res.Dist[2] != 6 {
+		t.Fatalf("dist[2] = %d, want 6", res.Dist[2])
+	}
+	if res.Parent[2] != 1 {
+		t.Fatalf("parent[2] = %d, want 1", res.Parent[2])
+	}
+}
+
+func TestDialMatchesDijkstra(t *testing.T) {
+	for seed := uint64(0); seed < 6; seed++ {
+		g := graph.UniformWeights(graph.RandomConnectedGNM(300, 900, seed), 20, seed^11)
+		d1 := Dial(g, []graph.V{0}, Options{})
+		d2 := Dijkstra(g, []graph.V{0}, Options{})
+		for v := range d1.Dist {
+			if d1.Dist[v] != d2.Dist[v] {
+				t.Fatalf("seed %d: Dial %d vs Dijkstra %d at vertex %d",
+					seed, d1.Dist[v], d2.Dist[v], v)
+			}
+		}
+	}
+}
+
+func TestDialUnweightedMatchesBFS(t *testing.T) {
+	g := graph.RandomConnectedGNM(200, 600, 4)
+	d1 := Dial(g, []graph.V{7}, Options{})
+	d2 := BFS(g, []graph.V{7}, Options{})
+	for v := range d1.Dist {
+		if d1.Dist[v] != d2.Dist[v] {
+			t.Fatalf("Dial %d vs BFS %d at %d", d1.Dist[v], d2.Dist[v], v)
+		}
+	}
+}
+
+func TestDialMaxDist(t *testing.T) {
+	g := graph.UniformWeights(graph.Path(20), 3, 9)
+	full := Dijkstra(g, []graph.V{0}, Options{})
+	bound := graph.Dist(10)
+	res := Dial(g, []graph.V{0}, Options{MaxDist: bound})
+	for v := range res.Dist {
+		switch {
+		case full.Dist[v] <= bound:
+			if res.Dist[v] != full.Dist[v] {
+				t.Fatalf("within bound: dist[%d] = %d, want %d", v, res.Dist[v], full.Dist[v])
+			}
+		default:
+			if res.Reached(graph.V(v)) {
+				t.Fatalf("vertex %d (true dist %d) settled beyond bound", v, full.Dist[v])
+			}
+		}
+	}
+}
+
+func TestDijkstraMaxDist(t *testing.T) {
+	g := graph.UniformWeights(graph.Path(20), 3, 9)
+	full := Dijkstra(g, []graph.V{0}, Options{})
+	bound := graph.Dist(10)
+	res := Dijkstra(g, []graph.V{0}, Options{MaxDist: bound})
+	for v := range res.Dist {
+		if full.Dist[v] <= bound {
+			if res.Dist[v] != full.Dist[v] {
+				t.Fatalf("dist[%d] = %d, want %d", v, res.Dist[v], full.Dist[v])
+			}
+		} else if res.Reached(graph.V(v)) {
+			t.Fatalf("vertex %d settled beyond bound", v)
+		}
+	}
+}
+
+func TestDialMarkRestriction(t *testing.T) {
+	g := graph.UniformWeights(graph.Cycle(8), 2, 5)
+	mark := make([]int32, 8)
+	for i := 0; i < 5; i++ {
+		mark[i] = 1
+	}
+	res := Dial(g, []graph.V{0}, Options{Mark: mark, Token: 1})
+	if res.Reached(5) || res.Reached(6) || res.Reached(7) {
+		t.Fatal("Dial escaped the marked set")
+	}
+	// Distances within the marked path must match Dijkstra on the
+	// induced subgraph.
+	sub, origOf := g.InducedSubgraph([]graph.V{0, 1, 2, 3, 4})
+	ref := Dijkstra(sub, []graph.V{0}, Options{})
+	for i, o := range origOf {
+		if res.Dist[o] != ref.Dist[i] {
+			t.Fatalf("restricted dist[%d] = %d, want %d", o, res.Dist[o], ref.Dist[i])
+		}
+	}
+}
+
+func TestHopLimited(t *testing.T) {
+	// Path 0-1-2-3-4 (weights 1) plus a heavy shortcut 0-4 of weight 10.
+	g := graph.FromEdges(5, []graph.Edge{
+		{U: 0, V: 1, W: 1}, {U: 1, V: 2, W: 1}, {U: 2, V: 3, W: 1}, {U: 3, V: 4, W: 1},
+		{U: 0, V: 4, W: 10},
+	}, true)
+	// 1 hop: only the direct edge.
+	d1 := HopLimited(g, nil, []graph.V{0}, 1, nil)
+	if d1[4] != 10 {
+		t.Fatalf("1-hop dist = %d, want 10", d1[4])
+	}
+	// 4 hops: the light path.
+	d4 := HopLimited(g, nil, []graph.V{0}, 4, nil)
+	if d4[4] != 4 {
+		t.Fatalf("4-hop dist = %d, want 4", d4[4])
+	}
+	// Extra edge shrinks hops: add (0,3,3).
+	extra := []graph.Edge{{U: 0, V: 3, W: 3}}
+	d2 := HopLimited(g, extra, []graph.V{0}, 2, nil)
+	if d2[4] != 4 {
+		t.Fatalf("2-hop with hopset dist = %d, want 4", d2[4])
+	}
+}
+
+func TestHopLimitedConvergesToDijkstra(t *testing.T) {
+	g := graph.UniformWeights(graph.RandomConnectedGNM(120, 360, 8), 9, 8)
+	hop := HopLimited(g, nil, []graph.V{0}, int(g.NumVertices()), nil)
+	ref := Dijkstra(g, []graph.V{0}, Options{})
+	for v := range hop {
+		if hop[v] != ref.Dist[v] {
+			t.Fatalf("n-hop dist %d != Dijkstra %d at %d", hop[v], ref.Dist[v], v)
+		}
+	}
+}
+
+func TestHopLimitedMonotoneInHops(t *testing.T) {
+	g := graph.UniformWeights(graph.RandomConnectedGNM(80, 200, 12), 7, 13)
+	prev := HopLimited(g, nil, []graph.V{3}, 1, nil)
+	for h := 2; h <= 12; h++ {
+		cur := HopLimited(g, nil, []graph.V{3}, h, nil)
+		for v := range cur {
+			if cur[v] > prev[v] {
+				t.Fatalf("hop distance increased with more hops at %d", v)
+			}
+		}
+		prev = cur
+	}
+}
+
+func TestEccentricityAndDiameter(t *testing.T) {
+	g := graph.Path(50)
+	if e := Eccentricity(g, 0); e != 49 {
+		t.Fatalf("ecc(0) = %d", e)
+	}
+	if e := Eccentricity(g, 25); e != 25 {
+		t.Fatalf("ecc(25) = %d", e)
+	}
+	if d := EstimateDiameter(g, 25); d != 49 {
+		t.Fatalf("diameter = %d, want 49 (exact on trees)", d)
+	}
+	grid := graph.Grid2D(8, 8)
+	if d := EstimateDiameter(grid, 0); d != 14 {
+		t.Fatalf("grid diameter = %d, want 14", d)
+	}
+}
+
+// Property: Dial == Dijkstra on arbitrary random weighted graphs,
+// including with distance bounds.
+func TestDialDijkstraProperty(t *testing.T) {
+	f := func(seedRaw uint32, boundRaw uint8) bool {
+		seed := uint64(seedRaw)
+		r := rng.New(seed)
+		n := int32(r.Intn(60) + 2)
+		m := int64(n) + int64(r.Intn(100))
+		if max := int64(n) * int64(n-1) / 2; m > max {
+			m = max
+		}
+		g := graph.UniformWeights(graph.RandomConnectedGNM(n, m, seed), 15, seed^3)
+		src := graph.V(r.Int31n(n))
+		opt := Options{}
+		if boundRaw%2 == 0 {
+			opt.MaxDist = graph.Dist(boundRaw)
+		}
+		a := Dial(g, []graph.V{src}, opt)
+		b := Dijkstra(g, []graph.V{src}, opt)
+		for v := range a.Dist {
+			if a.Dist[v] != b.Dist[v] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: parent pointers always certify the reported distance.
+func TestParentCertifiesDistance(t *testing.T) {
+	f := func(seedRaw uint32) bool {
+		seed := uint64(seedRaw)
+		g := graph.UniformWeights(graph.RandomConnectedGNM(50, 150, seed), 9, seed^7)
+		res := Dial(g, []graph.V{0}, Options{})
+		for v := graph.V(0); v < g.NumVertices(); v++ {
+			if !res.Reached(v) || v == 0 {
+				continue
+			}
+			p := res.Parent[v]
+			if p == graph.NoVertex {
+				return false
+			}
+			// Find the p-v edge weight.
+			var w graph.W = -1
+			adj := g.Neighbors(v)
+			wts := g.AdjWeights(v)
+			for i, u := range adj {
+				if u == p && (w == -1 || wts[i] < w) {
+					w = wts[i]
+				}
+			}
+			if w == -1 || res.Dist[p]+w != res.Dist[v] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkBFSGrid(b *testing.B) {
+	g := graph.Grid2D(200, 200)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		BFS(g, []graph.V{0}, Options{})
+	}
+}
+
+func BenchmarkDialRandom(b *testing.B) {
+	g := graph.UniformWeights(graph.RandomConnectedGNM(10000, 40000, 1), 50, 2)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Dial(g, []graph.V{0}, Options{})
+	}
+}
+
+func BenchmarkDijkstraRandom(b *testing.B) {
+	g := graph.UniformWeights(graph.RandomConnectedGNM(10000, 40000, 1), 50, 2)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Dijkstra(g, []graph.V{0}, Options{})
+	}
+}

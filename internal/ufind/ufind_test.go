@@ -1,0 +1,101 @@
+package ufind
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/rng"
+)
+
+func TestBasic(t *testing.T) {
+	u := New(5)
+	if u.Sets() != 5 {
+		t.Fatalf("initial sets = %d", u.Sets())
+	}
+	if !u.Union(0, 1) {
+		t.Fatal("union of distinct sets returned false")
+	}
+	if u.Union(1, 0) {
+		t.Fatal("union of same set returned true")
+	}
+	if !u.Same(0, 1) || u.Same(0, 2) {
+		t.Fatal("Same broken")
+	}
+	u.Union(2, 3)
+	u.Union(0, 3)
+	if u.Sets() != 2 {
+		t.Fatalf("sets = %d, want 2", u.Sets())
+	}
+	if !u.Same(1, 2) {
+		t.Fatal("transitive union broken")
+	}
+	if u.Len() != 5 {
+		t.Fatalf("Len = %d", u.Len())
+	}
+}
+
+func TestDenseLabels(t *testing.T) {
+	u := New(6)
+	u.Union(0, 2)
+	u.Union(3, 4)
+	labels, count := u.DenseLabels()
+	if count != 4 {
+		t.Fatalf("count = %d, want 4", count)
+	}
+	if labels[0] != labels[2] || labels[3] != labels[4] {
+		t.Fatal("merged elements got different labels")
+	}
+	if labels[0] == labels[1] || labels[1] == labels[5] || labels[0] == labels[5] {
+		t.Fatal("distinct sets share labels")
+	}
+	for _, l := range labels {
+		if l < 0 || l >= count {
+			t.Fatalf("label %d out of range", l)
+		}
+	}
+	// First-appearance ordering: element 0's set gets label 0.
+	if labels[0] != 0 || labels[1] != 1 {
+		t.Fatalf("labels not in first-appearance order: %v", labels)
+	}
+}
+
+// Property: union-find agrees with a naive reference under random
+// operation sequences.
+func TestAgainstNaiveProperty(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := rng.New(seed)
+		n := int32(r.Intn(50) + 1)
+		u := New(n)
+		naive := make([]int32, n) // naive[i] = set id
+		for i := range naive {
+			naive[i] = int32(i)
+		}
+		for op := 0; op < 100; op++ {
+			a, b := r.Int31n(n), r.Int31n(n)
+			if r.Bernoulli(0.5) {
+				u.Union(a, b)
+				sa, sb := naive[a], naive[b]
+				if sa != sb {
+					for i := range naive {
+						if naive[i] == sb {
+							naive[i] = sa
+						}
+					}
+				}
+			} else {
+				if u.Same(a, b) != (naive[a] == naive[b]) {
+					return false
+				}
+			}
+		}
+		// Set counts must agree.
+		distinct := map[int32]bool{}
+		for _, s := range naive {
+			distinct[s] = true
+		}
+		return int32(len(distinct)) == u.Sets()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,100 @@
+// Package workload defines the named synthetic workloads every
+// experiment runs on, so that bench targets, cmd/figures, and
+// EXPERIMENTS.md all refer to the same inputs.
+//
+// The paper proves worst-case / with-high-probability bounds, so the
+// reproduction sweeps structurally different families: low-diameter
+// uniform graphs (ER), skewed-degree graphs (RMAT, preferential
+// attachment), and high-diameter constant-degree graphs (grids) where
+// hopsets matter most; weighted variants use uniform weights (single
+// scale) and exponential weights (multi-scale, exercising the
+// bucketing and Appendix B machinery).
+package workload
+
+import (
+	"fmt"
+
+	"repro/internal/graph"
+)
+
+// Spec names a workload and builds it on demand.
+type Spec struct {
+	Name string
+	Gen  func() *graph.Graph
+}
+
+// ER returns a connected Erdős–Rényi workload with average degree
+// 2m/n = 2·density.
+func ER(n int32, density int, seed uint64) Spec {
+	return Spec{
+		Name: fmt.Sprintf("er-n%d-d%d", n, density),
+		Gen: func() *graph.Graph {
+			return graph.RandomConnectedGNM(n, int64(n)*int64(density), seed)
+		},
+	}
+}
+
+// RMATSpec returns a skewed-degree RMAT workload with 2^scale
+// vertices.
+func RMATSpec(scale int, degree int, seed uint64) Spec {
+	return Spec{
+		Name: fmt.Sprintf("rmat-s%d-d%d", scale, degree),
+		Gen: func() *graph.Graph {
+			n := int64(1) << scale
+			return graph.RMAT(scale, n*int64(degree), 0.57, 0.19, 0.19, seed)
+		},
+	}
+}
+
+// Grid returns a side×side grid workload (high diameter).
+func Grid(side int32) Spec {
+	return Spec{
+		Name: fmt.Sprintf("grid-%dx%d", side, side),
+		Gen:  func() *graph.Graph { return graph.Grid2D(side, side) },
+	}
+}
+
+// Hyper returns the d-dimensional hypercube workload.
+func Hyper(d int) Spec {
+	return Spec{
+		Name: fmt.Sprintf("hypercube-%d", d),
+		Gen:  func() *graph.Graph { return graph.Hypercube(d) },
+	}
+}
+
+// WithUniformWeights wraps a spec with uniform integer weights in
+// [1, maxW].
+func WithUniformWeights(s Spec, maxW graph.W, seed uint64) Spec {
+	return Spec{
+		Name: fmt.Sprintf("%s-wU%d", s.Name, maxW),
+		Gen:  func() *graph.Graph { return graph.UniformWeights(s.Gen(), maxW, seed) },
+	}
+}
+
+// WithExponentialWeights wraps a spec with multi-scale weights
+// spanning base^scales.
+func WithExponentialWeights(s Spec, base, scales float64, seed uint64) Spec {
+	return Spec{
+		Name: fmt.Sprintf("%s-wExp%.0f^%.0f", s.Name, base, scales),
+		Gen:  func() *graph.Graph { return graph.ExponentialWeights(s.Gen(), base, scales, seed) },
+	}
+}
+
+// SpannerFamilies returns the Figure 1 input sweep at the given size
+// scale (1 = benchmark default).
+func SpannerFamilies(seed uint64) []Spec {
+	return []Spec{
+		ER(4096, 8, seed),
+		RMATSpec(12, 8, seed+1),
+		Grid(64),
+	}
+}
+
+// HopsetFamilies returns the Figure 2 input sweep.
+func HopsetFamilies(seed uint64) []Spec {
+	return []Spec{
+		ER(4096, 4, seed),
+		Grid(64),
+		Hyper(12),
+	}
+}

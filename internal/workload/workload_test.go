@@ -1,0 +1,76 @@
+package workload
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestSpecsGenerate(t *testing.T) {
+	specs := []Spec{
+		ER(100, 4, 1),
+		RMATSpec(7, 4, 2),
+		Grid(9),
+		Hyper(6),
+		WithUniformWeights(Grid(8), 16, 3),
+		WithExponentialWeights(ER(80, 3, 4), 4, 6, 5),
+	}
+	seen := map[string]bool{}
+	for _, s := range specs {
+		if s.Name == "" {
+			t.Fatal("spec with empty name")
+		}
+		if seen[s.Name] {
+			t.Fatalf("duplicate spec name %q", s.Name)
+		}
+		seen[s.Name] = true
+		g := s.Gen()
+		if err := g.Validate(); err != nil {
+			t.Fatalf("%s: invalid graph: %v", s.Name, err)
+		}
+		if g.NumVertices() == 0 {
+			t.Fatalf("%s: empty graph", s.Name)
+		}
+	}
+}
+
+func TestWeightedWrappersProduceWeights(t *testing.T) {
+	s := WithUniformWeights(ER(50, 3, 1), 9, 2)
+	if !s.Gen().Weighted() {
+		t.Fatal("uniform wrapper lost weights")
+	}
+	if !strings.Contains(s.Name, "wU9") {
+		t.Fatalf("name %q missing weight tag", s.Name)
+	}
+	e := WithExponentialWeights(ER(50, 3, 1), 4, 5, 3)
+	if !e.Gen().Weighted() {
+		t.Fatal("exponential wrapper lost weights")
+	}
+}
+
+func TestFamilies(t *testing.T) {
+	for _, s := range SpannerFamilies(1) {
+		g := s.Gen()
+		if g.NumVertices() < 1000 {
+			t.Fatalf("%s suspiciously small: %d", s.Name, g.NumVertices())
+		}
+	}
+	for _, s := range HopsetFamilies(1) {
+		g := s.Gen()
+		if g.NumVertices() < 1000 {
+			t.Fatalf("%s suspiciously small: %d", s.Name, g.NumVertices())
+		}
+	}
+}
+
+func TestDeterministicGeneration(t *testing.T) {
+	a := ER(200, 5, 7).Gen()
+	b := ER(200, 5, 7).Gen()
+	if a.NumEdges() != b.NumEdges() {
+		t.Fatal("same spec generated different graphs")
+	}
+	for i := range a.Edges() {
+		if a.Edges()[i] != b.Edges()[i] {
+			t.Fatal("same spec generated different edges")
+		}
+	}
+}

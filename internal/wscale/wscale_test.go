@@ -1,0 +1,248 @@
+package wscale
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/graph"
+	"repro/internal/par"
+	"repro/internal/rng"
+	"repro/internal/sssp"
+)
+
+func TestCatOf(t *testing.T) {
+	b := 10.0
+	cases := []struct {
+		w    graph.W
+		minW graph.W
+		want int
+	}{
+		{1, 1, 0}, {9, 1, 0}, {10, 1, 1}, {99, 1, 1}, {100, 1, 2},
+		{1000, 1, 3}, {50, 5, 1}, {5, 5, 0},
+	}
+	for _, c := range cases {
+		if got := catOf(c.w, c.minW, b); got != c.want {
+			t.Errorf("catOf(%d, %d, %v) = %d, want %d", c.w, c.minW, b, got, c.want)
+		}
+	}
+}
+
+func TestBuildSingleScale(t *testing.T) {
+	// All weights within one category: one level, no contraction.
+	g := graph.UniformWeights(graph.RandomConnectedGNM(100, 300, 1), 50, 2)
+	d := Build(g, 0.5, nil)
+	if len(d.Cats) != 1 {
+		t.Fatalf("categories = %v, want one", d.Cats)
+	}
+	if len(d.Instances) != 1 {
+		t.Fatalf("instances = %d", len(d.Instances))
+	}
+	// Single-scale instance must answer queries exactly.
+	ref := sssp.Dijkstra(g, []graph.V{0}, sssp.Options{})
+	for v := graph.V(1); v < 20; v++ {
+		got := d.Query(0, v, nil)
+		if got != ref.Dist[v] {
+			t.Fatalf("single-scale query(0,%d) = %d, want %d", v, got, ref.Dist[v])
+		}
+	}
+}
+
+// multiScaleGraph builds a graph with clusters connected internally by
+// light edges and to each other by very heavy edges, forcing several
+// weight categories.
+func multiScaleGraph(seed uint64) *graph.Graph {
+	r := rng.New(seed)
+	const groups, per = 5, 30
+	n := int32(groups * per)
+	var edges []graph.Edge
+	// Light intra-group random connected graphs.
+	for gi := int32(0); gi < groups; gi++ {
+		base := gi * per
+		for i := int32(1); i < per; i++ {
+			j := r.Int31n(i)
+			edges = append(edges, graph.Edge{U: base + i, V: base + j, W: 1 + r.Int63n(4)})
+		}
+		for extra := 0; extra < per; extra++ {
+			u := base + r.Int31n(per)
+			v := base + r.Int31n(per)
+			if u != v {
+				edges = append(edges, graph.Edge{U: u, V: v, W: 1 + r.Int63n(4)})
+			}
+		}
+	}
+	// Heavy inter-group edges (weight far above n/eps times the light
+	// ones) forming a path of groups.
+	for gi := int32(0); gi+1 < groups; gi++ {
+		u := gi*per + r.Int31n(per)
+		v := (gi+1)*per + r.Int31n(per)
+		edges = append(edges, graph.Edge{U: u, V: v, W: 1_000_000 + r.Int63n(1000)})
+	}
+	return graph.FromEdges(n, graph.Simplify(edges), true)
+}
+
+func TestBuildMultiScale(t *testing.T) {
+	g := multiScaleGraph(3)
+	cost := par.NewCost()
+	d := Build(g, 0.5, cost)
+	if len(d.Cats) < 2 {
+		t.Fatalf("expected multiple categories, got %v", d.Cats)
+	}
+	if cost.Work() == 0 || cost.Depth() == 0 {
+		t.Fatal("no cost recorded")
+	}
+	// The top level must connect everything (graph is connected).
+	top := len(d.Levels) - 1
+	if d.LevelCounts[top] != 1 {
+		t.Fatalf("top level has %d components, want 1", d.LevelCounts[top])
+	}
+	// Lower level: groups are separate.
+	if d.LevelCounts[0] < 2 {
+		t.Fatalf("bottom level has %d components, want several", d.LevelCounts[0])
+	}
+}
+
+func TestLevelOf(t *testing.T) {
+	g := multiScaleGraph(5)
+	d := Build(g, 0.5, nil)
+	// Same group: lowest level. Different groups: top level.
+	if lv := d.LevelOf(0, 1); lv != 0 {
+		t.Fatalf("intra-group level = %d, want 0", lv)
+	}
+	if lv := d.LevelOf(0, 140); lv != len(d.Cats)-1 {
+		t.Fatalf("inter-group level = %d, want top %d", lv, len(d.Cats)-1)
+	}
+	if lv := d.LevelOf(3, 3); lv != 0 {
+		t.Fatalf("self level = %d", lv)
+	}
+}
+
+func TestLevelOfDisconnected(t *testing.T) {
+	g := graph.FromEdges(4, []graph.Edge{{U: 0, V: 1, W: 5}}, true)
+	d := Build(g, 0.5, nil)
+	if lv := d.LevelOf(0, 3); lv != -1 {
+		t.Fatalf("disconnected level = %d, want -1", lv)
+	}
+	if got := d.Query(0, 3, nil); got != graph.InfDist {
+		t.Fatalf("disconnected query = %d", got)
+	}
+}
+
+// TestLemma51Approximation: instance distances are within (1−ε) of
+// true distances, never above.
+func TestLemma51Approximation(t *testing.T) {
+	g := multiScaleGraph(7)
+	eps := 0.5
+	d := Build(g, eps, nil)
+	r := rng.New(8)
+	for i := 0; i < 60; i++ {
+		s := r.Int31n(g.NumVertices())
+		u := r.Int31n(g.NumVertices())
+		if s == u {
+			continue
+		}
+		truth := sssp.Dijkstra(g, []graph.V{s}, sssp.Options{}).Dist[u]
+		got := d.Query(s, u, nil)
+		if got > truth {
+			t.Fatalf("query(%d,%d) = %d exceeds true %d", s, u, got, truth)
+		}
+		if float64(got) < (1-eps)*float64(truth) {
+			t.Fatalf("query(%d,%d) = %d below (1-ε)·%d", s, u, got, truth)
+		}
+	}
+}
+
+// TestLemma51Ratio: every instance has polynomially bounded weight
+// ratio even when the input spans many more scales.
+func TestLemma51Ratio(t *testing.T) {
+	g := graph.ExponentialWeights(graph.RandomConnectedGNM(200, 800, 9), 10, 12, 10)
+	eps := 0.5
+	d := Build(g, eps, nil)
+	n := float64(g.NumVertices())
+	bound := math.Pow(n/eps, 3)
+	if r := d.MaxInstanceRatio(); r > bound {
+		t.Fatalf("instance ratio %.3g exceeds (n/ε)³ = %.3g", r, bound)
+	}
+	if d.MaxInstanceRatio() >= g.WeightRatio() && len(d.Cats) > 1 {
+		t.Fatalf("decomposition did not reduce the weight ratio (%.3g vs %.3g)",
+			d.MaxInstanceRatio(), g.WeightRatio())
+	}
+}
+
+func TestTotalInstanceEdgesBounded(t *testing.T) {
+	g := graph.ExponentialWeights(graph.RandomConnectedGNM(300, 1200, 11), 8, 10, 12)
+	d := Build(g, 0.5, nil)
+	if total := d.TotalInstanceEdges(); total > 3*g.NumEdges() {
+		t.Fatalf("instances hold %d edges, more than 3m = %d", total, 3*g.NumEdges())
+	}
+}
+
+func TestBuildPanicsOnBadEps(t *testing.T) {
+	g := graph.Path(3)
+	for _, eps := range []float64{0, 1, -0.5} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("eps = %v did not panic", eps)
+				}
+			}()
+			Build(g, eps, nil)
+		}()
+	}
+}
+
+func TestBuildEmpty(t *testing.T) {
+	d := Build(graph.FromEdges(0, nil, true), 0.5, nil)
+	if len(d.Instances) != 0 {
+		t.Fatal("empty graph should have no instances")
+	}
+	d2 := Build(graph.FromEdges(5, nil, true), 0.5, nil)
+	if len(d2.Instances) != 0 {
+		t.Fatal("edgeless graph should have no instances")
+	}
+}
+
+// Property: on arbitrary exponential-weight graphs, queries are sound
+// (never above truth, never below (1−ε)·truth) and levels are
+// monotone.
+func TestQuerySoundnessProperty(t *testing.T) {
+	f := func(seedRaw uint32) bool {
+		seed := uint64(seedRaw)
+		r := rng.New(seed ^ 0x77)
+		n := int32(r.Intn(60) + 10)
+		m := int64(n) - 1 + int64(r.Intn(100))
+		if max := int64(n) * int64(n-1) / 2; m > max {
+			m = max
+		}
+		g := graph.ExponentialWeights(graph.RandomConnectedGNM(n, m, seed), 6, 8, seed^1)
+		eps := 0.5
+		d := Build(g, eps, nil)
+		s := graph.V(r.Int31n(n))
+		truth := sssp.Dijkstra(g, []graph.V{s}, sssp.Options{})
+		for trial := 0; trial < 8; trial++ {
+			u := graph.V(r.Int31n(n))
+			if u == s {
+				continue
+			}
+			got := d.Query(s, u, nil)
+			if got > truth.Dist[u] {
+				return false
+			}
+			if float64(got) < (1-eps)*float64(truth.Dist[u]) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkBuild(b *testing.B) {
+	g := graph.ExponentialWeights(graph.RandomConnectedGNM(10000, 40000, 1), 10, 12, 2)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Build(g, 0.5, nil)
+	}
+}

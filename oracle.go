@@ -1,0 +1,146 @@
+package spanhop
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/hopset"
+	"repro/internal/par"
+	"repro/internal/wscale"
+)
+
+// DistanceOracle is the end-to-end Theorem 1.2 pipeline: preprocess a
+// non-negatively weighted undirected graph so that (1+ε)-approximate
+// s-t distances can be answered with low parallel depth.
+//
+// Preprocessing composes the paper's two reductions:
+//
+//  1. If the graph's weight ratio exceeds the polynomial bound the
+//     Section 5 construction assumes, the Appendix B weight-class
+//     decomposition splits it into instances of ratio O((n/ε)³),
+//     losing at most an ε fraction of any queried distance
+//     (Lemma 5.1).
+//  2. Every instance gets a multi-scale hopset (Section 5): per
+//     distance band, Klein–Subramanian rounding plus the Algorithm 4
+//     EST-clustering recursion.
+//
+// Queries route through the decomposition to the right instance and
+// run the level-capped weighted parallel BFS of the hopset query
+// engine; answers are within [(1−ε)·d, (1+ε̃)·d] where ε̃ is the
+// hopset construction's distortion envelope.
+type DistanceOracle struct {
+	g   *Graph
+	eps float64
+
+	// Either direct (poly-bounded ratio) ...
+	direct *hopset.Scaled
+	// ... or decomposed: one scaled hopset per wscale instance.
+	dec       *wscale.Decomposition
+	instances []*hopset.Scaled
+}
+
+// NewDistanceOracle preprocesses g. eps ∈ (0, 1) controls both the
+// decomposition loss and the hopset rounding.
+func NewDistanceOracle(g *Graph, eps float64, seed uint64) *DistanceOracle {
+	return NewDistanceOracleWithCost(g, eps, seed, nil)
+}
+
+// NewDistanceOracleWithCost is NewDistanceOracle with work/depth
+// accounting of the preprocessing.
+func NewDistanceOracleWithCost(g *Graph, eps float64, seed uint64, cost *Cost) *DistanceOracle {
+	if eps <= 0 || eps >= 1 {
+		panic(fmt.Sprintf("spanhop: DistanceOracle eps = %v, want (0,1)", eps))
+	}
+	o := &DistanceOracle{g: g, eps: eps}
+	wp := hopset.DefaultWeightedParams(seed)
+	wp.Zeta = eps
+	n := float64(g.NumVertices())
+	if n < 2 || g.NumEdges() == 0 {
+		return o
+	}
+	polyBound := math.Pow(n/eps, 3)
+	if g.WeightRatio() <= polyBound {
+		o.direct = hopset.BuildScaled(g, wp, cost)
+		return o
+	}
+	o.dec = wscale.Build(g, eps, cost)
+	// Instances are independent: side by side in the model.
+	costs := make([]*par.Cost, len(o.dec.Instances))
+	o.instances = make([]*hopset.Scaled, len(o.dec.Instances))
+	for i, inst := range o.dec.Instances {
+		costs[i] = par.NewCost()
+		p := wp
+		p.Seed = wp.Seed + uint64(i)*0x9e3779b97f4a7c15
+		o.instances[i] = hopset.BuildScaled(inst.G, p, costs[i])
+	}
+	cost.JoinMax(costs...)
+	return o
+}
+
+// Decomposed reports whether the oracle needed the Appendix B
+// weight-class decomposition.
+func (o *DistanceOracle) Decomposed() bool { return o.dec != nil }
+
+// HopsetSize returns the total number of hopset edges across all
+// instances.
+func (o *DistanceOracle) HopsetSize() int {
+	if o.direct != nil {
+		return o.direct.Size()
+	}
+	total := 0
+	for _, s := range o.instances {
+		total += s.Size()
+	}
+	return total
+}
+
+// QueryStats carries the answer and the parallel cost of one query.
+type QueryStats struct {
+	// Dist is the distance estimate (InfDist when disconnected).
+	Dist Dist
+	// Levels is the query's parallel depth in synchronous rounds.
+	Levels int64
+	// Fallback reports whether the probabilistic search budget was
+	// exhausted and the deterministic fallback answered.
+	Fallback bool
+}
+
+// Query returns a (1±ε̃)-approximate s-t distance.
+func (o *DistanceOracle) Query(s, t V) (Dist, error) {
+	st, err := o.QueryStats(s, t)
+	return st.Dist, err
+}
+
+// QueryStats is Query with cost diagnostics.
+func (o *DistanceOracle) QueryStats(s, t V) (QueryStats, error) {
+	n := o.g.NumVertices()
+	if s < 0 || s >= n || t < 0 || t >= n {
+		return QueryStats{}, fmt.Errorf("spanhop: query (%d,%d) out of range n=%d", s, t, n)
+	}
+	if s == t {
+		return QueryStats{Dist: 0}, nil
+	}
+	if o.direct != nil {
+		q := o.direct.Query(s, t, nil)
+		return QueryStats{Dist: q.Dist, Levels: q.Levels, Fallback: q.Fallback}, nil
+	}
+	if o.dec == nil {
+		return QueryStats{Dist: InfDist}, nil
+	}
+	inst, is, it := o.dec.InstanceFor(s, t)
+	if inst == nil {
+		return QueryStats{Dist: InfDist}, nil
+	}
+	if is == it {
+		return QueryStats{Dist: 0}, nil
+	}
+	q := o.instances[inst.Level].Query(is, it, nil)
+	return QueryStats{Dist: q.Dist, Levels: q.Levels, Fallback: q.Fallback}, nil
+}
+
+// ExactDistance runs exact Dijkstra on the base graph (ground truth
+// for tests and benchmarks).
+func (o *DistanceOracle) ExactDistance(s, t V) Dist {
+	res := ShortestPaths(o.g, s)
+	return res.Dist[t]
+}
