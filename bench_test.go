@@ -383,6 +383,104 @@ func BenchmarkConcurrentBFS(b *testing.B) {
 	})
 }
 
+// BenchmarkWeightedSSSP is the weighted "does the PRAM model translate
+// to cores" check: sequential Dijkstra and Dial versus the goroutine
+// Δ-stepping on the generator families, at the current GOMAXPROCS.
+// On a multicore host Δ-stepping should win wall-clock on the large
+// graphs; distances are identical across all three (differential
+// tests assert it), so this benchmark is purely about speed.
+func BenchmarkWeightedSSSP(b *testing.B) {
+	cases := []struct {
+		name string
+		g    *Graph
+	}{
+		{"gnm-n=1e5-m=8e5", WithUniformWeights(RandomGraph(100_000, 800_000, 7), 64, 8)},
+		{"grid-400x400", WithUniformWeights(GridGraph(400, 400), 32, 9)},
+		{"rmat-s=16-m=5e5", WithUniformWeights(RMATGraph(16, 500_000, 10), 64, 11)},
+	}
+	for _, tc := range cases {
+		b.Run(tc.name+"/dijkstra", func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				ShortestPaths(tc.g, 0)
+			}
+		})
+		b.Run(tc.name+"/dial", func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				WeightedParallelBFS(tc.g, 0, nil)
+			}
+		})
+		b.Run(tc.name+"/deltastep", func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				ParallelShortestPaths(tc.g, 0, nil)
+			}
+		})
+	}
+}
+
+// BenchmarkESTClusterParallel contrasts the sequential bucket race
+// against the goroutine bucket expansion (identical output).
+func BenchmarkESTClusterParallel(b *testing.B) {
+	g := WithUniformWeights(RandomGraph(100_000, 400_000, 31), 16, 32)
+	b.Run("sequential", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			ESTCluster(g, 0.1, uint64(i))
+		}
+	})
+	b.Run("goroutines", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			ESTClusterParallel(g, 0.1, uint64(i), nil)
+		}
+	})
+}
+
+// BenchmarkHopLimitedParallel contrasts sequential and concurrent
+// Bellman–Ford rounds (the Definition 2.4 query primitive).
+func BenchmarkHopLimitedParallel(b *testing.B) {
+	g := WithUniformWeights(RandomGraph(50_000, 400_000, 41), 20, 42)
+	const hops = 8
+	b.Run("sequential", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			HopLimitedDistances(g, nil, 0, hops)
+		}
+	})
+	b.Run("goroutines", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			ParallelHopLimitedDistances(g, nil, 0, hops)
+		}
+	})
+}
+
+// BenchmarkOracleQueryBatch measures serving throughput: a fixed batch
+// answered serially versus fanned across goroutines.
+func BenchmarkOracleQueryBatch(b *testing.B) {
+	g := WithUniformWeights(GridGraph(50, 50), 500, 1)
+	o := NewDistanceOracle(g, 0.25, 2)
+	n := g.NumVertices()
+	var pairs [][2]V
+	for i := V(0); i < 64; i++ {
+		pairs = append(pairs, [2]V{(i * 37) % n, (n - 1 - i*53%n) % n})
+	}
+	if _, err := o.QueryBatch(pairs); err != nil { // warm caches
+		b.Fatal(err)
+	}
+	b.Run("serial", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			for _, p := range pairs {
+				if _, err := o.QueryStats(p[0], p[1]); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+	})
+	b.Run("batch", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := o.QueryBatch(pairs); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
 func reportStats(b *testing.B, rows []experiments.StatRow) {
 	b.Helper()
 	ok := 0

@@ -72,6 +72,54 @@ func ExampleNewDistanceOracle() {
 	// tight: true
 }
 
+// ExampleParallelShortestPaths shows the multicore Δ-stepping SSSP:
+// distances are bit-identical to the sequential Dijkstra reference
+// while the frontier expands on goroutines.
+func ExampleParallelShortestPaths() {
+	g := spanhop.WithUniformWeights(spanhop.GridGraph(40, 40), 9, 3)
+	par := spanhop.ParallelShortestPaths(g, 0, nil)
+	seq := spanhop.ShortestPaths(g, 0)
+	same := true
+	for v := range par.Dist {
+		if par.Dist[v] != seq.Dist[v] {
+			same = false
+		}
+	}
+	fmt.Println("matches Dijkstra:", same)
+	fmt.Println("far corner reached:", par.Reached(g.NumVertices()-1))
+	// Output:
+	// matches Dijkstra: true
+	// far corner reached: true
+}
+
+// ExampleDistanceOracle_QueryBatch serves a batch of (1+ε)-approximate
+// distance queries, fanned across goroutines after one preprocessing.
+func ExampleDistanceOracle_QueryBatch() {
+	g := spanhop.WithUniformWeights(spanhop.GridGraph(20, 20), 50, 5)
+	oracle := spanhop.NewDistanceOracle(g, 0.25, 6)
+	pairs := [][2]spanhop.V{
+		{0, g.NumVertices() - 1},
+		{0, 19},
+		{5, 5},
+	}
+	stats, err := oracle.QueryBatch(pairs)
+	fmt.Println("err:", err)
+	sound := true
+	for i, st := range stats {
+		if st.Dist < oracle.ExactDistance(pairs[i][0], pairs[i][1]) {
+			sound = false
+		}
+	}
+	fmt.Println("answers:", len(stats))
+	fmt.Println("all sound:", sound)
+	fmt.Println("self query:", stats[2].Dist)
+	// Output:
+	// err: <nil>
+	// answers: 3
+	// all sound: true
+	// self query: 0
+}
+
 // ExampleNewCost shows PRAM work/depth accounting.
 func ExampleNewCost() {
 	g := spanhop.GridGraph(32, 32)

@@ -33,6 +33,7 @@ import (
 	"fmt"
 	"math"
 	"sort"
+	"sync/atomic"
 
 	"repro/internal/graph"
 	"repro/internal/par"
@@ -55,10 +56,22 @@ type Options struct {
 	// clusters quotient graphs "with uniform edge weights"; this flag
 	// implements that without copying the graph.
 	UnitWeights bool
+	// Parallel expands every bucket of the race with concurrent
+	// goroutines (the CRCW frontier step of Appendix A realized on
+	// cores). The output — centers, parents, distances, groupings — is
+	// bit-identical to the sequential race: settlements write disjoint
+	// vertices, and generated claims are merged back in deterministic
+	// winner order before the next bucket resolves.
+	Parallel bool
 }
 
+// admits loads the mark atomically for the same reason sssp.Options
+// does: sibling hopset subtrees re-mark their own descendants while
+// this subtree's race reads boundary neighbors' marks. The values
+// racing past are other subtrees' tokens, never ours, so the decision
+// is deterministic; the atomic load just makes the overlap defined.
 func (o *Options) admits(v graph.V) bool {
-	return o.Mark == nil || o.Mark[v] == o.Token
+	return o.Mark == nil || atomic.LoadInt32(&o.Mark[v]) == o.Token
 }
 
 func (o *Options) weight(wts []graph.W, i int) graph.W {
@@ -123,6 +136,13 @@ type wake struct {
 	frac float64
 }
 
+// timedClaim buffers a claim with its target bucket during parallel
+// expansion, before the sequential merge into the bucket array.
+type timedClaim struct {
+	c claim
+	t graph.Dist
+}
+
 // Cluster runs EST clustering on g (or the subset in opt) with
 // parameter beta, using randomness derived from seed. It panics on
 // beta <= 0; every other input is handled.
@@ -181,8 +201,10 @@ func Cluster(g *graph.Graph, beta float64, seed uint64, opt Options) *Result {
 
 	// settledAt[v] is the integer arrival bucket at settlement; used
 	// to compute DistToCenter (the shared fractional parts cancel).
-	settledAt := make(map[graph.V]graph.Dist, len(subset))
-	startAt := make(map[graph.V]graph.Dist, len(subset))
+	// Dense arrays rather than maps so the parallel expansion can
+	// write settlements for distinct vertices without synchronization.
+	settledAt := make([]graph.Dist, n)
+	startAt := make([]graph.Dist, n)
 
 	var buckets [][]claim
 	pending := 0
@@ -251,7 +273,16 @@ func Cluster(g *graph.Graph, beta float64, seed uint64, opt Options) *Result {
 			}
 			winners = append(winners, b[i])
 		}
-		var touched int64
+		// Settle the winners first (disjoint vertices, cheap writes),
+		// then expand their adjacency. Settling up front means the
+		// expansion never emits a claim for a vertex settled in this
+		// same bucket — such claims were filtered at resolution anyway,
+		// so the clustering is unchanged, and it is what lets the
+		// expansion run concurrently: during the scan nothing writes.
+		// (Suppressing those dead claims does shave the work recorded
+		// for later buckets' `len(b)` terms relative to the historical
+		// interleaved loop — the model cost of useless claims that were
+		// never part of the paper's accounting.)
 		for _, c := range winners {
 			res.Center[c.v] = c.center
 			res.Parent[c.v] = c.parent
@@ -260,14 +291,52 @@ func Cluster(g *graph.Graph, beta float64, seed uint64, opt Options) *Result {
 				startAt[c.center] = t
 			}
 			settledCount++
-			adj := g.Neighbors(c.v)
-			wts := g.AdjWeights(c.v)
-			for i, u := range adj {
-				touched++
-				if !opt.admits(u) || res.Center[u] != graph.NoVertex {
-					continue
+		}
+		var touched int64
+		// Buckets below the chunk grain would run inline anyway; the
+		// direct push loop skips their per-winner buffer allocations.
+		if opt.Parallel && len(winners) > 16 {
+			// One concurrent frontier round (the Appendix A CRCW step on
+			// real cores): winners expand side by side, buffering claims
+			// per winner; buffers merge back in winner order, so bucket
+			// contents — and therefore the whole race — stay
+			// bit-identical to the sequential path.
+			perWinner := make([][]timedClaim, len(winners))
+			counts := make([]int64, len(winners))
+			par.For(len(winners), 16, func(lo, hi int) {
+				for i := lo; i < hi; i++ {
+					c := winners[i]
+					adj := g.Neighbors(c.v)
+					wts := g.AdjWeights(c.v)
+					for j, u := range adj {
+						counts[i]++
+						if !opt.admits(u) || res.Center[u] != graph.NoVertex {
+							continue
+						}
+						perWinner[i] = append(perWinner[i], timedClaim{
+							c: claim{v: u, center: c.center, parent: c.v, frac: c.frac},
+							t: t + opt.weight(wts, j),
+						})
+					}
 				}
-				push(claim{v: u, center: c.center, parent: c.v, frac: c.frac}, t+opt.weight(wts, i))
+			})
+			for i := range perWinner {
+				touched += counts[i]
+				for _, tc := range perWinner[i] {
+					push(tc.c, tc.t)
+				}
+			}
+		} else {
+			for _, c := range winners {
+				adj := g.Neighbors(c.v)
+				wts := g.AdjWeights(c.v)
+				for i, u := range adj {
+					touched++
+					if !opt.admits(u) || res.Center[u] != graph.NoVertex {
+						continue
+					}
+					push(claim{v: u, center: c.center, parent: c.v, frac: c.frac}, t+opt.weight(wts, i))
+				}
 			}
 		}
 		opt.Cost.AddWork(touched + int64(len(b)))
@@ -296,7 +365,9 @@ func newResult(n int32) *Result {
 }
 
 // finishResult computes DistToCenter and the dense cluster grouping.
-func finishResult(res *Result, subset []graph.V, settledAt, startAt map[graph.V]graph.Dist) {
+// settledAt/startAt are dense per-vertex arrays; only entries for the
+// clustered subset (and its centers) are meaningful.
+func finishResult(res *Result, subset []graph.V, settledAt, startAt []graph.Dist) {
 	for _, v := range subset {
 		c := res.Center[v]
 		res.DistToCenter[v] = settledAt[v] - startAt[c]
@@ -384,14 +455,14 @@ func ClusterReference(g *graph.Graph, beta float64, seed uint64, opt Options) *R
 		pq = pq[:len(pq)-1]
 		return e
 	}
-	startAt := make(map[graph.V]graph.Dist, len(subset))
+	startAt := make([]graph.Dist, n)
 	for _, v := range subset {
 		s := deltaMax - res.Shifts[v]
 		t := math.Floor(s)
 		startAt[v] = graph.Dist(t)
 		pq = append(pq, entry{intPart: graph.Dist(t), frac: s - t, v: v, center: v, parent: graph.NoVertex})
 	}
-	settledAt := make(map[graph.V]graph.Dist, len(subset))
+	settledAt := make([]graph.Dist, n)
 	settled := 0
 	for settled < len(subset) && len(pq) > 0 {
 		e := popMin()
@@ -411,15 +482,9 @@ func ClusterReference(g *graph.Graph, beta float64, seed uint64, opt Options) *R
 			pq = append(pq, entry{intPart: e.intPart + opt.weight(wts, i), frac: e.frac, v: u, center: e.center, parent: e.v})
 		}
 	}
-	// Keep only the start times of actual centers so finishResult's
-	// lookup matches Cluster's bookkeeping.
-	starts := make(map[graph.V]graph.Dist, len(subset))
-	for _, v := range subset {
-		if res.Center[v] == v {
-			starts[v] = startAt[v]
-		}
-	}
-	finishResult(res, subset, settledAt, starts)
+	// finishResult only consults startAt for actual centers, so the
+	// full start-time array matches Cluster's bookkeeping.
+	finishResult(res, subset, settledAt, startAt)
 	return res
 }
 

@@ -125,6 +125,7 @@ func (b *builder) recurse(subset []graph.V, token int32, beta float64, level int
 		Vertices: subset,
 		Mark:     b.mark,
 		Token:    token,
+		Parallel: b.p.Parallel,
 	})
 
 	var out []graph.Edge
@@ -203,10 +204,14 @@ func (b *builder) recurse(subset []graph.V, token int32, beta float64, level int
 	for i := range recurseOn {
 		childSeeds[i] = r.Uint64()
 		childTokens[i] = b.nextToken()
-		// Mark before spawning so each child only ever writes marks
-		// for its own grandchildren.
+		// Mark before spawning so each child only ever writes marks for
+		// its own grandchildren. The store is atomic because a sibling
+		// subtree (spawned by an ancestor's DoN) may concurrently read
+		// this entry through a boundary neighbor's admits() check; it
+		// observes either token, both foreign to it, so its decision is
+		// unchanged.
 		for _, v := range recurseOn[i] {
-			b.mark[v] = childTokens[i]
+			atomic.StoreInt32(&b.mark[v], childTokens[i])
 		}
 		childCosts[i] = par.NewCost()
 	}
@@ -298,10 +303,11 @@ func (b *builder) cliqueEdges(clus *core.Result, largeIdx []int, token int32, co
 	par.DoN(len(centers), func(i int) {
 		costs[i] = par.NewCost()
 		src := centers[i]
-		res := sssp.Dial(b.gWork, []graph.V{src}, sssp.Options{
-			Cost:  costs[i],
-			Mark:  b.mark,
-			Token: token,
+		res := sssp.Weighted(b.gWork, []graph.V{src}, sssp.Options{
+			Cost:     costs[i],
+			Mark:     b.mark,
+			Token:    token,
+			Parallel: b.p.Parallel,
 		})
 		var es []graph.Edge
 		for j := i + 1; j < len(centers); j++ {

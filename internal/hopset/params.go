@@ -49,6 +49,16 @@ type Params struct {
 	MinFinal int
 	// Seed drives all randomness.
 	Seed uint64
+	// Parallel runs the construction's hot loops on actual goroutines:
+	// every clustering bucket expands concurrently (core.Options.
+	// Parallel) and the center-to-center clique searches use Δ-stepping
+	// instead of the sequential Dial (sssp.Options.Parallel). The
+	// clustering — and hence the recursion tree, star edges, and which
+	// center pairs get clique edges — is bit-identical to the
+	// sequential build; clique edge weights may differ within the same
+	// shortest-path metric when the rounded graph admits several
+	// shortest trees (any raced path is a valid Definition 2.4 edge).
+	Parallel bool
 }
 
 // DefaultParams returns the parameter point used by most experiments:

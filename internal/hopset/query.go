@@ -159,22 +159,23 @@ func (s *Scaled) Query(src, dst graph.V, cost *par.Cost) QueryResult {
 }
 
 // roundedAugmented returns (and caches) the augmented graph rounded to
-// multiples of qHat. qHat = 1 shares the plain augmented graph.
+// multiples of qHat. qHat = 1 shares the plain augmented graph. The
+// O(m) build runs under the cache lock: concurrent cold queries (the
+// oracle's QueryBatch fan-out) hitting the same handful of qHat values
+// then build each rounded graph once instead of once per goroutine —
+// brief serialization beats duplicated builds and peak memory.
 func (s *Scaled) roundedAugmented(qHat graph.W) *graph.Graph {
 	if qHat <= 1 {
 		return s.Augmented()
 	}
+	aug := s.Augmented()
 	s.mu.Lock()
+	defer s.mu.Unlock()
 	if g, ok := s.roundedAug[qHat]; ok {
-		s.mu.Unlock()
 		return g
 	}
-	s.mu.Unlock()
-	aug := s.Augmented()
 	g := roundGraph(aug, qHat)
-	s.mu.Lock()
 	s.roundedAug[qHat] = g
-	s.mu.Unlock()
 	return g
 }
 

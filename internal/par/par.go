@@ -25,6 +25,34 @@
 //
 // All methods are safe for concurrent use and are no-ops on a nil
 // receiver, so cost tracking can be switched off by passing nil.
+//
+// # Conventions for goroutine-parallel routines
+//
+// Routines that realize the model on actual cores (sssp.BFSParallel,
+// sssp.DeltaStepping, sssp.HopLimitedParallel, the Parallel modes of
+// core.Cluster and the spanner/hopset builders) account cost by the
+// model, not by the machine:
+//
+//   - One synchronous frontier phase — a BFS level, a Δ-stepping light
+//     iteration or heavy relaxation, a Bellman–Ford round, a cluster
+//     bucket expansion — is one depth unit (Cost.Round), regardless of
+//     how many goroutines executed it or what GOMAXPROCS was.
+//   - Work counts primitive operations (edge scans, relaxations,
+//     settlements) by the same rule as the sequential implementations:
+//     a CAS relaxation is one work unit whether it wins or loses.
+//     Deterministic-schedule routines (core.Cluster, the spanner
+//     builders) therefore report work identical to their sequential
+//     mode; label-correcting ones (DeltaStepping) count their
+//     re-relaxations too, which is real extra work the Δ parameter
+//     trades against depth.
+//   - Coordination overhead — goroutine scheduling, worker-local
+//     buffer merges, the CAS retry loop — is machine detail outside
+//     the model and is never recorded.
+//
+// Consequently a routine reports the same (work, depth) whether its
+// Parallel knob is on or off; only wall-clock changes. Benchmarks
+// (BenchmarkWeightedSSSP and friends) measure the wall-clock side —
+// the "does the PRAM model translate to cores" check.
 package par
 
 import (
@@ -127,14 +155,23 @@ func (c *Cost) Snapshot() (work, depth int64) {
 // Workers returns the degree of parallelism used by For and friends.
 func Workers() int { return runtime.GOMAXPROCS(0) }
 
-// minGrain is the smallest chunk worth shipping to another goroutine;
-// below this For runs inline to avoid scheduling overhead dominating.
+// minGrain is the smallest range worth shipping to other goroutines
+// when the caller lets For pick the grain; below this For runs inline
+// to avoid scheduling overhead dominating cheap per-element bodies
+// (the reductions below). It deliberately does NOT apply to explicit
+// grains: a caller that names a chunk size is asserting that chunks
+// of that size carry enough work (an adjacency scan, an edge
+// relaxation batch) to be worth a goroutine — frontier expansions of
+// a few hundred vertices must still fan out.
 const minGrain = 512
 
 // For executes body(lo, hi) over a partition of [0, n) using up to
 // Workers() goroutines. body must be safe to call concurrently on
 // disjoint ranges. grain is the target chunk size; pass 0 for an
-// automatic choice. For blocks until all chunks complete.
+// automatic choice (which also applies a minGrain cutoff suited to
+// cheap bodies). An explicit grain > 0 is authoritative: For fans out
+// whenever n exceeds it, however small n is. For blocks until all
+// chunks complete.
 //
 // For models one parallel step: callers that want the step accounted
 // should call cost.AddDepth(1) (or Round) themselves, since only the
@@ -145,9 +182,13 @@ func For(n, grain int, body func(lo, hi int)) {
 	}
 	p := Workers()
 	if grain <= 0 {
+		if n <= minGrain {
+			body(0, n)
+			return
+		}
 		grain = n/(4*p) + 1
 	}
-	if p == 1 || n <= minGrain || n <= grain {
+	if p == 1 || n <= grain {
 		body(0, n)
 		return
 	}

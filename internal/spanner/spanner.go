@@ -23,6 +23,8 @@ import (
 	"fmt"
 	"math"
 	"sort"
+	"sync"
+	"sync/atomic"
 
 	"repro/internal/core"
 	"repro/internal/graph"
@@ -30,6 +32,19 @@ import (
 	"repro/internal/rng"
 	"repro/internal/ufind"
 )
+
+// Options configure a spanner construction.
+type Options struct {
+	// Cost accumulates PRAM work/depth; may be nil.
+	Cost *par.Cost
+	// Parallel runs the construction's hot loops on goroutines: the
+	// EST clustering race expands buckets concurrently and the
+	// boundary-edge selection sweeps vertices in parallel chunks. The
+	// resulting edge set is identical to the sequential construction
+	// (the clustering is bit-identical and per-vertex boundary choices
+	// are independent; the id list is canonicalized by sorting).
+	Parallel bool
+}
 
 // Result is a spanner: a subset of the input graph's canonical edge
 // ids, plus diagnostics.
@@ -68,10 +83,16 @@ func betaFor(n int32, k int) float64 {
 // any, are ignored (every edge counts as 1), matching the paper's
 // unweighted setting. k must be ≥ 1.
 func Unweighted(g *graph.Graph, k int, seed uint64, cost *par.Cost) *Result {
+	return UnweightedOpts(g, k, seed, Options{Cost: cost})
+}
+
+// UnweightedOpts is Unweighted with the full option set (notably
+// Options.Parallel for multicore execution).
+func UnweightedOpts(g *graph.Graph, k int, seed uint64, opt Options) *Result {
 	if k < 1 {
 		panic(fmt.Sprintf("spanner: k = %d", k))
 	}
-	ids, clus := unweightedStep(g, k, seed, cost)
+	ids, clus := unweightedStep(g, k, seed, opt)
 	sortIDs(ids)
 	return &Result{EdgeIDs: ids, Clustering: clus, Levels: 1}
 }
@@ -80,41 +101,61 @@ func Unweighted(g *graph.Graph, k int, seed uint64, cost *par.Cost) *Result {
 // shared by Unweighted and WellSeparated: cluster g with unit weights,
 // keep the forest, and add one edge per (boundary vertex, adjacent
 // cluster) pair. Returns edge ids of g (unsorted, duplicate-free).
-func unweightedStep(g *graph.Graph, k int, seed uint64, cost *par.Cost) ([]int32, *core.Result) {
+func unweightedStep(g *graph.Graph, k int, seed uint64, opt Options) ([]int32, *core.Result) {
+	cost := opt.Cost
 	n := g.NumVertices()
 	if n == 0 || g.NumEdges() == 0 {
 		return nil, core.Cluster(g, 1, seed, core.Options{Cost: cost})
 	}
 	beta := betaFor(n, k)
-	clus := core.Cluster(g, beta, seed, core.Options{Cost: cost, UnitWeights: true})
+	clus := core.Cluster(g, beta, seed, core.Options{
+		Cost: cost, UnitWeights: true, Parallel: opt.Parallel,
+	})
 	ids := core.ForestEdges(g, clus)
 
 	// Boundary edges: per vertex, the lightest edge to each adjacent
 	// foreign cluster (Algorithm 2 line 2). One parallel round over
-	// vertices in the model.
-	var boundaryWork int64
-	best := map[int32]int32{} // adjacent cluster -> edge id, reused
-	for v := graph.V(0); v < n; v++ {
-		adj := g.Neighbors(v)
-		eids := g.AdjEdgeIDs(v)
-		cv := clus.ClusterOf[v]
-		clear(best)
-		for i, u := range adj {
-			boundaryWork++
-			cu := clus.ClusterOf[u]
-			if cu == cv {
-				continue
+	// vertices in the model; with opt.Parallel the sweep runs on
+	// goroutine chunks (per-vertex choices are independent, and
+	// dedupeIDs sorts, so the output does not depend on merge order).
+	var boundaryWork atomic.Int64
+	var mu sync.Mutex
+	collect := func(lo, hi int) {
+		var local []int32
+		var work int64
+		best := map[int32]int32{} // adjacent cluster -> edge id, reused
+		for vi := lo; vi < hi; vi++ {
+			v := graph.V(vi)
+			adj := g.Neighbors(v)
+			eids := g.AdjEdgeIDs(v)
+			cv := clus.ClusterOf[v]
+			clear(best)
+			for i, u := range adj {
+				work++
+				cu := clus.ClusterOf[u]
+				if cu == cv {
+					continue
+				}
+				e := eids[i]
+				if prev, ok := best[cu]; !ok || better(g, e, prev) {
+					best[cu] = e
+				}
 			}
-			e := eids[i]
-			if prev, ok := best[cu]; !ok || better(g, e, prev) {
-				best[cu] = e
+			for _, e := range best {
+				local = append(local, e)
 			}
 		}
-		for _, e := range best {
-			ids = append(ids, e)
-		}
+		boundaryWork.Add(work)
+		mu.Lock()
+		ids = append(ids, local...)
+		mu.Unlock()
 	}
-	cost.AddWork(boundaryWork)
+	if opt.Parallel {
+		par.For(int(n), 1024, collect)
+	} else {
+		collect(0, int(n))
+	}
+	cost.AddWork(boundaryWork.Load())
 	cost.AddDepth(1)
 	return dedupeIDs(ids), clus
 }
@@ -175,6 +216,11 @@ func numGroups(k int) int {
 // separated (consecutive non-empty buckets differ by ≥ k^c; the caller
 // guarantees this by construction). It returns spanner edge ids of g.
 func WellSeparated(g *graph.Graph, groupEdges []int32, k int, seed uint64, cost *par.Cost) []int32 {
+	return wellSeparated(g, groupEdges, k, seed, Options{Cost: cost})
+}
+
+func wellSeparated(g *graph.Graph, groupEdges []int32, k int, seed uint64, opt Options) []int32 {
+	cost := opt.Cost
 	if len(groupEdges) == 0 {
 		return nil
 	}
@@ -212,7 +258,7 @@ func WellSeparated(g *graph.Graph, groupEdges []int32, k int, seed uint64, cost 
 		}
 		// Cluster Γ_i with uniform weights and collect forest +
 		// boundary edges, mapped back to g's edge ids.
-		gammaIDs, clus := unweightedStep(gamma, k, r.Uint64(), cost)
+		gammaIDs, clus := unweightedStep(gamma, k, r.Uint64(), opt)
 		for _, ge := range gammaIDs {
 			// gamma -> bucketG -> g.
 			out = append(out, bucketIDs[gamma.OrigEdgeID(ge)])
@@ -236,11 +282,19 @@ func WellSeparated(g *graph.Graph, groupEdges []int32, k int, seed uint64, cost 
 // PRAM model they run side by side, which the cost accounting reflects
 // with JoinMax.
 func Weighted(g *graph.Graph, k int, seed uint64, cost *par.Cost) *Result {
+	return WeightedOpts(g, k, seed, Options{Cost: cost})
+}
+
+// WeightedOpts is Weighted with the full option set. With
+// Options.Parallel the O(log k) well-separated groups — independent by
+// construction, side by side in the model — also run on their own
+// goroutines, each with parallel clustering inside.
+func WeightedOpts(g *graph.Graph, k int, seed uint64, opt Options) *Result {
 	if k < 1 {
 		panic(fmt.Sprintf("spanner: k = %d", k))
 	}
 	if !g.Weighted() {
-		return Unweighted(g, k, seed, cost)
+		return UnweightedOpts(g, k, seed, opt)
 	}
 	groups := numGroups(k)
 	minW := g.MinWeight()
@@ -251,14 +305,28 @@ func Weighted(g *graph.Graph, k int, seed uint64, cost *par.Cost) *Result {
 	}
 	r := rng.New(seed)
 	costs := make([]*par.Cost, groups)
-	var all []int32
-	levels := 0
+	seeds := make([]uint64, groups)
 	for j := 0; j < groups; j++ {
 		costs[j] = par.NewCost()
-		ids := WellSeparated(g, groupEdges[j], k, r.Uint64(), costs[j])
-		all = append(all, ids...)
-		levels++
+		seeds[j] = r.Uint64()
 	}
-	cost.JoinMax(costs...)
-	return &Result{EdgeIDs: dedupeIDs(all), Levels: levels}
+	perGroup := make([][]int32, groups)
+	runGroup := func(j int) {
+		gOpt := opt
+		gOpt.Cost = costs[j]
+		perGroup[j] = wellSeparated(g, groupEdges[j], k, seeds[j], gOpt)
+	}
+	if opt.Parallel {
+		par.DoN(groups, runGroup)
+	} else {
+		for j := 0; j < groups; j++ {
+			runGroup(j)
+		}
+	}
+	var all []int32
+	for j := 0; j < groups; j++ {
+		all = append(all, perGroup[j]...)
+	}
+	opt.Cost.JoinMax(costs...)
+	return &Result{EdgeIDs: dedupeIDs(all), Levels: groups}
 }

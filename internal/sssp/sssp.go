@@ -19,6 +19,7 @@ package sssp
 import (
 	"container/heap"
 	"fmt"
+	"sync/atomic"
 
 	"repro/internal/graph"
 	"repro/internal/par"
@@ -35,10 +36,25 @@ type Options struct {
 	// Mark[v] == Token. A nil Mark admits every vertex.
 	Mark  []int32
 	Token int32
+	// Parallel selects the multicore implementation in the Weighted
+	// dispatcher: Δ-stepping instead of the sequential Dial. The
+	// sequential paths remain the reference oracles for differential
+	// tests; distances are identical either way.
+	Parallel bool
+	// Delta overrides the Δ-stepping bucket width (0 = the
+	// Meyer–Sanders default maxW/avgDegree). Ignored by the other
+	// searches.
+	Delta graph.W
 }
 
+// admits loads the mark atomically: the hopset recursion runs sibling
+// subtrees concurrently, and a subtree's search may read the mark of a
+// boundary neighbor owned by a sibling that is re-marking its own
+// descendants. Every concurrently-written value is some other
+// subtree's token, so the admit/reject decision is unaffected; the
+// atomic load makes that benign overlap well-defined.
 func (o *Options) admits(v graph.V) bool {
-	return o.Mark == nil || o.Mark[v] == o.Token
+	return o.Mark == nil || atomic.LoadInt32(&o.Mark[v]) == o.Token
 }
 
 func (o *Options) bound() graph.Dist {
@@ -295,6 +311,20 @@ func (h *distHeap) Pop() interface{} {
 	x := old[n-1]
 	*h = old[:n-1]
 	return x
+}
+
+// Weighted dispatches a weighted multi-source SSSP on the Options
+// knob: Δ-stepping with goroutine frontier expansion when
+// opt.Parallel, the sequential Dial bucket race otherwise. Distances
+// are identical either way (both are exact); parent trees may differ
+// (any certifying tree is valid). Layers that consume weighted
+// searches — the hopset recursion, the oracle query engine — call
+// this so one flag flips the whole stack to multicore execution.
+func Weighted(g *graph.Graph, sources []graph.V, opt Options) *Result {
+	if opt.Parallel {
+		return DeltaStepping(g, sources, opt)
+	}
+	return Dial(g, sources, opt)
 }
 
 // HopLimited computes h-hop-limited distances dist^h_{E ∪ extra}(s, ·)

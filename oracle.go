@@ -138,6 +138,28 @@ func (o *DistanceOracle) QueryStats(s, t V) (QueryStats, error) {
 	return QueryStats{Dist: q.Dist, Levels: q.Levels, Fallback: q.Fallback}, nil
 }
 
+// QueryBatch answers many s-t queries, fanning them across goroutines
+// (bounded by par.Workers()). The oracle is read-mostly after
+// preprocessing — the only mutation is the mutex-guarded rounded-graph
+// cache — so queries run concurrently without coordination; this is
+// the serving shape of the Theorem 1.2 pipeline: preprocess once,
+// answer query traffic in parallel. Results are positionally aligned
+// with pairs and identical to issuing each Query sequentially. The
+// first invalid pair reported by index order fails the whole batch.
+func (o *DistanceOracle) QueryBatch(pairs [][2]V) ([]QueryStats, error) {
+	out := make([]QueryStats, len(pairs))
+	errs := make([]error, len(pairs))
+	par.DoN(len(pairs), func(i int) {
+		out[i], errs[i] = o.QueryStats(pairs[i][0], pairs[i][1])
+	})
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
 // ExactDistance runs exact Dijkstra on the base graph (ground truth
 // for tests and benchmarks).
 func (o *DistanceOracle) ExactDistance(s, t V) Dist {

@@ -1,0 +1,117 @@
+package spanhop
+
+import (
+	"runtime"
+	"testing"
+)
+
+func withProcs(t *testing.T, p int, body func()) {
+	t.Helper()
+	old := runtime.GOMAXPROCS(p)
+	defer runtime.GOMAXPROCS(old)
+	body()
+}
+
+// TestQueryBatchMatchesSerial: the fanned batch must return exactly
+// what issuing each query alone returns, and concurrent queries must
+// not corrupt the oracle's lazy caches (run under -race in CI).
+func TestQueryBatchMatchesSerial(t *testing.T) {
+	withProcs(t, 4, func() {
+		g := WithUniformWeights(GridGraph(25, 25), 200, 11)
+		o := NewDistanceOracle(g, 0.25, 12)
+		n := g.NumVertices()
+		var pairs [][2]V
+		for i := V(0); i < 40; i++ {
+			pairs = append(pairs, [2]V{i * 7 % n, n - 1 - (i*13)%n})
+		}
+		batch, err := o.QueryBatch(pairs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, p := range pairs {
+			st, err := o.QueryStats(p[0], p[1])
+			if err != nil {
+				t.Fatal(err)
+			}
+			if st.Dist != batch[i].Dist {
+				t.Fatalf("pair %d (%d,%d): batch %d vs serial %d",
+					i, p[0], p[1], batch[i].Dist, st.Dist)
+			}
+		}
+	})
+}
+
+// TestQueryBatchDecomposed exercises the Appendix B routing path (huge
+// weight ratio forces the weight-class decomposition) under fan-out.
+func TestQueryBatchDecomposed(t *testing.T) {
+	withProcs(t, 4, func() {
+		g := WithMultiScaleWeights(RandomGraph(150, 600, 13), 4, 25, 14)
+		o := NewDistanceOracle(g, 0.3, 15)
+		if !o.Decomposed() {
+			t.Skip("weight ratio did not trigger decomposition")
+		}
+		pairs := [][2]V{{0, 149}, {3, 77}, {10, 10}, {149, 0}}
+		batch, err := o.QueryBatch(pairs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, p := range pairs {
+			st, _ := o.QueryStats(p[0], p[1])
+			if st.Dist != batch[i].Dist {
+				t.Fatalf("pair %d: batch %d vs serial %d", i, batch[i].Dist, st.Dist)
+			}
+		}
+	})
+}
+
+func TestQueryBatchRejectsOutOfRange(t *testing.T) {
+	g := GridGraph(5, 5)
+	o := NewDistanceOracle(g, 0.25, 1)
+	if _, err := o.QueryBatch([][2]V{{0, 3}, {0, 99}}); err == nil {
+		t.Fatal("out-of-range pair not rejected")
+	}
+}
+
+// TestFacadeParallelVariantsAgree pins the facade-level contract: the
+// parallel entry points return the same distances / edge sets /
+// clusterings as their sequential oracles.
+func TestFacadeParallelVariantsAgree(t *testing.T) {
+	withProcs(t, 4, func() {
+		g := WithUniformWeights(RandomGraph(2000, 8000, 21), 30, 22)
+
+		ds := ParallelShortestPaths(g, 0, nil)
+		dj := ShortestPaths(g, 0)
+		for v := range ds.Dist {
+			if ds.Dist[v] != dj.Dist[v] {
+				t.Fatalf("Δ-stepping dist[%d] = %d, want %d", v, ds.Dist[v], dj.Dist[v])
+			}
+		}
+
+		cp := ESTClusterParallel(g, 0.2, 23, nil)
+		cs := ESTCluster(g, 0.2, 23)
+		for v := range cs.Center {
+			if cp.Center[v] != cs.Center[v] {
+				t.Fatalf("parallel clustering diverged at %d", v)
+			}
+		}
+
+		sp := UnweightedSpannerParallel(g, 3, 24, nil)
+		ss := UnweightedSpanner(g, 3, 24)
+		if len(sp.EdgeIDs) != len(ss.EdgeIDs) {
+			t.Fatalf("spanner sizes diverged: %d vs %d", len(sp.EdgeIDs), len(ss.EdgeIDs))
+		}
+		for i := range ss.EdgeIDs {
+			if sp.EdgeIDs[i] != ss.EdgeIDs[i] {
+				t.Fatalf("spanner edge %d diverged", i)
+			}
+		}
+
+		hp := ParallelHopLimitedDistances(g, nil, 0, 8)
+		hs := HopLimitedDistances(g, nil, 0, 8)
+		for v := range hs {
+			if hp[v] != hs[v] {
+				t.Fatalf("hop-limited dist diverged at %d", v)
+			}
+		}
+	})
+}

@@ -132,6 +132,14 @@ func ESTClusterWithCost(g *Graph, beta float64, seed uint64, cost *Cost) *Cluste
 	return core.Cluster(g, beta, seed, core.Options{Cost: cost})
 }
 
+// ESTClusterParallel is ESTCluster with every bucket of the race
+// expanded by concurrent goroutines — the multicore realization of the
+// CRCW frontier step. The clustering returned is bit-identical to
+// ESTCluster's for the same seed; only the wall-clock changes.
+func ESTClusterParallel(g *Graph, beta float64, seed uint64, cost *Cost) *Clustering {
+	return core.Cluster(g, beta, seed, core.Options{Cost: cost, Parallel: true})
+}
+
 // ---------------------------------------------------------------------------
 // Spanners (§3).
 
@@ -146,6 +154,13 @@ func UnweightedSpannerWithCost(g *Graph, k int, seed uint64, cost *Cost) *Spanne
 	return spanner.Unweighted(g, k, seed, cost)
 }
 
+// UnweightedSpannerParallel is UnweightedSpanner with the clustering
+// race and boundary sweep on goroutines; the edge set is identical to
+// the sequential construction for the same seed.
+func UnweightedSpannerParallel(g *Graph, k int, seed uint64, cost *Cost) *Spanner {
+	return spanner.UnweightedOpts(g, k, seed, spanner.Options{Cost: cost, Parallel: true})
+}
+
 // WeightedSpanner builds an O(k)-stretch spanner of expected size
 // O(n^{1+1/k} log k) for weighted graphs (Theorem 3.3): power-of-two
 // weight buckets dealt into O(log k) well-separated groups, each
@@ -157,6 +172,13 @@ func WeightedSpanner(g *Graph, k int, seed uint64) *Spanner {
 // WeightedSpannerWithCost is WeightedSpanner with accounting.
 func WeightedSpannerWithCost(g *Graph, k int, seed uint64, cost *Cost) *Spanner {
 	return spanner.Weighted(g, k, seed, cost)
+}
+
+// WeightedSpannerParallel is WeightedSpanner with the O(log k)
+// well-separated groups, their clustering races, and boundary sweeps
+// all running on goroutines; same edge set as WeightedSpanner.
+func WeightedSpannerParallel(g *Graph, k int, seed uint64, cost *Cost) *Spanner {
+	return spanner.WeightedOpts(g, k, seed, spanner.Options{Cost: cost, Parallel: true})
 }
 
 // BaswanaSenSpanner builds the (2k−1)-stretch baseline spanner of
@@ -259,8 +281,23 @@ func WeightedParallelBFS(g *Graph, src V, cost *Cost) *PathResult {
 	return sssp.Dial(g, []V{src}, sssp.Options{Cost: cost})
 }
 
+// ParallelShortestPaths runs Δ-stepping from src with the frontier
+// expanded by concurrent goroutines and CAS-claimed relaxations — the
+// weighted counterpart of ConcurrentBFS. Distances are exact and
+// bit-identical to ShortestPaths; wall-clock scales with GOMAXPROCS.
+func ParallelShortestPaths(g *Graph, src V, cost *Cost) *PathResult {
+	return sssp.DeltaStepping(g, []V{src}, sssp.Options{Cost: cost, Parallel: true})
+}
+
 // HopLimitedDistances returns dist^h_{E∪extra}(src, ·): the h-hop
 // limited distances of Definition 2.4, via h Bellman–Ford rounds.
 func HopLimitedDistances(g *Graph, extra []Edge, src V, hops int) []Dist {
 	return sssp.HopLimited(g, extra, []V{src}, hops, nil)
+}
+
+// ParallelHopLimitedDistances is HopLimitedDistances with every
+// Bellman–Ford round scanned by concurrent goroutines (CAS min-update
+// relaxations); the output is bit-identical.
+func ParallelHopLimitedDistances(g *Graph, extra []Edge, src V, hops int) []Dist {
+	return sssp.HopLimitedParallel(g, extra, []V{src}, hops, nil)
 }
