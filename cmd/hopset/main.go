@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	hopset -in graph.txt [-algo est|ks97|cohen|limited] [-seed N] [-queries 10] [-gamma2 0.5]
+//	hopset -in graph.txt [-algo est|ks97|cohen|limited] [-seed N] [-queries 10] [-gamma2 0.5] [-parallel]
 package main
 
 import (
@@ -26,6 +26,7 @@ func main() {
 	queries := flag.Int("queries", 10, "approximate distance queries to run (est only)")
 	gamma2 := flag.Float64("gamma2", 0.5, "top-level decomposition exponent (est only)")
 	alpha := flag.Float64("alpha", 0.5, "target depth exponent (limited only)")
+	parallel := flag.Bool("parallel", false, "run the construction's hot loops on goroutines (est only)")
 	flag.Parse()
 
 	if *in == "" {
@@ -49,6 +50,7 @@ func main() {
 	case "est":
 		wp := hopset.DefaultWeightedParams(*seed)
 		wp.Gamma2 = *gamma2
+		wp.Parallel = *parallel
 		s := hopset.BuildScaled(g, wp, cost)
 		fmt.Printf("est multi-scale hopset: %d edges over %d bands\n", s.Size(), len(s.Scales))
 		fmt.Printf("cost: work=%d depth=%d\n", cost.Work(), cost.Depth())
@@ -88,6 +90,9 @@ func main() {
 	default:
 		fmt.Fprintf(os.Stderr, "hopset: unknown algorithm %q\n", *algo)
 		os.Exit(2)
+	}
+	if *parallel && *algo != "est" {
+		fmt.Fprintln(os.Stderr, "hopset: note: -parallel only affects -algo est; baselines ran sequentially")
 	}
 }
 

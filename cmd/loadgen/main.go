@@ -1,0 +1,297 @@
+// Command loadgen replays synthetic query mixes against a running
+// spanhopd and reports client-side throughput/latency plus the
+// server's own coalescing and cache counters — the repo's end-to-end
+// serving benchmark.
+//
+// Usage:
+//
+//	loadgen -addr http://localhost:8080 \
+//	    [-graph id | -gen "er:n=4096,d=8,w=uniform"] \
+//	    [-mix uniform|hotspot|repeat] [-concurrency 16] [-requests 2000] \
+//	    [-eps 0.25] [-seed 1] [-verify]
+//
+// With -gen, loadgen registers the graph itself (id "loadgen") and
+// waits for the build. With -verify (requires -gen), it rebuilds the
+// same oracle locally — generation and preprocessing are
+// deterministic in (gen, seed, eps) — and asserts every server answer
+// is bit-identical to serial DistanceOracle.Query.
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"sort"
+	"sync"
+	"time"
+
+	spanhop "repro"
+	"repro/internal/graph"
+	"repro/internal/server"
+	"repro/internal/workload"
+)
+
+func main() {
+	addr := flag.String("addr", "http://localhost:8080", "spanhopd base URL")
+	graphID := flag.String("graph", "", "existing graph id to query")
+	gen := flag.String("gen", "", "generator spec to register and query (id \"loadgen\")")
+	mixName := flag.String("mix", "uniform", "query mix: uniform, hotspot, repeat")
+	concurrency := flag.Int("concurrency", 16, "concurrent client workers")
+	requests := flag.Int("requests", 2000, "total queries to send")
+	eps := flag.Float64("eps", 0.25, "oracle accuracy (with -gen)")
+	seed := flag.Uint64("seed", 1, "seed (with -gen; also seeds the mixes)")
+	verify := flag.Bool("verify", false, "rebuild the oracle locally and verify every answer (needs -gen)")
+	timeout := flag.Duration("timeout", 120*time.Second, "build-wait timeout")
+	flag.Parse()
+
+	if (*graphID == "") == (*gen == "") {
+		fatal(fmt.Errorf("give exactly one of -graph or -gen"))
+	}
+	if *verify && *gen == "" {
+		fatal(fmt.Errorf("-verify needs -gen (the spec to rebuild locally)"))
+	}
+
+	client := &http.Client{Timeout: 30 * time.Second}
+	id := *graphID
+	if *gen != "" {
+		id = "loadgen"
+		code, body, err := doJSON(client, "POST", *addr+"/graphs",
+			server.GraphSpec{Name: id, Gen: *gen, Eps: *eps, Seed: *seed})
+		if err != nil {
+			fatal(err)
+		}
+		// 409 duplicate = already registered by a previous run against
+		// the same daemon; querying it is fine because the build is
+		// deterministic in (gen, eps, seed).
+		if code != http.StatusAccepted && code != http.StatusConflict {
+			fatal(fmt.Errorf("POST /graphs: %d: %s", code, body))
+		}
+	}
+
+	info := waitReady(client, *addr, id, *timeout)
+	if *gen != "" {
+		// If "loadgen" already existed (409 above), it may have been
+		// registered by an earlier run with different parameters;
+		// querying — and especially -verify — would then target the
+		// wrong oracle.
+		if info.Spec.Gen != *gen || info.Spec.Eps != *eps || info.Spec.Seed != *seed {
+			fatal(fmt.Errorf("graph %q on the daemon was built from (gen=%q eps=%g seed=%d), not the requested (gen=%q eps=%g seed=%d); restart the daemon or change -gen",
+				id, info.Spec.Gen, info.Spec.Eps, info.Spec.Seed, *gen, *eps, *seed))
+		}
+	}
+	fmt.Printf("graph %s: n=%d m=%d weighted=%v hopset=%d instances=%d (built in %dms)\n",
+		id, info.N, info.M, info.Weighted, info.HopsetEdges, info.Instances, info.BuildMS)
+
+	var oracle *spanhop.DistanceOracle
+	if *verify {
+		spec, err := workload.ParseSpec(*gen, *seed)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("verify: rebuilding oracle locally (eps=%g seed=%d)...\n", *eps, *seed)
+		oracle = spanhop.NewDistanceOracle(spec.Gen(), *eps, *seed)
+	}
+
+	type sample struct {
+		lat time.Duration
+	}
+	var (
+		mu        sync.Mutex
+		samples   []sample
+		errCount  int
+		mismatch  int
+		firstErrs []string
+	)
+	if *concurrency < 1 {
+		*concurrency = 1
+	}
+	if *concurrency > *requests {
+		*concurrency = *requests
+	}
+	start := time.Now()
+	var wg sync.WaitGroup
+	for w := 0; w < *concurrency; w++ {
+		// Distribute -requests exactly: the first requests%concurrency
+		// workers take one extra.
+		perWorker := *requests / *concurrency
+		if w < *requests%*concurrency {
+			perWorker++
+		}
+		wg.Add(1)
+		go func(w, perWorker int) {
+			defer wg.Done()
+			mix, err := workload.ParseMix(*mixName, info.N, *seed+uint64(w)*0x9e3779b9)
+			if err != nil {
+				fatal(err)
+			}
+			url := fmt.Sprintf("%s/graphs/%s/query", *addr, id)
+			for i := 0; i < perWorker; i++ {
+				p := mix.Next()
+				q0 := time.Now()
+				code, body, err := doJSON(client, "POST", url,
+					map[string]any{"s": p[0], "t": p[1]})
+				lat := time.Since(q0)
+				mu.Lock()
+				if err != nil || code != http.StatusOK {
+					errCount++
+					if len(firstErrs) < 3 {
+						firstErrs = append(firstErrs,
+							fmt.Sprintf("query %v: code=%d err=%v body=%s", p, code, err, body))
+					}
+					mu.Unlock()
+					continue
+				}
+				samples = append(samples, sample{lat: lat})
+				mu.Unlock()
+				if oracle != nil {
+					var got struct {
+						Dist        graph.Dist `json:"dist"`
+						Unreachable bool       `json:"unreachable"`
+						Levels      int64      `json:"levels"`
+						Fallback    bool       `json:"fallback"`
+					}
+					if err := json.Unmarshal(body, &got); err != nil {
+						fatal(err)
+					}
+					want, err := oracle.QueryStats(p[0], p[1])
+					if err != nil {
+						fatal(err)
+					}
+					wantUnreachable := want.Dist == graph.InfDist
+					wantDist := want.Dist
+					if wantUnreachable {
+						wantDist = 0
+					}
+					if got.Dist != wantDist || got.Unreachable != wantUnreachable ||
+						got.Levels != want.Levels || got.Fallback != want.Fallback {
+						mu.Lock()
+						mismatch++
+						if len(firstErrs) < 3 {
+							firstErrs = append(firstErrs,
+								fmt.Sprintf("query %v: got %+v, want %+v", p, got, want))
+						}
+						mu.Unlock()
+					}
+				}
+			}
+		}(w, perWorker)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	sort.Slice(samples, func(i, j int) bool { return samples[i].lat < samples[j].lat })
+	quant := func(p float64) time.Duration {
+		if len(samples) == 0 {
+			return 0
+		}
+		i := int(p * float64(len(samples)))
+		if i >= len(samples) {
+			i = len(samples) - 1
+		}
+		return samples[i].lat
+	}
+	total := len(samples) + errCount
+	fmt.Printf("\n%d queries (%s mix, %d workers) in %s: %.0f q/s, %d errors\n",
+		total, *mixName, *concurrency, elapsed.Round(time.Millisecond),
+		float64(len(samples))/elapsed.Seconds(), errCount)
+	fmt.Printf("client latency: p50=%s p95=%s p99=%s max=%s\n",
+		quant(0.50).Round(time.Microsecond), quant(0.95).Round(time.Microsecond),
+		quant(0.99).Round(time.Microsecond), quant(1).Round(time.Microsecond))
+	for _, e := range firstErrs {
+		fmt.Printf("  ! %s\n", e)
+	}
+
+	// Server-side counters: did the window actually coalesce, did the
+	// cache absorb the hot set?
+	code, body, err := doJSON(client, "GET", *addr+"/stats", nil)
+	if err == nil && code == http.StatusOK {
+		var stats struct {
+			Graphs map[string]struct {
+				Requests      int64   `json:"requests"`
+				CacheHits     int64   `json:"cache_hits"`
+				Rejects       int64   `json:"rejects"`
+				Batches       int64   `json:"batches"`
+				MeanBatchSize float64 `json:"mean_batch_size"`
+				Latency       struct {
+					MeanUS float64 `json:"mean_us"`
+					P99US  int64   `json:"p99_us"`
+				} `json:"latency"`
+			} `json:"graphs"`
+		}
+		if json.Unmarshal(body, &stats) == nil {
+			if g, ok := stats.Graphs[id]; ok {
+				fmt.Printf("server: %d requests, %d batches (mean size %.2f), %d cache hits, %d rejects, service p99=%dµs\n",
+					g.Requests, g.Batches, g.MeanBatchSize, g.CacheHits, g.Rejects, g.Latency.P99US)
+			}
+		}
+	}
+
+	if oracle != nil {
+		if mismatch > 0 {
+			fatal(fmt.Errorf("%d answers differed from the serial oracle", mismatch))
+		}
+		fmt.Printf("verify: all %d answers bit-identical to serial DistanceOracle.Query\n", len(samples))
+	}
+	if errCount > 0 {
+		os.Exit(1)
+	}
+}
+
+// doJSON sends one JSON request and returns (status, body, error).
+func doJSON(client *http.Client, method, url string, payload any) (int, []byte, error) {
+	var buf bytes.Buffer
+	if payload != nil {
+		if err := json.NewEncoder(&buf).Encode(payload); err != nil {
+			return 0, nil, err
+		}
+	}
+	req, err := http.NewRequest(method, url, &buf)
+	if err != nil {
+		return 0, nil, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := client.Do(req)
+	if err != nil {
+		return 0, nil, err
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	return resp.StatusCode, body, err
+}
+
+// waitReady polls the graph until its build finishes.
+func waitReady(client *http.Client, addr, id string, timeout time.Duration) server.Info {
+	deadline := time.Now().Add(timeout)
+	for {
+		code, body, err := doJSON(client, "GET", addr+"/graphs/"+id, nil)
+		if err != nil {
+			fatal(err)
+		}
+		if code != http.StatusOK {
+			fatal(fmt.Errorf("GET /graphs/%s: %d: %s", id, code, body))
+		}
+		var info server.Info
+		if err := json.Unmarshal(body, &info); err != nil {
+			fatal(err)
+		}
+		switch info.State {
+		case server.StateReady:
+			return info
+		case server.StateFailed:
+			fatal(fmt.Errorf("build of %s failed: %s", id, info.Error))
+		}
+		if time.Now().After(deadline) {
+			fatal(fmt.Errorf("graph %s not ready after %s", id, timeout))
+		}
+		time.Sleep(100 * time.Millisecond)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "loadgen:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,114 @@
+// Command spanhopd serves DistanceOracle queries over HTTP: a
+// long-running daemon around internal/server's graph registry and
+// batching query executor.
+//
+// Usage:
+//
+//	spanhopd -addr :8080 [-load name=path]... [-gen name=spec]... \
+//	    [-eps 0.25] [-seed 1] [-parallel] \
+//	    [-build-workers 1] [-build-queue 16] \
+//	    [-batch-window 2ms] [-max-batch 64] \
+//	    [-query-workers N] [-query-queue 1024] [-cache 4096]
+//
+// Graphs can be preloaded at startup (-load for files in the
+// internal/graph text format, -gen for workload.ParseSpec generator
+// strings such as "er:n=4096,d=8,w=uniform") or registered at runtime
+// via POST /graphs. Queries go to POST /graphs/{id}/query; see
+// internal/server for the full API. SIGINT/SIGTERM drain in-flight
+// requests before exit.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"repro/internal/server"
+)
+
+func main() {
+	addr := flag.String("addr", ":8080", "listen address")
+	eps := flag.Float64("eps", 0.25, "oracle accuracy for preloaded graphs")
+	seed := flag.Uint64("seed", 1, "seed for preloaded graphs")
+	parallel := flag.Bool("parallel", false, "build oracles with goroutine-parallel construction")
+	buildWorkers := flag.Int("build-workers", 1, "concurrent oracle builds")
+	buildQueue := flag.Int("build-queue", 16, "max queued builds (overflow → 503)")
+	batchWindow := flag.Duration("batch-window", 2*time.Millisecond, "micro-batch coalescing window")
+	maxBatch := flag.Int("max-batch", 64, "max queries per micro-batch")
+	queryWorkers := flag.Int("query-workers", 0, "concurrent query batches per graph (0 = GOMAXPROCS)")
+	queryQueue := flag.Int("query-queue", 1024, "max waiting single queries per graph (overflow → 503)")
+	cacheSize := flag.Int("cache", 4096, "per-graph LRU result cache entries (negative disables)")
+	var loads, gens []string
+	flag.Func("load", "preload a graph file as name=path (repeatable)", func(v string) error {
+		loads = append(loads, v)
+		return nil
+	})
+	flag.Func("gen", "preload a generated graph as name=spec (repeatable)", func(v string) error {
+		gens = append(gens, v)
+		return nil
+	})
+	flag.Parse()
+
+	srv := server.New(server.Config{
+		BuildWorkers: *buildWorkers,
+		BuildQueue:   *buildQueue,
+		Parallel:     *parallel,
+		BatchWindow:  *batchWindow,
+		MaxBatch:     *maxBatch,
+		QueryWorkers: *queryWorkers,
+		QueryQueue:   *queryQueue,
+		CacheSize:    *cacheSize,
+	})
+
+	preload := func(kind string, args []string, mk func(name, v string) server.GraphSpec) {
+		for _, a := range args {
+			name, v, ok := strings.Cut(a, "=")
+			if !ok || name == "" || v == "" {
+				log.Fatalf("spanhopd: -%s %q: want name=%s", kind, a, kind)
+			}
+			e, err := srv.Registry().Add(mk(name, v))
+			if err != nil {
+				log.Fatalf("spanhopd: -%s %s: %v", kind, name, err)
+			}
+			log.Printf("queued build of %s (%s=%s)", e.Info().ID, kind, v)
+		}
+	}
+	preload("load", loads, func(name, v string) server.GraphSpec {
+		return server.GraphSpec{Name: name, File: v, Eps: *eps, Seed: *seed}
+	})
+	preload("gen", gens, func(name, v string) server.GraphSpec {
+		return server.GraphSpec{Name: name, Gen: v, Eps: *eps, Seed: *seed}
+	})
+
+	hs := &http.Server{Addr: *addr, Handler: srv.Handler()}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	errc := make(chan error, 1)
+	go func() { errc <- hs.ListenAndServe() }()
+	log.Printf("spanhopd listening on %s (batch window %s, max batch %d)",
+		*addr, *batchWindow, *maxBatch)
+
+	select {
+	case err := <-errc:
+		// Listener died before a signal: config error, not shutdown.
+		log.Fatalf("spanhopd: %v", err)
+	case <-ctx.Done():
+	}
+	log.Print("spanhopd: draining...")
+	sctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := hs.Shutdown(sctx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
+		fmt.Fprintf(os.Stderr, "spanhopd: shutdown: %v\n", err)
+	}
+	srv.Close()
+	log.Print("spanhopd: bye")
+}

@@ -3,7 +3,7 @@
 //
 // Usage:
 //
-//	spanner -in graph.txt [-k 3] [-algo est|baswana-sen|greedy] [-seed N] [-out spanner.txt] [-samples 200]
+//	spanner -in graph.txt [-k 3] [-algo est|baswana-sen|greedy] [-seed N] [-out spanner.txt] [-samples 200] [-parallel]
 //
 // Graph files use the text format of internal/graph (see cmd/gengraph
 // to create one).
@@ -27,6 +27,7 @@ func main() {
 	algo := flag.String("algo", "est", "algorithm: est (ours), baswana-sen, greedy")
 	seed := flag.Uint64("seed", 1, "random seed")
 	samples := flag.Int("samples", 200, "edges sampled for stretch measurement (0 = skip)")
+	parallel := flag.Bool("parallel", false, "run the clustering race and boundary sweep on goroutines (est only)")
 	flag.Parse()
 
 	if *in == "" {
@@ -48,10 +49,11 @@ func main() {
 	var res *spanner.Result
 	switch *algo {
 	case "est":
+		opts := spanner.Options{Cost: cost, Parallel: *parallel}
 		if g.Weighted() {
-			res = spanner.Weighted(g, *k, *seed, cost)
+			res = spanner.WeightedOpts(g, *k, *seed, opts)
 		} else {
-			res = spanner.Unweighted(g, *k, *seed, cost)
+			res = spanner.UnweightedOpts(g, *k, *seed, opts)
 		}
 	case "baswana-sen":
 		res = spanner.BaswanaSen(g, *k, *seed, cost)
@@ -60,6 +62,9 @@ func main() {
 	default:
 		fmt.Fprintf(os.Stderr, "spanner: unknown algorithm %q\n", *algo)
 		os.Exit(2)
+	}
+	if *parallel && *algo != "est" {
+		fmt.Fprintln(os.Stderr, "spanner: note: -parallel only affects -algo est; baselines ran sequentially")
 	}
 
 	fmt.Printf("graph: n=%d m=%d weighted=%v ratio=%.3g\n",

@@ -1,0 +1,354 @@
+package server
+
+import (
+	"container/list"
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	spanhop "repro"
+	"repro/internal/graph"
+)
+
+// Typed executor errors; the HTTP layer maps ErrOverloaded to 503.
+var (
+	ErrOverloaded = errors.New("server: query queue full")
+	ErrClosed     = errors.New("server: shutting down")
+)
+
+// request is one single query waiting to be coalesced.
+type request struct {
+	s, t graph.V
+	ch   chan response
+	enq  time.Time
+}
+
+type response struct {
+	st  spanhop.QueryStats
+	err error
+}
+
+// Executor turns concurrently arriving single queries into QueryBatch
+// fan-outs. A collector goroutine gathers requests into a micro-batch
+// until either MaxBatch queries are pending or BatchWindow has elapsed
+// since the batch opened, then hands the batch to a bounded worker
+// pool; the pool runs DistanceOracle.QueryBatch (the PR 1 parallel
+// fan-out) and distributes results. Because QueryBatch is positionally
+// identical to serial Query calls, coalescing changes wall-clock
+// shape only, never an answer.
+//
+// Backpressure: the request queue is a bounded channel and Query never
+// blocks on a full one — it fails fast with ErrOverloaded. When every
+// pool worker is busy the collector itself blocks handing off the
+// batch, the queue fills, and overload propagates to callers as typed
+// errors rather than unbounded goroutine pileup.
+type Executor struct {
+	oracle *spanhop.DistanceOracle
+	n      graph.V
+	window time.Duration
+	maxB   int
+
+	reqs  chan request
+	sem   chan struct{} // worker-pool slots
+	cache *lruCache
+	stats *GraphStats
+	// batchWaiters bounds explicit Batch calls parked on the pool, so
+	// batch traffic gets the same fail-fast contract as the coalesced
+	// path instead of unbounded goroutine pileup.
+	batchWaiters atomic.Int64
+	maxWaiters   int64
+
+	quit chan struct{} // closed by Close: stop accepting
+	done chan struct{} // closed when the collector has drained
+	wg   sync.WaitGroup
+
+	closeOnce sync.Once
+}
+
+// newExecutor starts the collector for a ready oracle.
+func newExecutor(oracle *spanhop.DistanceOracle, cfg Config, stats *GraphStats) *Executor {
+	cfg = cfg.withDefaults()
+	x := &Executor{
+		oracle: oracle,
+		n:      oracle.NumVertices(),
+		window: cfg.BatchWindow,
+		maxB:   cfg.MaxBatch,
+		reqs:   make(chan request, cfg.QueryQueue),
+		sem:    make(chan struct{}, cfg.QueryWorkers),
+		cache:  newLRUCache(cfg.CacheSize),
+		stats:  stats,
+		quit:   make(chan struct{}),
+		done:   make(chan struct{}),
+	}
+	x.maxWaiters = int64(cfg.QueryQueue)
+	go x.collect()
+	return x
+}
+
+// checkPair validates ids before enqueueing, so one malformed query
+// can never poison the whole micro-batch it would have joined
+// (QueryBatch fails a batch on its first invalid pair).
+func (x *Executor) checkPair(s, t graph.V) error {
+	if s < 0 || s >= x.n || t < 0 || t >= x.n {
+		return fmt.Errorf("server: query (%d,%d) out of range n=%d", s, t, x.n)
+	}
+	return nil
+}
+
+// Query answers one s-t query through the cache and the coalescing
+// path. The returned stats are bit-identical to a direct serial
+// DistanceOracle.Query.
+func (x *Executor) Query(ctx context.Context, s, t graph.V) (spanhop.QueryStats, error) {
+	x.stats.requests.Add(1)
+	if err := x.checkPair(s, t); err != nil {
+		x.stats.failures.Add(1)
+		return spanhop.QueryStats{}, err
+	}
+	select {
+	case <-x.quit:
+		return spanhop.QueryStats{}, ErrClosed
+	default:
+	}
+	start := time.Now()
+	if st, ok := x.cache.get([2]graph.V{s, t}); ok {
+		x.stats.cacheHits.Add(1)
+		x.stats.lat.Record(time.Since(start))
+		return st, nil
+	}
+	r := request{s: s, t: t, ch: make(chan response, 1), enq: start}
+	select {
+	case x.reqs <- r:
+	default:
+		x.stats.rejects.Add(1)
+		return spanhop.QueryStats{}, ErrOverloaded
+	}
+	select {
+	case resp := <-r.ch:
+		if resp.err != nil {
+			x.stats.failures.Add(1)
+			return spanhop.QueryStats{}, resp.err
+		}
+		x.stats.lat.Record(time.Since(start))
+		return resp.st, nil
+	case <-ctx.Done():
+		// The response channel is buffered, so the batch worker that
+		// eventually answers doesn't leak; the result is dropped.
+		return spanhop.QueryStats{}, ctx.Err()
+	case <-x.done:
+		// Collector exited; a response may still have raced in (or may
+		// yet arrive from an in-flight batch — shutdown forfeits it).
+		select {
+		case resp := <-r.ch:
+			return resp.st, resp.err
+		default:
+			return spanhop.QueryStats{}, ErrClosed
+		}
+	}
+}
+
+// Batch answers an explicit batch request through the worker pool
+// (bounded like the coalesced path, but bypassing the batching window
+// — the caller already batched). At most QueryQueue batch calls may
+// wait for a pool slot; beyond that Batch fails fast with
+// ErrOverloaded, and a canceled ctx abandons the wait.
+func (x *Executor) Batch(ctx context.Context, pairs [][2]graph.V) ([]spanhop.QueryStats, error) {
+	for _, p := range pairs {
+		if err := x.checkPair(p[0], p[1]); err != nil {
+			x.stats.failures.Add(1)
+			return nil, err
+		}
+	}
+	if x.batchWaiters.Add(1) > x.maxWaiters {
+		x.batchWaiters.Add(-1)
+		x.stats.rejects.Add(1)
+		return nil, ErrOverloaded
+	}
+	defer x.batchWaiters.Add(-1)
+	select {
+	case <-x.quit:
+		return nil, ErrClosed
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	case x.sem <- struct{}{}:
+	}
+	defer func() { <-x.sem }()
+	start := time.Now()
+	x.stats.batchCalls.Add(1)
+	x.stats.batchQueries.Add(int64(len(pairs)))
+	res, err := x.oracle.QueryBatch(pairs)
+	if err != nil {
+		x.stats.failures.Add(1)
+		return nil, err
+	}
+	for i, p := range pairs {
+		x.cache.put(p, res[i])
+	}
+	x.stats.lat.Record(time.Since(start))
+	return res, nil
+}
+
+// collect is the micro-batching loop.
+func (x *Executor) collect() {
+	defer close(x.done)
+	var batch []request
+	var timer *time.Timer
+	var timeC <-chan time.Time
+	flush := func() {
+		if timer != nil {
+			timer.Stop()
+			timer, timeC = nil, nil
+		}
+		if len(batch) == 0 {
+			return
+		}
+		x.dispatch(batch)
+		batch = nil
+	}
+	for {
+		select {
+		case r := <-x.reqs:
+			batch = append(batch, r)
+			if len(batch) == 1 {
+				timer = time.NewTimer(x.window)
+				timeC = timer.C
+			}
+			if len(batch) >= x.maxB {
+				flush()
+			}
+		case <-timeC:
+			timer, timeC = nil, nil
+			flush()
+		case <-x.quit:
+			// Answer what we gathered, then fail whatever is still
+			// queued: every caller gets a definitive response.
+			flush()
+			for {
+				select {
+				case r := <-x.reqs:
+					r.ch <- response{err: ErrClosed}
+				default:
+					return
+				}
+			}
+		}
+	}
+}
+
+// dispatch hands one micro-batch to the worker pool. Blocks while the
+// pool is saturated (that is the backpressure valve).
+func (x *Executor) dispatch(batch []request) {
+	select {
+	case x.sem <- struct{}{}:
+	case <-x.quit:
+		for _, r := range batch {
+			r.ch <- response{err: ErrClosed}
+		}
+		return
+	}
+	x.wg.Add(1)
+	go func() {
+		defer func() {
+			<-x.sem
+			x.wg.Done()
+		}()
+		pairs := make([][2]graph.V, len(batch))
+		for i, r := range batch {
+			pairs[i] = [2]graph.V{r.s, r.t}
+		}
+		x.stats.coalesced.Add(1)
+		x.stats.coalescedQueries.Add(int64(len(batch)))
+		res, err := x.oracle.QueryBatch(pairs)
+		for i, r := range batch {
+			if err != nil {
+				r.ch <- response{err: err}
+				continue
+			}
+			x.cache.put(pairs[i], res[i])
+			r.ch <- response{st: res[i]}
+		}
+	}()
+}
+
+// Close stops the collector, fails queued requests with ErrClosed,
+// and waits for in-flight batches. Safe to call more than once.
+func (x *Executor) Close() {
+	x.closeOnce.Do(func() {
+		close(x.quit)
+		<-x.done
+		x.wg.Wait()
+	})
+}
+
+// ---------------------------------------------------------------------------
+// LRU result cache.
+
+// lruCache memoizes QueryStats keyed on the ordered (s, t) pair.
+// Query answers are deterministic for a built oracle, so a cached
+// result is exactly what re-running the query would return. cap <= 0
+// disables caching.
+type lruCache struct {
+	mu  sync.Mutex
+	cap int
+	m   map[[2]graph.V]*list.Element
+	l   *list.List // front = most recently used
+}
+
+type cacheEnt struct {
+	k  [2]graph.V
+	st spanhop.QueryStats
+}
+
+func newLRUCache(capacity int) *lruCache {
+	c := &lruCache{cap: capacity}
+	if capacity > 0 {
+		c.m = make(map[[2]graph.V]*list.Element, capacity)
+		c.l = list.New()
+	}
+	return c
+}
+
+func (c *lruCache) get(k [2]graph.V) (spanhop.QueryStats, bool) {
+	if c.cap <= 0 {
+		return spanhop.QueryStats{}, false
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.m[k]
+	if !ok {
+		return spanhop.QueryStats{}, false
+	}
+	c.l.MoveToFront(el)
+	return el.Value.(*cacheEnt).st, true
+}
+
+func (c *lruCache) put(k [2]graph.V, st spanhop.QueryStats) {
+	if c.cap <= 0 {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.m[k]; ok {
+		el.Value.(*cacheEnt).st = st
+		c.l.MoveToFront(el)
+		return
+	}
+	c.m[k] = c.l.PushFront(&cacheEnt{k: k, st: st})
+	for c.l.Len() > c.cap {
+		oldest := c.l.Back()
+		c.l.Remove(oldest)
+		delete(c.m, oldest.Value.(*cacheEnt).k)
+	}
+}
+
+// len reports the current cache size (tests).
+func (c *lruCache) len() int {
+	if c.cap <= 0 {
+		return 0
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.l.Len()
+}

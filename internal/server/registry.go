@@ -1,0 +1,387 @@
+// Package server is the serving layer above the spanhop facade: a
+// registry of named graphs with background oracle builds, a batching
+// query executor that coalesces concurrent single queries into
+// QueryBatch fan-outs, and an HTTP/JSON API. cmd/spanhopd wires it to
+// a listener; cmd/loadgen drives it.
+//
+// The paper's Theorem 1.2 oracle is a preprocess-once/query-many
+// structure, which is exactly the shape that wants to live behind a
+// long-running daemon: builds are expensive and parallel (the PR 1
+// multicore substrate), queries are cheap, read-mostly, and batch
+// well. This package owns everything between the HTTP listener and
+// DistanceOracle.
+package server
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"sync"
+	"time"
+
+	spanhop "repro"
+	"repro/internal/graph"
+	"repro/internal/workload"
+)
+
+// State is an oracle lifecycle phase.
+type State string
+
+const (
+	// StateBuilding: the build is queued or running; queries are
+	// rejected with 409.
+	StateBuilding State = "building"
+	// StateReady: the oracle answers queries.
+	StateReady State = "ready"
+	// StateFailed: the build errored; Info.Error has the cause.
+	StateFailed State = "failed"
+)
+
+// GraphSpec describes a graph to register: exactly one of File (a
+// graph file in the internal/graph text or binary format) or Gen (a
+// workload.ParseSpec generator string).
+type GraphSpec struct {
+	// Name is the registry id; auto-assigned ("g0", "g1", ...) when
+	// empty.
+	Name string `json:"name,omitempty"`
+	// File is a path readable by the server process.
+	File string `json:"file,omitempty"`
+	// Gen is a generator spec, e.g. "er:n=4096,d=8,w=uniform".
+	Gen string `json:"gen,omitempty"`
+	// Eps is the oracle accuracy parameter; default 0.25.
+	Eps float64 `json:"eps,omitempty"`
+	// Seed drives both generation and preprocessing; builds are
+	// deterministic in (spec, seed), which lets clients re-derive and
+	// verify server answers.
+	Seed uint64 `json:"seed,omitempty"`
+}
+
+// Typed registry errors; the HTTP layer maps them to status codes.
+var (
+	ErrBuildQueueFull = errors.New("server: build queue full")
+	ErrDuplicateName  = errors.New("server: graph name already registered")
+	ErrUnknownGraph   = errors.New("server: unknown graph")
+	ErrNotReady       = errors.New("server: graph not ready")
+)
+
+// Entry is one registered graph and its lifecycle state.
+type Entry struct {
+	id    string
+	spec  GraphSpec
+	stats *GraphStats
+
+	mu      sync.Mutex
+	state   State
+	err     string
+	g       *graph.Graph
+	oracle  *spanhop.DistanceOracle
+	exec    *Executor
+	buildMS int64
+	created time.Time
+}
+
+// Info is the JSON snapshot of an Entry.
+type Info struct {
+	ID    string `json:"id"`
+	State State  `json:"state"`
+	Error string `json:"error,omitempty"`
+	Spec  struct {
+		File string  `json:"file,omitempty"`
+		Gen  string  `json:"gen,omitempty"`
+		Eps  float64 `json:"eps"`
+		Seed uint64  `json:"seed"`
+	} `json:"spec"`
+	// Graph shape + oracle introspection, set once ready.
+	N           int32 `json:"n,omitempty"`
+	M           int64 `json:"m,omitempty"`
+	Weighted    bool  `json:"weighted,omitempty"`
+	HopsetEdges int   `json:"hopset_edges,omitempty"`
+	Decomposed  bool  `json:"decomposed,omitempty"`
+	Instances   int   `json:"instances,omitempty"`
+	Degenerate  bool  `json:"degenerate,omitempty"`
+	BuildMS     int64 `json:"build_ms,omitempty"`
+}
+
+// Info snapshots the entry.
+func (e *Entry) Info() Info {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	info := Info{ID: e.id, State: e.state, Error: e.err, BuildMS: e.buildMS}
+	info.Spec.File = e.spec.File
+	info.Spec.Gen = e.spec.Gen
+	info.Spec.Eps = e.spec.Eps
+	info.Spec.Seed = e.spec.Seed
+	if e.g != nil {
+		info.N = e.g.NumVertices()
+		info.M = e.g.NumEdges()
+		info.Weighted = e.g.Weighted()
+	}
+	if e.oracle != nil {
+		info.HopsetEdges = e.oracle.HopsetSize()
+		info.Decomposed = e.oracle.Decomposed()
+		info.Instances = e.oracle.InstanceCount()
+		info.Degenerate = e.oracle.Degenerate()
+	}
+	return info
+}
+
+// executor returns the ready executor, or ErrNotReady carrying the
+// lifecycle state (building/failed) for the HTTP layer to report.
+func (e *Entry) executor() (*Executor, error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	switch e.state {
+	case StateReady:
+		return e.exec, nil
+	case StateFailed:
+		return nil, fmt.Errorf("%w: %s build failed: %s", ErrNotReady, e.id, e.err)
+	default:
+		return nil, fmt.Errorf("%w: %s is %s", ErrNotReady, e.id, e.state)
+	}
+}
+
+// Registry owns the graph entries and the bounded background build
+// queue. Lookups are concurrent-safe; builds run on cfg.BuildWorkers
+// goroutines.
+type Registry struct {
+	cfg Config
+
+	mu      sync.RWMutex
+	entries map[string]*Entry
+	order   []string
+	seq     int
+	closed  bool
+
+	queue chan *Entry
+	wg    sync.WaitGroup
+}
+
+// NewRegistry starts the build workers.
+func NewRegistry(cfg Config) *Registry {
+	cfg = cfg.withDefaults()
+	r := &Registry{
+		cfg:     cfg,
+		entries: make(map[string]*Entry),
+		queue:   make(chan *Entry, cfg.BuildQueue),
+	}
+	for i := 0; i < cfg.BuildWorkers; i++ {
+		r.wg.Add(1)
+		go func() {
+			defer r.wg.Done()
+			for e := range r.queue {
+				if r.isClosed() {
+					// Shutdown: drain the queue without paying for
+					// builds nobody will query.
+					e.mu.Lock()
+					e.state = StateFailed
+					e.err = "server shut down before build started"
+					e.mu.Unlock()
+					continue
+				}
+				r.build(e)
+			}
+		}()
+	}
+	return r
+}
+
+// Add validates spec, registers an entry in StateBuilding, and queues
+// the build. A full build queue returns ErrBuildQueueFull and leaves
+// the registry unchanged.
+func (r *Registry) Add(spec GraphSpec) (*Entry, error) {
+	if spec.Eps == 0 {
+		spec.Eps = 0.25
+	}
+	if spec.Eps <= 0 || spec.Eps >= 1 {
+		return nil, fmt.Errorf("server: eps = %v, want (0,1)", spec.Eps)
+	}
+	if (spec.File == "") == (spec.Gen == "") {
+		return nil, errors.New("server: spec needs exactly one of file or gen")
+	}
+	if !validName(spec.Name) {
+		return nil, fmt.Errorf("server: name %q must match [A-Za-z0-9._-]{1,64}", spec.Name)
+	}
+	if spec.Gen != "" {
+		// Parse eagerly so a bad generator string is a synchronous
+		// 400, not an async build failure.
+		if _, err := workload.ParseSpec(spec.Gen, spec.Seed); err != nil {
+			return nil, err
+		}
+	}
+
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.closed {
+		return nil, ErrClosed
+	}
+	id := spec.Name
+	if id == "" {
+		// Skip over ids a user already claimed by explicit name, so a
+		// graph named "g0" can never wedge auto-assignment.
+		for {
+			id = fmt.Sprintf("g%d", r.seq)
+			r.seq++
+			if _, taken := r.entries[id]; !taken {
+				break
+			}
+		}
+	} else if _, dup := r.entries[id]; dup {
+		return nil, fmt.Errorf("%w: %q", ErrDuplicateName, id)
+	}
+	e := &Entry{
+		id:      id,
+		spec:    spec,
+		stats:   &GraphStats{},
+		state:   StateBuilding,
+		created: time.Now(),
+	}
+	select {
+	case r.queue <- e:
+	default:
+		return nil, ErrBuildQueueFull
+	}
+	r.entries[id] = e
+	r.order = append(r.order, id)
+	return e, nil
+}
+
+// Get looks up an entry by id.
+func (r *Registry) Get(id string) (*Entry, bool) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	e, ok := r.entries[id]
+	return e, ok
+}
+
+// List snapshots all entries in registration order.
+func (r *Registry) List() []Info {
+	r.mu.RLock()
+	ids := append([]string(nil), r.order...)
+	entries := make([]*Entry, len(ids))
+	for i, id := range ids {
+		entries[i] = r.entries[id]
+	}
+	r.mu.RUnlock()
+	out := make([]Info, len(entries))
+	for i, e := range entries {
+		out[i] = e.Info()
+	}
+	return out
+}
+
+// build loads/generates the graph, preprocesses the oracle, and
+// transitions the entry to ready/failed. Panics in the pipeline (e.g.
+// malformed generator output) surface as build failures, not daemon
+// crashes.
+func (r *Registry) build(e *Entry) {
+	start := time.Now()
+	fail := func(err error) {
+		e.mu.Lock()
+		e.state = StateFailed
+		e.err = err.Error()
+		e.buildMS = time.Since(start).Milliseconds()
+		e.mu.Unlock()
+	}
+	var g *graph.Graph
+	var oracle *spanhop.DistanceOracle
+	err := func() (err error) {
+		defer func() {
+			if p := recover(); p != nil {
+				err = fmt.Errorf("build panicked: %v", p)
+			}
+		}()
+		if e.spec.File != "" {
+			f, ferr := os.Open(e.spec.File)
+			if ferr != nil {
+				return ferr
+			}
+			defer f.Close()
+			g, err = graph.ReadText(f)
+			if err != nil {
+				return err
+			}
+		} else {
+			spec, perr := workload.ParseSpec(e.spec.Gen, e.spec.Seed)
+			if perr != nil {
+				return perr
+			}
+			g = spec.Gen()
+		}
+		oracle = spanhop.NewDistanceOracleOpts(g, e.spec.Eps, e.spec.Seed,
+			spanhop.OracleOptions{Parallel: r.cfg.Parallel})
+		return nil
+	}()
+	if err != nil {
+		fail(err)
+		return
+	}
+	exec := newExecutor(oracle, r.cfg, e.stats)
+	e.mu.Lock()
+	e.g = g
+	e.oracle = oracle
+	e.exec = exec
+	e.state = StateReady
+	e.buildMS = time.Since(start).Milliseconds()
+	e.mu.Unlock()
+}
+
+// validName keeps ids routable: the mux pattern /graphs/{id} matches
+// one path segment, so a name with "/" (or URL-hostile bytes) would
+// register a graph no request can ever reach. Empty is fine — it
+// means auto-assign.
+func validName(name string) bool {
+	if name == "" {
+		return true
+	}
+	if len(name) > 64 {
+		return false
+	}
+	for _, c := range name {
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c >= '0' && c <= '9',
+			c == '.', c == '_', c == '-':
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+func (r *Registry) isClosed() bool {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return r.closed
+}
+
+// Close stops accepting registrations, waits for in-flight builds
+// (queued-but-unstarted ones are marked failed instead of built), and
+// shuts down every executor. Safe to call more than once.
+func (r *Registry) Close() {
+	r.mu.Lock()
+	if r.closed {
+		r.mu.Unlock()
+		return
+	}
+	r.closed = true
+	r.mu.Unlock()
+	close(r.queue)
+	r.wg.Wait()
+	r.mu.RLock()
+	entries := make([]*Entry, 0, len(r.entries))
+	for _, e := range r.entries {
+		entries = append(entries, e)
+	}
+	r.mu.RUnlock()
+	for _, e := range entries {
+		e.mu.Lock()
+		exec := e.exec
+		if e.state == StateBuilding {
+			e.state = StateFailed
+			e.err = "server shut down before build started"
+		}
+		e.mu.Unlock()
+		if exec != nil {
+			exec.Close()
+		}
+	}
+}

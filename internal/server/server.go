@@ -1,0 +1,285 @@
+package server
+
+import (
+	"encoding/json"
+	"errors"
+	"net/http"
+	"runtime"
+	"time"
+
+	spanhop "repro"
+	"repro/internal/graph"
+)
+
+// Config tunes the serving subsystem. Zero values take defaults.
+type Config struct {
+	// BuildWorkers is the number of concurrent oracle builds;
+	// BuildQueue bounds how many registrations may wait behind them.
+	BuildWorkers int
+	BuildQueue   int
+	// Parallel builds oracles with the machine-parallel construction
+	// (goroutine hot loops).
+	Parallel bool
+
+	// BatchWindow is how long a micro-batch stays open after its
+	// first query; MaxBatch closes it early.
+	BatchWindow time.Duration
+	MaxBatch    int
+	// QueryWorkers bounds concurrent QueryBatch executions per graph;
+	// QueryQueue bounds waiting single queries (overflow is a typed
+	// 503, the backpressure contract).
+	QueryWorkers int
+	QueryQueue   int
+	// CacheSize is the per-graph LRU result-cache capacity
+	// ((s,t) → QueryStats); 0 takes the default, negative disables.
+	CacheSize int
+}
+
+func (c Config) withDefaults() Config {
+	if c.BuildWorkers <= 0 {
+		c.BuildWorkers = 1
+	}
+	if c.BuildQueue <= 0 {
+		c.BuildQueue = 16
+	}
+	if c.BatchWindow <= 0 {
+		c.BatchWindow = 2 * time.Millisecond
+	}
+	if c.MaxBatch <= 0 {
+		c.MaxBatch = 64
+	}
+	if c.QueryWorkers <= 0 {
+		c.QueryWorkers = runtime.GOMAXPROCS(0)
+	}
+	if c.QueryQueue <= 0 {
+		c.QueryQueue = 1024
+	}
+	if c.CacheSize == 0 {
+		c.CacheSize = 4096
+	}
+	return c
+}
+
+// Server is the HTTP face of the registry + executors.
+//
+//	POST /graphs              register a graph (GraphSpec JSON) → 202
+//	GET  /graphs              list entries
+//	GET  /graphs/{id}         one entry
+//	POST /graphs/{id}/query   {"s":..,"t":..} or {"pairs":[[s,t],..]}
+//	GET  /healthz             liveness + entry counts
+//	GET  /stats               per-graph serving counters
+type Server struct {
+	cfg   Config
+	reg   *Registry
+	mux   *http.ServeMux
+	start time.Time
+}
+
+// New builds a Server and its registry.
+func New(cfg Config) *Server {
+	s := &Server{
+		cfg:   cfg.withDefaults(),
+		reg:   NewRegistry(cfg),
+		mux:   http.NewServeMux(),
+		start: time.Now(),
+	}
+	s.mux.HandleFunc("POST /graphs", s.handleAddGraph)
+	s.mux.HandleFunc("GET /graphs", s.handleListGraphs)
+	s.mux.HandleFunc("GET /graphs/{id}", s.handleGetGraph)
+	s.mux.HandleFunc("POST /graphs/{id}/query", s.handleQuery)
+	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	s.mux.HandleFunc("GET /stats", s.handleStats)
+	return s
+}
+
+// Handler returns the routing handler (plug into http.Server or
+// httptest).
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Registry exposes the graph registry (preloading, tests).
+func (s *Server) Registry() *Registry { return s.reg }
+
+// Close shuts down builds and executors. In-flight HTTP requests get
+// typed shutdown errors; the HTTP listener itself is the caller's to
+// drain (http.Server.Shutdown first, then Close).
+func (s *Server) Close() { s.reg.Close() }
+
+// ---------------------------------------------------------------------------
+// JSON plumbing.
+
+type errorBody struct {
+	Error string `json:"error"`
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetEscapeHTML(false)
+	_ = enc.Encode(v)
+}
+
+func writeError(w http.ResponseWriter, code int, err error) {
+	writeJSON(w, code, errorBody{Error: err.Error()})
+}
+
+// statusFor maps typed subsystem errors to HTTP codes.
+func statusFor(err error) int {
+	switch {
+	case errors.Is(err, ErrUnknownGraph):
+		return http.StatusNotFound
+	case errors.Is(err, ErrNotReady):
+		return http.StatusConflict
+	case errors.Is(err, ErrDuplicateName):
+		return http.StatusConflict
+	case errors.Is(err, ErrBuildQueueFull), errors.Is(err, ErrOverloaded), errors.Is(err, ErrClosed):
+		return http.StatusServiceUnavailable
+	default:
+		return http.StatusBadRequest
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Handlers.
+
+func (s *Server) handleAddGraph(w http.ResponseWriter, r *http.Request) {
+	var spec GraphSpec
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<16))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&spec); err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	e, err := s.reg.Add(spec)
+	if err != nil {
+		writeError(w, statusFor(err), err)
+		return
+	}
+	writeJSON(w, http.StatusAccepted, e.Info())
+}
+
+func (s *Server) handleListGraphs(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{"graphs": s.reg.List()})
+}
+
+func (s *Server) handleGetGraph(w http.ResponseWriter, r *http.Request) {
+	e, ok := s.reg.Get(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, ErrUnknownGraph)
+		return
+	}
+	writeJSON(w, http.StatusOK, e.Info())
+}
+
+// queryRequest accepts a single query or an explicit batch.
+type queryRequest struct {
+	S     *graph.V     `json:"s,omitempty"`
+	T     *graph.V     `json:"t,omitempty"`
+	Pairs [][2]graph.V `json:"pairs,omitempty"`
+}
+
+// queryResult is one answer. Unreachable pairs report
+// unreachable=true with dist omitted, so clients never have to
+// compare against the InfDist sentinel.
+type queryResult struct {
+	S           graph.V    `json:"s"`
+	T           graph.V    `json:"t"`
+	Dist        graph.Dist `json:"dist"`
+	Unreachable bool       `json:"unreachable,omitempty"`
+	Levels      int64      `json:"levels"`
+	Fallback    bool       `json:"fallback,omitempty"`
+}
+
+func toResult(s, t graph.V, st spanhop.QueryStats) queryResult {
+	res := queryResult{S: s, T: t, Dist: st.Dist, Levels: st.Levels, Fallback: st.Fallback}
+	if st.Dist == graph.InfDist {
+		res.Dist = 0
+		res.Unreachable = true
+	}
+	return res
+}
+
+func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
+	e, ok := s.reg.Get(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, ErrUnknownGraph)
+		return
+	}
+	exec, err := e.executor()
+	if err != nil {
+		writeError(w, statusFor(err), err)
+		return
+	}
+	var q queryRequest
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<22))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&q); err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	switch {
+	case q.Pairs != nil:
+		if q.S != nil || q.T != nil {
+			writeError(w, http.StatusBadRequest,
+				errors.New("server: give either s/t or pairs, not both"))
+			return
+		}
+		res, err := exec.Batch(r.Context(), q.Pairs)
+		if err != nil {
+			writeError(w, statusFor(err), err)
+			return
+		}
+		out := make([]queryResult, len(res))
+		for i, st := range res {
+			out[i] = toResult(q.Pairs[i][0], q.Pairs[i][1], st)
+		}
+		writeJSON(w, http.StatusOK, map[string]any{"results": out})
+	case q.S != nil && q.T != nil:
+		st, err := exec.Query(r.Context(), *q.S, *q.T)
+		if err != nil {
+			writeError(w, statusFor(err), err)
+			return
+		}
+		writeJSON(w, http.StatusOK, toResult(*q.S, *q.T, st))
+	default:
+		writeError(w, http.StatusBadRequest,
+			errors.New(`server: body needs {"s":..,"t":..} or {"pairs":[[s,t],..]}`))
+	}
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	infos := s.reg.List()
+	counts := map[State]int{}
+	for _, info := range infos {
+		counts[info.State]++
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"ok":        true,
+		"uptime_ms": time.Since(s.start).Milliseconds(),
+		"graphs":    len(infos),
+		"building":  counts[StateBuilding],
+		"ready":     counts[StateReady],
+		"failed":    counts[StateFailed],
+	})
+}
+
+// graphStats pairs lifecycle state with the serving counters.
+type graphStats struct {
+	State State `json:"state"`
+	StatsSnapshot
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	out := map[string]graphStats{}
+	for _, info := range s.reg.List() {
+		e, ok := s.reg.Get(info.ID)
+		if !ok {
+			continue
+		}
+		out[info.ID] = graphStats{State: info.State, StatsSnapshot: e.stats.Snapshot()}
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"uptime_ms": time.Since(s.start).Milliseconds(),
+		"graphs":    out,
+	})
+}

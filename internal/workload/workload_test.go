@@ -62,6 +62,138 @@ func TestFamilies(t *testing.T) {
 	}
 }
 
+func TestParseSpec(t *testing.T) {
+	cases := []struct {
+		spec     string
+		n        int32
+		weighted bool
+	}{
+		{"er:n=100,d=4", 100, false},
+		{"er", 1024, false},
+		{"grid:side=9", 81, false},
+		{"grid:side=8,w=uniform,maxw=16", 64, true},
+		{"hyper:dim=6", 64, false},
+		{"path:n=50", 50, false},
+		{"cycle:n=50", 50, false},
+		{"pa:n=60,deg=3", 60, false},
+		{"rmat:scale=7,d=4,w=exp,base=4,scales=5", 128, true},
+	}
+	for _, c := range cases {
+		s, err := ParseSpec(c.spec, 1)
+		if err != nil {
+			t.Fatalf("ParseSpec(%q): %v", c.spec, err)
+		}
+		g := s.Gen()
+		if err := g.Validate(); err != nil {
+			t.Fatalf("%q: invalid graph: %v", c.spec, err)
+		}
+		if g.NumVertices() != c.n {
+			t.Fatalf("%q: n = %d, want %d", c.spec, g.NumVertices(), c.n)
+		}
+		if g.Weighted() != c.weighted {
+			t.Fatalf("%q: weighted = %v, want %v", c.spec, g.Weighted(), c.weighted)
+		}
+	}
+}
+
+func TestParseSpecErrors(t *testing.T) {
+	bad := []string{
+		"", "unknown", "er:n=", "er:n=abc", "er:n=0", "er:bogus=3",
+		"grid:side=9,w=gauss", "er:n=100,d=4,", "rmat:scale=40",
+		// Edge-demand bounds: specs can arrive over the network, so an
+		// astronomic degree must be a 400, not an OOM — including
+		// degrees big enough to overflow an n*d product.
+		"er:n=1024,d=2000000000", "rmat:scale=26,d=100000", "pa:n=1000000,deg=100000",
+		"er:n=1024,d=9007199254740993", "pa:n=1024,deg=9223372036854775807",
+	}
+	for _, s := range bad {
+		if _, err := ParseSpec(s, 1); err == nil {
+			t.Fatalf("ParseSpec(%q): want error", s)
+		}
+	}
+}
+
+func TestParseSpecSeedOverrideDeterministic(t *testing.T) {
+	a, err := ParseSpec("er:n=120,d=4,seed=9", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := ParseSpec("er:n=120,d=4", 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ga, gb := a.Gen(), b.Gen()
+	if ga.NumEdges() != gb.NumEdges() {
+		t.Fatal("seed override diverged from seed argument")
+	}
+	for i := range ga.Edges() {
+		if ga.Edges()[i] != gb.Edges()[i] {
+			t.Fatal("seed override generated different edges")
+		}
+	}
+}
+
+func TestQueryMixes(t *testing.T) {
+	const n = 256
+	for _, name := range []string{"uniform", "hotspot", "repeat"} {
+		m, err := ParseMix(name, n, 5)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if m.Name != name {
+			t.Fatalf("mix name %q, want %q", m.Name, name)
+		}
+		for i := 0; i < 500; i++ {
+			p := m.Next()
+			if p[0] < 0 || p[0] >= n || p[1] < 0 || p[1] >= n {
+				t.Fatalf("%s: pair %v out of range", name, p)
+			}
+			if p[0] == p[1] {
+				t.Fatalf("%s: degenerate pair %v with n > 1", name, p)
+			}
+		}
+	}
+	if _, err := ParseMix("bogus", n, 1); err == nil {
+		t.Fatal("ParseMix(bogus): want error")
+	}
+}
+
+func TestQueryMixDeterministic(t *testing.T) {
+	a := UniformMix(100, 3)
+	b := UniformMix(100, 3)
+	for i := 0; i < 100; i++ {
+		if a.Next() != b.Next() {
+			t.Fatal("same seed produced different pair streams")
+		}
+	}
+}
+
+func TestHotspotMixConcentrates(t *testing.T) {
+	m := HotspotMix(1000, 10, 0.8, 7)
+	hot := 0
+	const draws = 2000
+	for i := 0; i < draws; i++ {
+		p := m.Next()
+		if p[0] < 10 && p[1] < 10 {
+			hot++
+		}
+	}
+	if hot < draws/2 {
+		t.Fatalf("hotspot mix sent only %d/%d to the hot set", hot, draws)
+	}
+}
+
+func TestRepeatMixReuses(t *testing.T) {
+	m := RepeatMix(10000, 8, 11)
+	seen := map[[2]int32]bool{}
+	for i := 0; i < 200; i++ {
+		seen[m.Next()] = true
+	}
+	if len(seen) > 8 {
+		t.Fatalf("repeat mix produced %d distinct pairs from a pool of 8", len(seen))
+	}
+}
+
 func TestDeterministicGeneration(t *testing.T) {
 	a := ER(200, 5, 7).Gen()
 	b := ER(200, 5, 7).Gen()

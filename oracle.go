@@ -32,6 +32,12 @@ type DistanceOracle struct {
 	g   *Graph
 	eps float64
 
+	// degenerate marks an oracle over a graph too small to route
+	// (n < 2 or no edges): no hopset is built and every s ≠ t query
+	// answers InfDist by definition rather than by zero-value
+	// fallthrough.
+	degenerate bool
+
 	// Either direct (poly-bounded ratio) ...
 	direct *hopset.Scaled
 	// ... or decomposed: one scaled hopset per wscale instance.
@@ -39,23 +45,43 @@ type DistanceOracle struct {
 	instances []*hopset.Scaled
 }
 
+// OracleOptions tune DistanceOracle preprocessing.
+type OracleOptions struct {
+	// Cost, when non-nil, accumulates the PRAM work/depth of the
+	// preprocessing.
+	Cost *Cost
+	// Parallel runs the hopset construction's hot loops on actual
+	// goroutines (hopset.Params.Parallel); the resulting oracle is
+	// equivalent, only the build wall-clock changes.
+	Parallel bool
+}
+
 // NewDistanceOracle preprocesses g. eps ∈ (0, 1) controls both the
 // decomposition loss and the hopset rounding.
 func NewDistanceOracle(g *Graph, eps float64, seed uint64) *DistanceOracle {
-	return NewDistanceOracleWithCost(g, eps, seed, nil)
+	return NewDistanceOracleOpts(g, eps, seed, OracleOptions{})
 }
 
 // NewDistanceOracleWithCost is NewDistanceOracle with work/depth
 // accounting of the preprocessing.
 func NewDistanceOracleWithCost(g *Graph, eps float64, seed uint64, cost *Cost) *DistanceOracle {
+	return NewDistanceOracleOpts(g, eps, seed, OracleOptions{Cost: cost})
+}
+
+// NewDistanceOracleOpts is NewDistanceOracle with explicit options
+// (cost accounting, machine-parallel construction).
+func NewDistanceOracleOpts(g *Graph, eps float64, seed uint64, opt OracleOptions) *DistanceOracle {
 	if eps <= 0 || eps >= 1 {
 		panic(fmt.Sprintf("spanhop: DistanceOracle eps = %v, want (0,1)", eps))
 	}
+	cost := opt.Cost
 	o := &DistanceOracle{g: g, eps: eps}
 	wp := hopset.DefaultWeightedParams(seed)
 	wp.Zeta = eps
+	wp.Parallel = opt.Parallel
 	n := float64(g.NumVertices())
 	if n < 2 || g.NumEdges() == 0 {
+		o.degenerate = true
 		return o
 	}
 	polyBound := math.Pow(n/eps, 3)
@@ -80,6 +106,33 @@ func NewDistanceOracleWithCost(g *Graph, eps float64, seed uint64, cost *Cost) *
 // Decomposed reports whether the oracle needed the Appendix B
 // weight-class decomposition.
 func (o *DistanceOracle) Decomposed() bool { return o.dec != nil }
+
+// Degenerate reports whether the graph was too small to preprocess
+// (n < 2 or no edges); such oracles answer 0 for s == t and InfDist
+// for every other in-range pair.
+func (o *DistanceOracle) Degenerate() bool { return o.degenerate }
+
+// Eps returns the accuracy parameter the oracle was built with.
+func (o *DistanceOracle) Eps() float64 { return o.eps }
+
+// NumVertices returns the vertex count of the preprocessed graph
+// (the valid query id range is [0, NumVertices)).
+func (o *DistanceOracle) NumVertices() int32 { return o.g.NumVertices() }
+
+// InstanceCount returns how many hopset instances back the oracle:
+// 1 when the weight ratio was polynomially bounded (direct build),
+// the number of Appendix B weight-class instances when decomposed,
+// and 0 for a degenerate oracle.
+func (o *DistanceOracle) InstanceCount() int {
+	switch {
+	case o.direct != nil:
+		return 1
+	case o.dec != nil:
+		return len(o.instances)
+	default:
+		return 0
+	}
+}
 
 // HopsetSize returns the total number of hopset edges across all
 // instances.
@@ -120,12 +173,14 @@ func (o *DistanceOracle) QueryStats(s, t V) (QueryStats, error) {
 	if s == t {
 		return QueryStats{Dist: 0}, nil
 	}
+	if o.degenerate {
+		// No edges (or a single vertex): distinct in-range vertices
+		// are unreachable by definition.
+		return QueryStats{Dist: InfDist}, nil
+	}
 	if o.direct != nil {
 		q := o.direct.Query(s, t, nil)
 		return QueryStats{Dist: q.Dist, Levels: q.Levels, Fallback: q.Fallback}, nil
-	}
-	if o.dec == nil {
-		return QueryStats{Dist: InfDist}, nil
 	}
 	inst, is, it := o.dec.InstanceFor(s, t)
 	if inst == nil {

@@ -1,0 +1,60 @@
+#!/usr/bin/env bash
+# Serving-layer smoke test: build the binaries, start spanhopd on a
+# small graph, curl /healthz and a query, then run loadgen with
+# bit-exact verification against a locally rebuilt oracle. CI runs
+# this; it also works standalone from the repo root.
+set -euo pipefail
+
+ADDR="127.0.0.1:${SMOKE_PORT:-8095}"
+DIR="$(mktemp -d)"
+trap 'kill "$DAEMON_PID" 2>/dev/null || true; rm -rf "$DIR"' EXIT
+
+echo "== build binaries"
+go build -o "$DIR/bin/" ./cmd/...
+
+echo "== generate a small weighted grid"
+"$DIR/bin/gengraph" -family grid -rows 15 -cols 15 -weights uniform -maxw 20 -out "$DIR/grid.txt"
+
+echo "== start spanhopd"
+"$DIR/bin/spanhopd" -addr "$ADDR" -batch-window 2ms -load "grid=$DIR/grid.txt" -eps 0.3 -seed 2 \
+    >"$DIR/spanhopd.log" 2>&1 &
+DAEMON_PID=$!
+
+echo "== wait for /healthz"
+for i in $(seq 1 50); do
+    if curl -fsS "http://$ADDR/healthz" >/dev/null 2>&1; then break; fi
+    if ! kill -0 "$DAEMON_PID" 2>/dev/null; then
+        echo "spanhopd died:"; cat "$DIR/spanhopd.log"; exit 1
+    fi
+    sleep 0.2
+done
+curl -fsS "http://$ADDR/healthz"; echo
+
+echo "== wait for the preloaded graph build"
+for i in $(seq 1 150); do
+    STATE=$(curl -fsS "http://$ADDR/graphs/grid" | sed -n 's/.*"state":"\([a-z]*\)".*/\1/p')
+    [ "$STATE" = "ready" ] && break
+    if [ "$STATE" = "failed" ]; then
+        echo "build failed:"; curl -fsS "http://$ADDR/graphs/grid"; exit 1
+    fi
+    sleep 0.2
+done
+[ "$STATE" = "ready" ] || { echo "graph never became ready"; exit 1; }
+
+echo "== single query via curl"
+OUT=$(curl -fsS -X POST "http://$ADDR/graphs/grid/query" -d '{"s":0,"t":224}')
+echo "$OUT"
+echo "$OUT" | grep -q '"dist":' || { echo "query response missing dist"; exit 1; }
+
+echo "== loadgen with bit-exact verification"
+"$DIR/bin/loadgen" -addr "http://$ADDR" -gen "er:n=512,d=6,w=uniform,maxw=30" \
+    -mix hotspot -concurrency 8 -requests 400 -verify
+
+echo "== /stats"
+curl -fsS "http://$ADDR/stats"; echo
+
+echo "== graceful shutdown"
+kill -TERM "$DAEMON_PID"
+wait "$DAEMON_PID" || true
+grep -q "bye" "$DIR/spanhopd.log" || { echo "no clean shutdown:"; cat "$DIR/spanhopd.log"; exit 1; }
+echo "smoke OK"
