@@ -400,35 +400,71 @@ func BenchmarkWeightedSSSP(b *testing.B) {
 	}
 	for _, tc := range cases {
 		b.Run(tc.name+"/dijkstra", func(b *testing.B) {
+			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
 				ShortestPaths(tc.g, 0)
 			}
 		})
 		b.Run(tc.name+"/dial", func(b *testing.B) {
+			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
 				WeightedParallelBFS(tc.g, 0, nil)
 			}
 		})
 		b.Run(tc.name+"/deltastep", func(b *testing.B) {
+			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
 				ParallelShortestPaths(tc.g, 0, nil)
+			}
+		})
+		// The pooled-execution shape: a shared exec context recycles
+		// the result and scratch arrays through its arenas (Release),
+		// and the frontier fan-out reuses pooled workers. Both the
+		// plain and pooled rows now sit far below the pre-refactor
+		// per-call-goroutine path (which paid thousands of allocs/op
+		// in goroutine spawns and per-iteration chunk buffers); the
+		// pooled row additionally recycles the O(n) result arrays.
+		b.Run(tc.name+"/deltastep-pooled", func(b *testing.B) {
+			b.ReportAllocs()
+			ec := ParallelExec(0)
+			for i := 0; i < b.N; i++ {
+				res := ParallelShortestPathsOn(tc.g, 0, ec, nil)
+				res.Release(ec)
+			}
+		})
+		b.Run(tc.name+"/dial-pooled", func(b *testing.B) {
+			b.ReportAllocs()
+			ec := SequentialExec()
+			for i := 0; i < b.N; i++ {
+				res := WeightedParallelBFSOn(tc.g, 0, ec, nil)
+				res.Release(ec)
 			}
 		})
 	}
 }
 
 // BenchmarkESTClusterParallel contrasts the sequential bucket race
-// against the goroutine bucket expansion (identical output).
+// against the goroutine bucket expansion (identical output), plus the
+// pooled-execution shape whose arenas recycle the race's scratch.
 func BenchmarkESTClusterParallel(b *testing.B) {
 	g := WithUniformWeights(RandomGraph(100_000, 400_000, 31), 16, 32)
 	b.Run("sequential", func(b *testing.B) {
+		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
 			ESTCluster(g, 0.1, uint64(i))
 		}
 	})
 	b.Run("goroutines", func(b *testing.B) {
+		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
 			ESTClusterParallel(g, 0.1, uint64(i), nil)
+		}
+	})
+	b.Run("pooled", func(b *testing.B) {
+		b.ReportAllocs()
+		ec := ParallelExec(0)
+		for i := 0; i < b.N; i++ {
+			ESTClusterOn(g, 0.1, uint64(i), ec, nil)
 		}
 	})
 }
@@ -439,11 +475,13 @@ func BenchmarkHopLimitedParallel(b *testing.B) {
 	g := WithUniformWeights(RandomGraph(50_000, 400_000, 41), 20, 42)
 	const hops = 8
 	b.Run("sequential", func(b *testing.B) {
+		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
 			HopLimitedDistances(g, nil, 0, hops)
 		}
 	})
 	b.Run("goroutines", func(b *testing.B) {
+		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
 			ParallelHopLimitedDistances(g, nil, 0, hops)
 		}
@@ -451,32 +489,74 @@ func BenchmarkHopLimitedParallel(b *testing.B) {
 }
 
 // BenchmarkOracleQueryBatch measures serving throughput: a fixed batch
-// answered serially versus fanned across goroutines.
+// answered serially versus fanned across the pooled workers, on the
+// legacy (per-query allocation) and exec (arena-recycled) oracles.
+// allocs/op on the exec rows is the serving-path allocation budget —
+// regressions here show up directly in the CI bench log.
 func BenchmarkOracleQueryBatch(b *testing.B) {
 	g := WithUniformWeights(GridGraph(50, 50), 500, 1)
-	o := NewDistanceOracle(g, 0.25, 2)
 	n := g.NumVertices()
 	var pairs [][2]V
 	for i := V(0); i < 64; i++ {
 		pairs = append(pairs, [2]V{(i * 37) % n, (n - 1 - i*53%n) % n})
 	}
-	if _, err := o.QueryBatch(pairs); err != nil { // warm caches
-		b.Fatal(err)
-	}
-	b.Run("serial", func(b *testing.B) {
-		for i := 0; i < b.N; i++ {
-			for _, p := range pairs {
-				if _, err := o.QueryStats(p[0], p[1]); err != nil {
+	for _, mode := range []struct {
+		name string
+		o    *DistanceOracle
+	}{
+		{"legacy", NewDistanceOracle(g, 0.25, 2)},
+		{"exec", NewDistanceOracleOpts(g, 0.25, 2, OracleOptions{Exec: ParallelExec(0)})},
+	} {
+		o := mode.o
+		if _, err := o.QueryBatch(pairs); err != nil { // warm caches
+			b.Fatal(err)
+		}
+		b.Run(mode.name+"/serial", func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				for _, p := range pairs {
+					if _, err := o.QueryStats(p[0], p[1]); err != nil {
+						b.Fatal(err)
+					}
+				}
+			}
+		})
+		b.Run(mode.name+"/batch", func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := o.QueryBatch(pairs); err != nil {
 					b.Fatal(err)
 				}
 			}
+		})
+	}
+}
+
+// BenchmarkOracleBuild measures full oracle preprocessing — the
+// registry's build path — sequentially and on a pooled execution
+// context. ReportAllocs makes allocation regressions in the build
+// pipeline fail visibly in the CI bench log; the exec row's arenas
+// keep repeated builds (the many-graphs serving shape) off the GC.
+func BenchmarkOracleBuild(b *testing.B) {
+	g := WithUniformWeights(GridGraph(60, 60), 100, 3)
+	b.Run("sequential", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			NewDistanceOracle(g, 0.25, 2)
 		}
 	})
-	b.Run("batch", func(b *testing.B) {
+	b.Run("exec-sequential", func(b *testing.B) {
+		b.ReportAllocs()
+		ec := SequentialExec()
 		for i := 0; i < b.N; i++ {
-			if _, err := o.QueryBatch(pairs); err != nil {
-				b.Fatal(err)
-			}
+			NewDistanceOracleOpts(g, 0.25, 2, OracleOptions{Exec: ec})
+		}
+	})
+	b.Run("exec-parallel", func(b *testing.B) {
+		b.ReportAllocs()
+		ec := ParallelExec(0)
+		for i := 0; i < b.N; i++ {
+			NewDistanceOracleOpts(g, 0.25, 2, OracleOptions{Exec: ec})
 		}
 	})
 }

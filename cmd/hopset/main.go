@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	hopset -in graph.txt [-algo est|ks97|cohen|limited] [-seed N] [-queries 10] [-gamma2 0.5] [-parallel]
+//	hopset -in graph.txt [-algo est|ks97|cohen|limited] [-seed N] [-queries 10] [-gamma2 0.5] [-workers N] [-parallel]
 package main
 
 import (
@@ -13,6 +13,7 @@ import (
 	"os"
 
 	"repro/internal/eval"
+	"repro/internal/exec"
 	"repro/internal/graph"
 	"repro/internal/hopset"
 	"repro/internal/par"
@@ -26,7 +27,8 @@ func main() {
 	queries := flag.Int("queries", 10, "approximate distance queries to run (est only)")
 	gamma2 := flag.Float64("gamma2", 0.5, "top-level decomposition exponent (est only)")
 	alpha := flag.Float64("alpha", 0.5, "target depth exponent (limited only)")
-	parallel := flag.Bool("parallel", false, "run the construction's hot loops on goroutines (est only)")
+	parallel := flag.Bool("parallel", false, "run the construction's hot loops on goroutines (est only; deprecated: use -workers)")
+	workers := flag.Int("workers", 0, "worker cap for the est build: 1 = sequential, N > 1 = multicore capped at N, 0 = defer to -parallel")
 	flag.Parse()
 
 	if *in == "" {
@@ -51,6 +53,9 @@ func main() {
 		wp := hopset.DefaultWeightedParams(*seed)
 		wp.Gamma2 = *gamma2
 		wp.Parallel = *parallel
+		if *workers > 0 {
+			wp.Exec = exec.Parallel(*workers)
+		}
 		s := hopset.BuildScaled(g, wp, cost)
 		fmt.Printf("est multi-scale hopset: %d edges over %d bands\n", s.Size(), len(s.Scales))
 		fmt.Printf("cost: work=%d depth=%d\n", cost.Work(), cost.Depth())

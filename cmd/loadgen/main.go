@@ -8,7 +8,7 @@
 //	loadgen -addr http://localhost:8080 \
 //	    [-graph id | -gen "er:n=4096,d=8,w=uniform"] \
 //	    [-mix uniform|hotspot|repeat] [-concurrency 16] [-requests 2000] \
-//	    [-eps 0.25] [-seed 1] [-verify]
+//	    [-eps 0.25] [-seed 1] [-verify] [-workers N]
 //
 // With -gen, loadgen registers the graph itself (id "loadgen") and
 // waits for the build. With -verify (requires -gen), it rebuilds the
@@ -45,6 +45,7 @@ func main() {
 	eps := flag.Float64("eps", 0.25, "oracle accuracy (with -gen)")
 	seed := flag.Uint64("seed", 1, "seed (with -gen; also seeds the mixes)")
 	verify := flag.Bool("verify", false, "rebuild the oracle locally and verify every answer (needs -gen)")
+	workers := flag.Int("workers", 0, "worker cap for the local -verify rebuild; must mirror the daemon's -workers so both sides build the same oracle (0 = the sequential reference build, matching a daemon without -workers/-parallel)")
 	timeout := flag.Duration("timeout", 120*time.Second, "build-wait timeout")
 	flag.Parse()
 
@@ -92,8 +93,12 @@ func main() {
 		if err != nil {
 			fatal(err)
 		}
-		fmt.Printf("verify: rebuilding oracle locally (eps=%g seed=%d)...\n", *eps, *seed)
-		oracle = spanhop.NewDistanceOracle(spec.Gen(), *eps, *seed)
+		fmt.Printf("verify: rebuilding oracle locally (eps=%g seed=%d workers=%d)...\n", *eps, *seed, *workers)
+		var opt spanhop.OracleOptions
+		if *workers > 0 {
+			opt.Exec = spanhop.ParallelExec(*workers)
+		}
+		oracle = spanhop.NewDistanceOracleOpts(spec.Gen(), *eps, *seed, opt)
 	}
 
 	type sample struct {

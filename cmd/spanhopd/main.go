@@ -5,7 +5,7 @@
 // Usage:
 //
 //	spanhopd -addr :8080 [-load name=path]... [-gen name=spec]... \
-//	    [-eps 0.25] [-seed 1] [-parallel] \
+//	    [-eps 0.25] [-seed 1] [-workers N] [-parallel] \
 //	    [-build-workers 1] [-build-queue 16] \
 //	    [-batch-window 2ms] [-max-batch 64] \
 //	    [-query-workers N] [-query-queue 1024] [-cache 4096]
@@ -38,7 +38,8 @@ func main() {
 	addr := flag.String("addr", ":8080", "listen address")
 	eps := flag.Float64("eps", 0.25, "oracle accuracy for preloaded graphs")
 	seed := flag.Uint64("seed", 1, "seed for preloaded graphs")
-	parallel := flag.Bool("parallel", false, "build oracles with goroutine-parallel construction")
+	parallel := flag.Bool("parallel", false, "build oracles with goroutine-parallel construction (deprecated: use -workers)")
+	workers := flag.Int("workers", 0, "worker cap for oracle builds: 1 = sequential reference build, N > 1 = multicore capped at N, 0 = defer to -parallel")
 	buildWorkers := flag.Int("build-workers", 1, "concurrent oracle builds")
 	buildQueue := flag.Int("build-queue", 16, "max queued builds (overflow → 503)")
 	batchWindow := flag.Duration("batch-window", 2*time.Millisecond, "micro-batch coalescing window")
@@ -60,6 +61,7 @@ func main() {
 	srv := server.New(server.Config{
 		BuildWorkers: *buildWorkers,
 		BuildQueue:   *buildQueue,
+		Workers:      *workers,
 		Parallel:     *parallel,
 		BatchWindow:  *batchWindow,
 		MaxBatch:     *maxBatch,

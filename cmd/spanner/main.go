@@ -3,7 +3,7 @@
 //
 // Usage:
 //
-//	spanner -in graph.txt [-k 3] [-algo est|baswana-sen|greedy] [-seed N] [-out spanner.txt] [-samples 200] [-parallel]
+//	spanner -in graph.txt [-k 3] [-algo est|baswana-sen|greedy] [-seed N] [-out spanner.txt] [-samples 200] [-workers N] [-parallel]
 //
 // Graph files use the text format of internal/graph (see cmd/gengraph
 // to create one).
@@ -15,6 +15,7 @@ import (
 	"os"
 
 	"repro/internal/eval"
+	"repro/internal/exec"
 	"repro/internal/graph"
 	"repro/internal/par"
 	"repro/internal/spanner"
@@ -27,7 +28,8 @@ func main() {
 	algo := flag.String("algo", "est", "algorithm: est (ours), baswana-sen, greedy")
 	seed := flag.Uint64("seed", 1, "random seed")
 	samples := flag.Int("samples", 200, "edges sampled for stretch measurement (0 = skip)")
-	parallel := flag.Bool("parallel", false, "run the clustering race and boundary sweep on goroutines (est only)")
+	parallel := flag.Bool("parallel", false, "run the clustering race and boundary sweep on goroutines (est only; deprecated: use -workers)")
+	workers := flag.Int("workers", 0, "worker cap for the est build: 1 = sequential, N > 1 = multicore capped at N, 0 = defer to -parallel")
 	flag.Parse()
 
 	if *in == "" {
@@ -50,6 +52,9 @@ func main() {
 	switch *algo {
 	case "est":
 		opts := spanner.Options{Cost: cost, Parallel: *parallel}
+		if *workers > 0 {
+			opts.Exec = exec.Parallel(*workers)
+		}
 		if g.Weighted() {
 			res = spanner.WeightedOpts(g, *k, *seed, opts)
 		} else {

@@ -1,0 +1,83 @@
+package core
+
+import (
+	"context"
+	"runtime"
+	"testing"
+	"time"
+
+	"repro/internal/exec"
+	"repro/internal/graph"
+)
+
+// TestClusterExecBitIdentical: the clustering on an execution context
+// (sequential and parallel, arena-backed, run repeatedly to force
+// buffer reuse) must equal the legacy sequential race exactly.
+func TestClusterExecBitIdentical(t *testing.T) {
+	g := graph.UniformWeights(graph.RandomConnectedGNM(4000, 16000, 3), 8, 4)
+	const beta, seed = 0.2, 99
+	want := Cluster(g, beta, seed, Options{})
+	for round := 0; round < 2; round++ {
+		for _, ec := range []*exec.Ctx{exec.Sequential(), exec.Parallel(4)} {
+			got := Cluster(g, beta, seed, Options{Exec: ec})
+			if len(got.Centers) != len(want.Centers) {
+				t.Fatalf("centers: %d vs %d", len(got.Centers), len(want.Centers))
+			}
+			for v := range want.Center {
+				if got.Center[v] != want.Center[v] || got.Parent[v] != want.Parent[v] ||
+					got.DistToCenter[v] != want.DistToCenter[v] {
+					t.Fatalf("round %d vertex %d: (%d,%d,%d) vs (%d,%d,%d)",
+						round, v, got.Center[v], got.Parent[v], got.DistToCenter[v],
+						want.Center[v], want.Parent[v], want.DistToCenter[v])
+				}
+			}
+		}
+	}
+}
+
+// TestClusterCancel aborts an EST clustering mid-race: it must return
+// promptly and leave the goroutine count at its baseline.
+func TestClusterCancel(t *testing.T) {
+	g := graph.UniformWeights(graph.RandomConnectedGNM(80_000, 320_000, 11), 16, 12)
+	// Warm the pool for a stable baseline.
+	Cluster(g, 0.05, 1, Options{Exec: exec.Parallel(0)})
+	base := runtime.NumGoroutine()
+
+	// Pre-canceled: no vertex beyond the early buckets settles.
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	ec := exec.New(exec.Options{Context: ctx})
+	res := Cluster(g, 0.05, 1, Options{Exec: ec})
+	if ec.Err() == nil {
+		t.Fatal("expected canceled context")
+	}
+	if n := len(res.Centers); n != 0 {
+		t.Fatalf("canceled race still grouped %d clusters", n)
+	}
+
+	// Mid-run cancel with the parallel expansion active.
+	ctx2, cancel2 := context.WithCancel(context.Background())
+	ec2 := exec.New(exec.Options{Context: ctx2})
+	go func() {
+		time.Sleep(2 * time.Millisecond)
+		cancel2()
+	}()
+	done := make(chan struct{})
+	go func() {
+		Cluster(g, 0.05, 1, Options{Exec: ec2})
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(10 * time.Second):
+		t.Fatal("canceled clustering did not return")
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) && runtime.NumGoroutine() > base+4 {
+		runtime.GC()
+		time.Sleep(10 * time.Millisecond)
+	}
+	if got := runtime.NumGoroutine(); got > base+4 {
+		t.Fatalf("goroutines did not settle: base %d, now %d", base, got)
+	}
+}

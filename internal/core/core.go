@@ -35,6 +35,7 @@ import (
 	"sort"
 	"sync/atomic"
 
+	"repro/internal/exec"
 	"repro/internal/graph"
 	"repro/internal/par"
 	"repro/internal/rng"
@@ -56,13 +57,33 @@ type Options struct {
 	// clusters quotient graphs "with uniform edge weights"; this flag
 	// implements that without copying the graph.
 	UnitWeights bool
+	// Exec is the execution context: a parallel context expands every
+	// bucket with pooled goroutines, its arenas back the race's O(n)
+	// scratch, and its cancellation is polled per bucket — a canceled
+	// Cluster returns an invalid partial result, so callers must check
+	// Exec.Err() before using it. Nil keeps legacy behavior.
+	Exec *exec.Ctx
 	// Parallel expands every bucket of the race with concurrent
 	// goroutines (the CRCW frontier step of Appendix A realized on
 	// cores). The output — centers, parents, distances, groupings — is
 	// bit-identical to the sequential race: settlements write disjoint
 	// vertices, and generated claims are merged back in deterministic
 	// winner order before the next bucket resolves.
+	//
+	// Deprecated: set Exec to a parallel execution context instead;
+	// Parallel remains as a thin alias for Exec = exec.Default().
 	Parallel bool
+}
+
+// parallel reports whether bucket expansion should fan out. An
+// explicit execution context is decisive (a sequential Exec forces
+// the reference path); the deprecated bool only matters for legacy
+// nil-Exec callers.
+func (o *Options) parallel() bool {
+	if o.Exec != nil {
+		return o.Exec.IsParallel()
+	}
+	return o.Parallel
 }
 
 // admits loads the mark atomically for the same reason sssp.Options
@@ -203,8 +224,10 @@ func Cluster(g *graph.Graph, beta float64, seed uint64, opt Options) *Result {
 	// to compute DistToCenter (the shared fractional parts cancel).
 	// Dense arrays rather than maps so the parallel expansion can
 	// write settlements for distinct vertices without synchronization.
-	settledAt := make([]graph.Dist, n)
-	startAt := make([]graph.Dist, n)
+	settledAt := opt.Exec.DistsZero(int(n))
+	defer opt.Exec.PutDists(settledAt)
+	startAt := opt.Exec.DistsZero(int(n))
+	defer opt.Exec.PutDists(startAt)
 
 	var buckets [][]claim
 	pending := 0
@@ -226,11 +249,18 @@ func Cluster(g *graph.Graph, beta float64, seed uint64, opt Options) *Result {
 	nextWake := 0
 	settledCount := 0
 	var winners []claim // reused per bucket
+	// Parallel-expansion buffers, reused across buckets (and holding
+	// on to their inner claim capacity).
+	var perWinner [][]timedClaim
+	var counts []int64
 	for t := graph.Dist(0); settledCount < len(subset); t++ {
 		// Every level of the virtual-source search is one synchronous
 		// round, whether or not anything settles at it: this is the
 		// O(β^{-1} log n) term of Lemma 2.1.
 		opt.Cost.AddDepth(1)
+		if opt.Exec.Checkpoint() {
+			return res // canceled: partial, invalid (skip finishResult)
+		}
 		// Inject wake events due at t.
 		for nextWake < len(wakes) && wakes[nextWake].t == t {
 			w := wakes[nextWake]
@@ -295,34 +325,42 @@ func Cluster(g *graph.Graph, beta float64, seed uint64, opt Options) *Result {
 		var touched int64
 		// Buckets below the chunk grain would run inline anyway; the
 		// direct push loop skips their per-winner buffer allocations.
-		if opt.Parallel && len(winners) > 16 {
+		if opt.parallel() && len(winners) > 16 {
 			// One concurrent frontier round (the Appendix A CRCW step on
 			// real cores): winners expand side by side, buffering claims
 			// per winner; buffers merge back in winner order, so bucket
 			// contents — and therefore the whole race — stay
 			// bit-identical to the sequential path.
-			perWinner := make([][]timedClaim, len(winners))
-			counts := make([]int64, len(winners))
-			par.For(len(winners), 16, func(lo, hi int) {
+			if cap(perWinner) < len(winners) {
+				perWinner = make([][]timedClaim, len(winners))
+				counts = make([]int64, len(winners))
+			}
+			pw := perWinner[:len(winners)]
+			cnt := counts[:len(winners)]
+			for i := range pw {
+				pw[i] = pw[i][:0]
+				cnt[i] = 0
+			}
+			opt.Exec.For(len(winners), 16, func(lo, hi int) {
 				for i := lo; i < hi; i++ {
 					c := winners[i]
 					adj := g.Neighbors(c.v)
 					wts := g.AdjWeights(c.v)
 					for j, u := range adj {
-						counts[i]++
+						cnt[i]++
 						if !opt.admits(u) || res.Center[u] != graph.NoVertex {
 							continue
 						}
-						perWinner[i] = append(perWinner[i], timedClaim{
+						pw[i] = append(pw[i], timedClaim{
 							c: claim{v: u, center: c.center, parent: c.v, frac: c.frac},
 							t: t + opt.weight(wts, j),
 						})
 					}
 				}
 			})
-			for i := range perWinner {
-				touched += counts[i]
-				for _, tc := range perWinner[i] {
+			for i := range pw {
+				touched += cnt[i]
+				for _, tc := range pw[i] {
 					push(tc.c, tc.t)
 				}
 			}

@@ -1,0 +1,200 @@
+package exec
+
+import (
+	"math/bits"
+	"sync"
+
+	"repro/internal/graph"
+)
+
+// Scratch arenas: process-wide, size-class-keyed sync.Pools of the
+// per-vertex buffers every search and clustering round needs — dist,
+// parent, frontier, mark, and settled arrays. Buffers are handed out
+// explicitly reset to their algorithm-neutral sentinel (InfDist,
+// NoVertex, -1, false, 0), so a recycled buffer is indistinguishable
+// from a fresh allocation and results stay bit-identical. Resetting
+// costs the same memset a fresh make() would pay; what the arena
+// removes is the allocation itself and the GC pressure of abandoning
+// an O(n) buffer per round.
+//
+// Pools are keyed by ceil-power-of-two capacity class, so a buffer
+// released for an n-vertex graph is reusable by any computation of
+// size up to the same class. The pools are shared by every Ctx —
+// sync.Pool handles the concurrency — and a nil Ctx bypasses them
+// entirely (plain make, Put is a no-op), keeping legacy call sites
+// byte-for-byte on their old allocation behavior.
+
+const numClasses = 33
+
+type slicePools[T any] struct {
+	classes [numClasses]sync.Pool
+}
+
+func classOf(n int) int {
+	if n <= 1 {
+		return 0
+	}
+	return bits.Len(uint(n - 1))
+}
+
+// get returns a slice of len n and cap >= n; contents are arbitrary.
+// Invariant: class c only ever holds buffers with cap >= 1<<c, so a
+// pooled hit always covers its class's largest n.
+func (p *slicePools[T]) get(n int) []T {
+	if n < 0 {
+		n = 0
+	}
+	c := classOf(n)
+	if c >= numClasses {
+		return make([]T, n)
+	}
+	if v := p.classes[c].Get(); v != nil {
+		s := *(v.(*[]T))
+		if cap(s) >= n {
+			return s[:n]
+		}
+	}
+	return make([]T, n, 1<<c)
+}
+
+// put files s under the largest class its capacity fully covers
+// (floor log2), preserving the get() invariant.
+func (p *slicePools[T]) put(s []T) {
+	c := bits.Len(uint(cap(s))) - 1
+	if c < 0 {
+		return
+	}
+	if c >= numClasses {
+		c = numClasses - 1
+	}
+	s = s[:0]
+	p.classes[c].Put(&s)
+}
+
+var (
+	distPools slicePools[graph.Dist]
+	vertPools slicePools[graph.V]
+	markPools slicePools[int32]
+	boolPools slicePools[bool]
+)
+
+// Dists returns a len-n distance buffer filled with graph.InfDist —
+// the starting state of every search. Nil Ctx allocates fresh.
+func (e *Ctx) Dists(n int) []graph.Dist {
+	if e == nil || !e.arenaOn {
+		s := make([]graph.Dist, n)
+		for i := range s {
+			s[i] = graph.InfDist
+		}
+		return s
+	}
+	s := distPools.get(n)
+	for i := range s {
+		s[i] = graph.InfDist
+	}
+	return s
+}
+
+// DistsZero returns a len-n distance buffer filled with 0.
+func (e *Ctx) DistsZero(n int) []graph.Dist {
+	if e == nil || !e.arenaOn {
+		return make([]graph.Dist, n)
+	}
+	s := distPools.get(n)
+	for i := range s {
+		s[i] = 0
+	}
+	return s
+}
+
+// PutDists releases a buffer obtained from Dists/DistsZero. No-op on
+// nil Ctx. The caller must not use the slice afterwards.
+func (e *Ctx) PutDists(s []graph.Dist) {
+	if e == nil || !e.arenaOn {
+		return
+	}
+	distPools.put(s)
+}
+
+// Verts returns a len-n vertex buffer filled with graph.NoVertex (the
+// parent-array starting state).
+func (e *Ctx) Verts(n int) []graph.V {
+	if e == nil || !e.arenaOn {
+		s := make([]graph.V, n)
+		for i := range s {
+			s[i] = graph.NoVertex
+		}
+		return s
+	}
+	s := vertPools.get(n)
+	for i := range s {
+		s[i] = graph.NoVertex
+	}
+	return s
+}
+
+// PutVerts releases a buffer obtained from Verts.
+func (e *Ctx) PutVerts(s []graph.V) {
+	if e == nil || !e.arenaOn {
+		return
+	}
+	vertPools.put(s)
+}
+
+// Marks returns a len-n int32 buffer filled with -1 (the mark/token
+// and claimed-array starting state).
+func (e *Ctx) Marks(n int) []int32 {
+	if e == nil || !e.arenaOn {
+		s := make([]int32, n)
+		for i := range s {
+			s[i] = -1
+		}
+		return s
+	}
+	s := markPools.get(n)
+	for i := range s {
+		s[i] = -1
+	}
+	return s
+}
+
+// MarksZero returns a len-n int32 buffer filled with 0.
+func (e *Ctx) MarksZero(n int) []int32 {
+	if e == nil || !e.arenaOn {
+		return make([]int32, n)
+	}
+	s := markPools.get(n)
+	for i := range s {
+		s[i] = 0
+	}
+	return s
+}
+
+// PutMarks releases a buffer obtained from Marks/MarksZero.
+func (e *Ctx) PutMarks(s []int32) {
+	if e == nil || !e.arenaOn {
+		return
+	}
+	markPools.put(s)
+}
+
+// Bools returns a len-n bool buffer filled with false (settled
+// arrays).
+func (e *Ctx) Bools(n int) []bool {
+	if e == nil || !e.arenaOn {
+		return make([]bool, n)
+	}
+	s := boolPools.get(n)
+	for i := range s {
+		s[i] = false
+	}
+	return s
+}
+
+// PutBools releases a buffer obtained from Bools.
+func (e *Ctx) PutBools(s []bool) {
+	if e == nil || !e.arenaOn {
+		return
+	}
+	boolPools.put(s)
+}

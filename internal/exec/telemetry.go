@@ -1,0 +1,69 @@
+package exec
+
+import "sync"
+
+// StageStats is one named phase of a build: model cost (work, depth),
+// synchronous rounds passed, and wall time. The serving layer exposes
+// these per graph under /stats so operators can see where a build's
+// time went (decomposition vs per-band hopsets vs graph loading).
+type StageStats struct {
+	Name   string  `json:"name"`
+	Work   int64   `json:"work"`
+	Depth  int64   `json:"depth"`
+	Rounds int64   `json:"rounds"`
+	WallMS float64 `json:"wall_ms"`
+}
+
+// Telemetry accumulates stage statistics. Stages recorded under the
+// same name sum; first-seen order is preserved. Safe for concurrent
+// use (parallel instance builds record their stages side by side).
+//
+// Rounds attribution is Ctx-wide: a stage's Rounds is the number of
+// Checkpoint calls on the Ctx during the stage, so stages that run
+// concurrently on one Ctx overlap in their round counts. Work and
+// depth come from the stage's own cost accumulator and are exact.
+type Telemetry struct {
+	mu     sync.Mutex
+	order  []string
+	stages map[string]*StageStats
+}
+
+// NewTelemetry returns an empty telemetry sink.
+func NewTelemetry() *Telemetry {
+	return &Telemetry{stages: make(map[string]*StageStats)}
+}
+
+func (t *Telemetry) record(s StageStats) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.stages == nil {
+		t.stages = make(map[string]*StageStats)
+	}
+	cur, ok := t.stages[s.Name]
+	if !ok {
+		cur = &StageStats{Name: s.Name}
+		t.stages[s.Name] = cur
+		t.order = append(t.order, s.Name)
+	}
+	cur.Work += s.Work
+	cur.Depth += s.Depth
+	cur.Rounds += s.Rounds
+	cur.WallMS += s.WallMS
+}
+
+// Snapshot returns the accumulated stages in first-seen order.
+func (t *Telemetry) Snapshot() []StageStats {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]StageStats, 0, len(t.order))
+	for _, name := range t.order {
+		out = append(out, *t.stages[name])
+	}
+	return out
+}

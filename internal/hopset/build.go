@@ -7,6 +7,7 @@ import (
 	"sync/atomic"
 
 	"repro/internal/core"
+	"repro/internal/exec"
 	"repro/internal/graph"
 	"repro/internal/par"
 	"repro/internal/rng"
@@ -62,15 +63,14 @@ func buildOn(gWork, gTrue *graph.Graph, p Params, cost *par.Cost) *Result {
 		gWork:    gWork,
 		gTrue:    gTrue,
 		p:        p,
+		ec:       p.exec(),
 		rho:      p.Rho(n),
 		nfinal:   p.NFinal(n),
 		betaStep: p.BetaStep(n),
 		maxLevel: p.MaxLevels(n),
-		mark:     make([]int32, n),
 	}
-	for i := range b.mark {
-		b.mark[i] = -1
-	}
+	b.mark = b.ec.Marks(n)
+	defer b.ec.PutMarks(b.mark)
 	all := make([]graph.V, n)
 	for i := range all {
 		all[i] = graph.V(i)
@@ -90,6 +90,7 @@ func buildOn(gWork, gTrue *graph.Graph, p Params, cost *par.Cost) *Result {
 type builder struct {
 	gWork, gTrue *graph.Graph
 	p            Params
+	ec           *exec.Ctx
 	rho          float64
 	nfinal       int
 	betaStep     float64
@@ -114,8 +115,10 @@ func (b *builder) recurse(subset []graph.V, token int32, beta float64, level int
 	if cur := b.deepest.Load(); int64(level) > cur {
 		b.deepest.CompareAndSwap(cur, int64(level))
 	}
-	// Line 1: base case.
-	if len(subset) <= b.nfinal || level > b.maxLevel {
+	// Line 1: base case. A canceled build also bottoms out here: every
+	// subtree still in flight returns empty and the whole recursion
+	// unwinds within one bucket round per active cluster race.
+	if len(subset) <= b.nfinal || level > b.maxLevel || b.ec.Canceled() {
 		return nil
 	}
 	r := rng.New(seed)
@@ -125,8 +128,12 @@ func (b *builder) recurse(subset []graph.V, token int32, beta float64, level int
 		Vertices: subset,
 		Mark:     b.mark,
 		Token:    token,
+		Exec:     b.ec,
 		Parallel: b.p.Parallel,
 	})
+	if b.ec.Canceled() {
+		return nil // clus is partial; do not consume it
+	}
 
 	var out []graph.Edge
 	var recurseOn [][]graph.V
@@ -215,7 +222,7 @@ func (b *builder) recurse(subset []graph.V, token int32, beta float64, level int
 		}
 		childCosts[i] = par.NewCost()
 	}
-	par.DoN(len(recurseOn), func(i int) {
+	b.ec.DoN(len(recurseOn), func(i int) {
 		childEdges[i] = b.recurse(recurseOn[i], childTokens[i], nextBeta, level+1, childSeeds[i], childCosts[i])
 	})
 	cost.JoinMax(childCosts...)
@@ -300,27 +307,36 @@ func (b *builder) cliqueEdges(clus *core.Result, largeIdx []int, token int32, co
 	}
 	results := make([][]graph.Edge, len(centers))
 	costs := make([]*par.Cost, len(centers))
-	par.DoN(len(centers), func(i int) {
+	b.ec.DoN(len(centers), func(i int) {
 		costs[i] = par.NewCost()
+		if b.ec.Canceled() {
+			return // the partial clique is discarded with the build
+		}
 		src := centers[i]
 		res := sssp.Weighted(b.gWork, []graph.V{src}, sssp.Options{
 			Cost:     costs[i],
 			Mark:     b.mark,
 			Token:    token,
+			Exec:     b.ec,
 			Parallel: b.p.Parallel,
 		})
 		var es []graph.Edge
-		for j := i + 1; j < len(centers); j++ {
-			dst := centers[j]
-			if !res.Reached(dst) {
-				continue
+		if !b.ec.Canceled() {
+			for j := i + 1; j < len(centers); j++ {
+				dst := centers[j]
+				if !res.Reached(dst) {
+					continue
+				}
+				w, ok := b.truePathWeight(res.Parent, dst)
+				if !ok {
+					continue
+				}
+				es = append(es, graph.Edge{U: src, V: dst, W: w})
 			}
-			w, ok := b.truePathWeight(res.Parent, dst)
-			if !ok {
-				continue
-			}
-			es = append(es, graph.Edge{U: src, V: dst, W: w})
 		}
+		// The search result is fully consumed: recycle its O(n)
+		// arrays for the sibling searches.
+		res.Release(b.ec)
 		results[i] = es
 	})
 	cost.JoinMax(costs...)

@@ -3,6 +3,7 @@ package hopset
 import (
 	"math"
 
+	"repro/internal/exec"
 	"repro/internal/graph"
 	"repro/internal/par"
 	"repro/internal/sssp"
@@ -50,6 +51,16 @@ type QueryResult struct {
 // falls back to an exact Dijkstra on the augmented graph, so the
 // answer is always finite iff s and t are connected.
 func (s *Scaled) Query(src, dst graph.V, cost *par.Cost) QueryResult {
+	return s.QueryOn(nil, src, dst, cost)
+}
+
+// QueryOn is Query on an execution context: every band search draws
+// its result arrays from ec's arenas and releases them when the band
+// is judged, so steady-state query traffic stops allocating O(n)
+// buffers per band per query. The context must never be canceled (use
+// exec.Ctx.Detached from a build context): queries have no notion of
+// a partial answer.
+func (s *Scaled) QueryOn(ec *exec.Ctx, src, dst graph.V, cost *par.Cost) QueryResult {
 	if src == dst {
 		return QueryResult{Dist: 0, Scale: -1}
 	}
@@ -119,6 +130,7 @@ func (s *Scaled) Query(src, dst graph.V, cost *par.Cost) QueryResult {
 			res := sssp.Dial(g, []graph.V{src}, sssp.Options{
 				Cost:    bandCost,
 				MaxDist: levelCap,
+				Exec:    ec,
 			})
 			roundCosts = append(roundCosts, bandCost)
 			total.Work += bandCost.Work()
@@ -128,6 +140,7 @@ func (s *Scaled) Query(src, dst graph.V, cost *par.Cost) QueryResult {
 					bestDist, bestScale = cand, idx
 				}
 			}
+			res.Release(ec)
 		}
 		// The bands of this round ran side by side: depth is the max,
 		// work is the sum.
@@ -148,13 +161,14 @@ func (s *Scaled) Query(src, dst graph.V, cost *par.Cost) QueryResult {
 	// Deterministic fallback: exact on the augmented graph (same
 	// metric as the base graph).
 	fb := par.NewCost()
-	res := sssp.Dijkstra(s.Augmented(), []graph.V{src}, sssp.Options{Cost: fb})
+	res := sssp.Dijkstra(s.Augmented(), []graph.V{src}, sssp.Options{Cost: fb, Exec: ec})
 	cost.AddSequential(fb)
 	total.Levels += fb.Depth()
 	total.Work += fb.Work()
 	total.Dist = res.Dist[dst]
 	total.Scale = -1
 	total.Fallback = true
+	res.Release(ec)
 	return total
 }
 

@@ -196,9 +196,15 @@ func BuildScaled(g *graph.Graph, wp WeightedParams, cost *par.Cost) *Scaled {
 	}
 
 	// The bands are independent: they run side by side in the model.
+	ec := wp.Params.exec()
 	costs := make([]*par.Cost, len(jobs))
 	scales := make([]Scale, len(jobs))
 	for i, jb := range jobs {
+		if ec.Canceled() {
+			// Abandon the remaining bands; the partial Scaled is
+			// invalid and must be discarded by the Ctx owner.
+			break
+		}
 		if jb.reuse {
 			continue // resolved after the parallel phase
 		}
@@ -212,7 +218,7 @@ func BuildScaled(g *graph.Graph, wp WeightedParams, cost *par.Cost) *Scaled {
 	}
 	cost.JoinMax(costs...)
 	for i, jb := range jobs {
-		if jb.reuse {
+		if jb.reuse && scales[i-1].Res != nil {
 			scales[i] = Scale{D: jb.d, WHat: 1, Res: scales[i-1].Res}
 		}
 	}

@@ -53,6 +53,30 @@
 // Parallel knob is on or off; only wall-clock changes. Benchmarks
 // (BenchmarkWeightedSSSP and friends) measure the wall-clock side —
 // the "does the PRAM model translate to cores" check.
+//
+// # Inherited-pool semantics
+//
+// For, ForIdx, Do, and DoN no longer spawn fresh goroutines per call:
+// chunks are handed to a process-wide pool of long-lived workers
+// (lazily grown to the largest parallelism ever requested) and the
+// calling goroutine always participates in its own loop. A handoff is
+// attempted only to an idle worker; when the pool is saturated — e.g.
+// a nested For issued from inside a DoN body that already occupies
+// every worker — the caller simply runs the remaining chunks inline.
+// This caller-runs rule makes nested fork-join deadlock-free by
+// construction and means a parallel region never waits on goroutine
+// creation or destruction, which is what keeps repeated frontier
+// phases allocation-free.
+//
+// The package-level entry points size their fan-out at
+// runtime.GOMAXPROCS(0). Routines running under an execution context
+// (internal/exec) instead call the *Workers variants (ForWorkers,
+// DoNWorkers, DoWorkers), which honor the context's worker cap: an
+// exec.Ctx with Workers = 4 fans every For under it across at most 4
+// chunks-in-flight, GOMAXPROCS notwithstanding, and a cap of 1 runs
+// the body inline with no pool traffic at all. Cost accounting is
+// unaffected by the cap — the model's (work, depth) never depends on
+// how many physical workers realized a round.
 package par
 
 import (
@@ -150,10 +174,132 @@ func (c *Cost) Snapshot() (work, depth int64) {
 }
 
 // ---------------------------------------------------------------------------
-// Goroutine substrate.
+// Goroutine substrate: the shared worker pool.
 
-// Workers returns the degree of parallelism used by For and friends.
+// Workers returns the degree of parallelism used by For and friends
+// when no explicit worker cap is given.
 func Workers() int { return runtime.GOMAXPROCS(0) }
+
+// The pool: long-lived workers blocked on an unbuffered task channel.
+// Handoffs use a non-blocking send, so a task is only ever given to a
+// worker that is actually parked in receive; otherwise the caller runs
+// the work itself. The pool grows lazily to the largest parallelism
+// requested so far and never shrinks — parked workers cost one idle
+// goroutine each and keep every later parallel region spawn-free.
+var (
+	poolTasks = make(chan func())
+	poolMu    sync.Mutex
+	poolSize  int
+)
+
+// ensureWorkers grows the pool to at least want workers.
+func ensureWorkers(want int) {
+	if want <= int(atomic.LoadInt64(&poolSizeAtomic)) {
+		return
+	}
+	poolMu.Lock()
+	for poolSize < want {
+		go func() {
+			for t := range poolTasks {
+				t()
+			}
+		}()
+		poolSize++
+	}
+	atomic.StoreInt64(&poolSizeAtomic, int64(poolSize))
+	poolMu.Unlock()
+}
+
+var poolSizeAtomic int64
+
+// PoolSize reports how many pooled workers currently exist (tests and
+// goroutine-leak accounting).
+func PoolSize() int { return int(atomic.LoadInt64(&poolSizeAtomic)) }
+
+// Limiter is a shared helper-goroutine budget: one execution context
+// (internal/exec) holds a Limiter with workers−1 tokens, and every
+// For/DoN issued through that context — however deeply nested —
+// acquires its helpers from the same budget. The per-call worker cap
+// alone would let nested fan-out multiply (an outer DoN capped at N
+// whose bodies each run a For capped at N can occupy up to N² pool
+// workers); the shared budget bounds the whole region at N goroutines:
+// the root caller plus at most workers−1 helpers in flight.
+type Limiter struct {
+	tokens chan struct{}
+}
+
+// NewLimiter returns a budget of n helper tokens (nil when n <= 0,
+// which fanOut treats as unlimited — the process-wide pool size is
+// then the only bound).
+func NewLimiter(n int) *Limiter {
+	if n <= 0 {
+		return nil
+	}
+	l := &Limiter{tokens: make(chan struct{}, n)}
+	for i := 0; i < n; i++ {
+		l.tokens <- struct{}{}
+	}
+	return l
+}
+
+func (l *Limiter) tryAcquire() bool {
+	if l == nil {
+		return true
+	}
+	select {
+	case <-l.tokens:
+		return true
+	default:
+		return false
+	}
+}
+
+func (l *Limiter) release() {
+	if l != nil {
+		l.tokens <- struct{}{}
+	}
+}
+
+// fanOut hands up to helpers copies of run to idle pool workers and
+// runs run on the calling goroutine too, returning when every copy
+// has finished. Each helper costs one token from l (nil = unlimited);
+// tokens are held until the whole region completes, so nested regions
+// under the same Limiter degrade to caller-runs once the budget is
+// spent. run must be safe for concurrent invocation and must return
+// when the shared work supply is exhausted.
+func fanOut(l *Limiter, helpers int, run func()) {
+	if helpers > 0 {
+		ensureWorkers(helpers)
+	}
+	var wg sync.WaitGroup
+	granted := 0
+handoff:
+	for i := 0; i < helpers; i++ {
+		if !l.tryAcquire() {
+			break
+		}
+		wg.Add(1)
+		task := func() {
+			defer wg.Done()
+			run()
+		}
+		select {
+		case poolTasks <- task:
+			granted++
+		default:
+			// No worker is parked right now (pool saturated by outer
+			// parallelism). Caller-runs: skip the remaining handoffs.
+			wg.Done()
+			l.release()
+			break handoff
+		}
+	}
+	run()
+	wg.Wait()
+	for ; granted > 0; granted-- {
+		l.release()
+	}
+}
 
 // minGrain is the smallest range worth shipping to other goroutines
 // when the caller lets For pick the grain; below this For runs inline
@@ -166,21 +312,39 @@ func Workers() int { return runtime.GOMAXPROCS(0) }
 const minGrain = 512
 
 // For executes body(lo, hi) over a partition of [0, n) using up to
-// Workers() goroutines. body must be safe to call concurrently on
-// disjoint ranges. grain is the target chunk size; pass 0 for an
-// automatic choice (which also applies a minGrain cutoff suited to
-// cheap bodies). An explicit grain > 0 is authoritative: For fans out
-// whenever n exceeds it, however small n is. For blocks until all
-// chunks complete.
+// Workers() chunks in flight on the shared worker pool. body must be
+// safe to call concurrently on disjoint ranges. grain is the target
+// chunk size; pass 0 for an automatic choice (which also applies a
+// minGrain cutoff suited to cheap bodies). An explicit grain > 0 is
+// authoritative: For fans out whenever n exceeds it, however small n
+// is. For blocks until all chunks complete.
 //
 // For models one parallel step: callers that want the step accounted
 // should call cost.AddDepth(1) (or Round) themselves, since only the
 // caller knows the per-element work performed inside body.
 func For(n, grain int, body func(lo, hi int)) {
+	ForWorkers(0, n, grain, body)
+}
+
+// ForWorkers is For with an explicit worker cap: at most p chunks run
+// simultaneously (p <= 0 means Workers()).
+func ForWorkers(p, n, grain int, body func(lo, hi int)) {
+	ForLimited(nil, p, n, grain, body)
+}
+
+// ForLimited is ForWorkers drawing its helpers from a shared Limiter
+// budget. This is the entry point the execution context
+// (internal/exec) uses to impose its configured parallelism on every
+// loop beneath it: the per-call cap p bounds one loop's fan-out, the
+// Limiter bounds the aggregate across every loop nested under the
+// same context.
+func ForLimited(l *Limiter, p, n, grain int, body func(lo, hi int)) {
 	if n <= 0 {
 		return
 	}
-	p := Workers()
+	if p <= 0 {
+		p = Workers()
+	}
 	if grain <= 0 {
 		if n <= minGrain {
 			body(0, n)
@@ -194,36 +358,31 @@ func For(n, grain int, body func(lo, hi int)) {
 	}
 	chunks := (n + grain - 1) / grain
 	if chunks > 4*p {
-		// Re-balance so that we never spawn absurd numbers of
-		// goroutines for tiny grains.
+		// Re-balance so that tiny grains never turn into absurd
+		// numbers of chunk handoffs.
 		grain = (n + 4*p - 1) / (4 * p)
 		chunks = (n + grain - 1) / grain
 	}
 	var next atomic.Int64
-	var wg sync.WaitGroup
-	workers := p
-	if workers > chunks {
-		workers = chunks
-	}
-	wg.Add(workers)
-	for w := 0; w < workers; w++ {
-		go func() {
-			defer wg.Done()
-			for {
-				i := next.Add(1) - 1
-				lo := int(i) * grain
-				if lo >= n {
-					return
-				}
-				hi := lo + grain
-				if hi > n {
-					hi = n
-				}
-				body(lo, hi)
+	run := func() {
+		for {
+			i := next.Add(1) - 1
+			lo := int(i) * grain
+			if lo >= n {
+				return
 			}
-		}()
+			hi := lo + grain
+			if hi > n {
+				hi = n
+			}
+			body(lo, hi)
+		}
 	}
-	wg.Wait()
+	helpers := p
+	if helpers > chunks {
+		helpers = chunks
+	}
+	fanOut(l, helpers-1, run)
 }
 
 // ForIdx executes body(i) for every i in [0, n) in parallel chunks.
@@ -239,6 +398,11 @@ func ForIdx(n, grain int, body func(i int)) {
 // the fork-join primitive used for "recurse on each cluster in
 // parallel" (Algorithm 4 line 10).
 func Do(thunks ...func()) {
+	DoWorkers(0, thunks...)
+}
+
+// DoWorkers is Do with an explicit worker cap (p <= 0 means Workers()).
+func DoWorkers(p int, thunks ...func()) {
 	switch len(thunks) {
 	case 0:
 		return
@@ -246,24 +410,29 @@ func Do(thunks ...func()) {
 		thunks[0]()
 		return
 	}
-	var wg sync.WaitGroup
-	wg.Add(len(thunks) - 1)
-	for _, t := range thunks[1:] {
-		t := t
-		go func() {
-			defer wg.Done()
-			t()
-		}()
-	}
-	thunks[0]()
-	wg.Wait()
+	DoNWorkers(p, len(thunks), func(i int) { thunks[i]() })
 }
 
 // DoN runs body(i) for i in [0, n) in parallel and waits, limiting the
-// number of simultaneously running goroutines to Workers(). Unlike
+// number of simultaneously running invocations to Workers(). Unlike
 // ForIdx it gives every i its own invocation even when n is small,
 // which is what recursive algorithm fan-out wants.
 func DoN(n int, body func(i int)) {
+	DoNWorkers(0, n, body)
+}
+
+// DoNWorkers is DoN with an explicit worker cap (p <= 0 means
+// Workers()). Bodies may themselves issue nested For/DoN calls: when
+// the pool is saturated the nested call runs inline on the same
+// goroutine, so recursive fan-out (the hopset recursion) can never
+// deadlock on pool capacity.
+func DoNWorkers(p, n int, body func(i int)) {
+	DoNLimited(nil, p, n, body)
+}
+
+// DoNLimited is DoNWorkers drawing its helpers from a shared Limiter
+// budget (see ForLimited).
+func DoNLimited(l *Limiter, p, n int, body func(i int)) {
 	if n <= 0 {
 		return
 	}
@@ -271,17 +440,30 @@ func DoN(n int, body func(i int)) {
 		body(0)
 		return
 	}
-	sem := make(chan struct{}, Workers())
-	var wg sync.WaitGroup
-	wg.Add(n)
-	for i := 0; i < n; i++ {
-		sem <- struct{}{}
-		go func(i int) {
-			defer func() { <-sem; wg.Done() }()
-			body(i)
-		}(i)
+	if p <= 0 {
+		p = Workers()
 	}
-	wg.Wait()
+	if p == 1 {
+		for i := 0; i < n; i++ {
+			body(i)
+		}
+		return
+	}
+	var next atomic.Int64
+	run := func() {
+		for {
+			i := int(next.Add(1)) - 1
+			if i >= n {
+				return
+			}
+			body(i)
+		}
+	}
+	helpers := p
+	if helpers > n {
+		helpers = n
+	}
+	fanOut(l, helpers-1, run)
 }
 
 // ---------------------------------------------------------------------------

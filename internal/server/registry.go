@@ -13,13 +13,16 @@
 package server
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"os"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	spanhop "repro"
+	"repro/internal/exec"
 	"repro/internal/graph"
 	"repro/internal/workload"
 )
@@ -70,6 +73,15 @@ type Entry struct {
 	spec  GraphSpec
 	stats *GraphStats
 
+	// Build cancellation: cancel aborts an in-flight build at its next
+	// round boundary; deleted marks the entry as evicted so the build
+	// worker discards whatever the aborted build produced (no partial
+	// state survives a DELETE).
+	cancel  context.CancelFunc
+	buildC  context.Context
+	deleted atomic.Bool
+	tel     *exec.Telemetry
+
 	mu      sync.Mutex
 	state   State
 	err     string
@@ -100,6 +112,10 @@ type Info struct {
 	Instances   int   `json:"instances,omitempty"`
 	Degenerate  bool  `json:"degenerate,omitempty"`
 	BuildMS     int64 `json:"build_ms,omitempty"`
+	// BuildStages is the per-stage build telemetry (graph loading,
+	// weight-class decomposition, hopset construction) recorded by the
+	// build's execution context.
+	BuildStages []exec.StageStats `json:"build_stages,omitempty"`
 }
 
 // Info snapshots the entry.
@@ -122,6 +138,7 @@ func (e *Entry) Info() Info {
 		info.Instances = e.oracle.InstanceCount()
 		info.Degenerate = e.oracle.Degenerate()
 	}
+	info.BuildStages = e.tel.Snapshot()
 	return info
 }
 
@@ -169,6 +186,15 @@ func NewRegistry(cfg Config) *Registry {
 		go func() {
 			defer r.wg.Done()
 			for e := range r.queue {
+				if e.deleted.Load() {
+					// Deleted while queued: the entry is already out of
+					// the registry; never pay for the build.
+					e.mu.Lock()
+					e.state = StateFailed
+					e.err = "graph deleted before build started"
+					e.mu.Unlock()
+					continue
+				}
 				if r.isClosed() {
 					// Shutdown: drain the queue without paying for
 					// builds nobody will query.
@@ -228,12 +254,16 @@ func (r *Registry) Add(spec GraphSpec) (*Entry, error) {
 	} else if _, dup := r.entries[id]; dup {
 		return nil, fmt.Errorf("%w: %q", ErrDuplicateName, id)
 	}
+	buildC, cancel := context.WithCancel(context.Background())
 	e := &Entry{
 		id:      id,
 		spec:    spec,
 		stats:   &GraphStats{},
 		state:   StateBuilding,
 		created: time.Now(),
+		buildC:  buildC,
+		cancel:  cancel,
+		tel:     exec.NewTelemetry(),
 	}
 	select {
 	case r.queue <- e:
@@ -253,6 +283,41 @@ func (r *Registry) Get(id string) (*Entry, bool) {
 	return e, ok
 }
 
+// Delete evicts a graph: the entry leaves the registry immediately
+// (no new lookups can reach it), a ready graph's executor is drained
+// and closed, and an in-flight or queued build is canceled at its
+// next round boundary and its output discarded — no partial state
+// survives. Returns the entry's state at eviction time.
+func (r *Registry) Delete(id string) (State, error) {
+	r.mu.Lock()
+	e, ok := r.entries[id]
+	if !ok {
+		r.mu.Unlock()
+		return "", fmt.Errorf("%w: %q", ErrUnknownGraph, id)
+	}
+	delete(r.entries, id)
+	for i, oid := range r.order {
+		if oid == id {
+			r.order = append(r.order[:i], r.order[i+1:]...)
+			break
+		}
+	}
+	r.mu.Unlock()
+
+	e.deleted.Store(true)
+	if e.cancel != nil {
+		e.cancel() // aborts a running build at its next checkpoint
+	}
+	e.mu.Lock()
+	state := e.state
+	ex := e.exec
+	e.mu.Unlock()
+	if ex != nil {
+		ex.Close()
+	}
+	return state, nil
+}
+
 // List snapshots all entries in registration order.
 func (r *Registry) List() []Info {
 	r.mu.RLock()
@@ -269,10 +334,13 @@ func (r *Registry) List() []Info {
 	return out
 }
 
-// build loads/generates the graph, preprocesses the oracle, and
-// transitions the entry to ready/failed. Panics in the pipeline (e.g.
-// malformed generator output) surface as build failures, not daemon
-// crashes.
+// build loads/generates the graph, preprocesses the oracle on a
+// cancelable execution context, and transitions the entry to
+// ready/failed. Panics in the pipeline (e.g. malformed generator
+// output) surface as build failures, not daemon crashes. A build
+// whose entry was deleted mid-flight (DELETE /graphs/{id}) discards
+// everything it produced: the aborted oracle never becomes reachable
+// state.
 func (r *Registry) build(e *Entry) {
 	start := time.Now()
 	fail := func(err error) {
@@ -282,6 +350,11 @@ func (r *Registry) build(e *Entry) {
 		e.buildMS = time.Since(start).Milliseconds()
 		e.mu.Unlock()
 	}
+	ec := exec.New(exec.Options{
+		Context:   e.buildC,
+		Workers:   r.cfg.buildExecWorkers(),
+		Telemetry: e.tel,
+	})
 	var g *graph.Graph
 	var oracle *spanhop.DistanceOracle
 	err := func() (err error) {
@@ -290,6 +363,7 @@ func (r *Registry) build(e *Entry) {
 				err = fmt.Errorf("build panicked: %v", p)
 			}
 		}()
+		stop := ec.Stage("load-graph", nil)
 		if e.spec.File != "" {
 			f, ferr := os.Open(e.spec.File)
 			if ferr != nil {
@@ -307,22 +381,41 @@ func (r *Registry) build(e *Entry) {
 			}
 			g = spec.Gen()
 		}
+		stop()
+		// The cost accumulator feeds the stage telemetry's work/depth
+		// columns in /stats.
 		oracle = spanhop.NewDistanceOracleOpts(g, e.spec.Eps, e.spec.Seed,
-			spanhop.OracleOptions{Parallel: r.cfg.Parallel})
+			spanhop.OracleOptions{
+				Cost:      spanhop.NewCost(),
+				Exec:      ec,
+				QueryExec: exec.Parallel(r.cfg.queryExecWorkers()),
+				Parallel:  r.cfg.Parallel,
+			})
+		if cerr := ec.Err(); cerr != nil {
+			return fmt.Errorf("build canceled: %w", cerr)
+		}
 		return nil
 	}()
-	if err != nil {
+	if err != nil || e.deleted.Load() {
+		if err == nil {
+			err = errors.New("graph deleted during build")
+		}
 		fail(err)
 		return
 	}
-	exec := newExecutor(oracle, r.cfg, e.stats)
+	ex := newExecutor(oracle, r.cfg, e.stats)
 	e.mu.Lock()
 	e.g = g
 	e.oracle = oracle
-	e.exec = exec
+	e.exec = ex
 	e.state = StateReady
 	e.buildMS = time.Since(start).Milliseconds()
 	e.mu.Unlock()
+	// A DELETE racing the transition above: it either saw the
+	// executor (and closed it) or we see the flag now and tear down.
+	if e.deleted.Load() {
+		ex.Close()
+	}
 }
 
 // validName keeps ids routable: the mux pattern /graphs/{id} matches
@@ -353,9 +446,10 @@ func (r *Registry) isClosed() bool {
 	return r.closed
 }
 
-// Close stops accepting registrations, waits for in-flight builds
-// (queued-but-unstarted ones are marked failed instead of built), and
-// shuts down every executor. Safe to call more than once.
+// Close stops accepting registrations, cancels in-flight builds at
+// their next round boundary (queued-but-unstarted ones are marked
+// failed instead of built), and shuts down every executor. Safe to
+// call more than once.
 func (r *Registry) Close() {
 	r.mu.Lock()
 	if r.closed {
@@ -363,25 +457,33 @@ func (r *Registry) Close() {
 		return
 	}
 	r.closed = true
-	r.mu.Unlock()
-	close(r.queue)
-	r.wg.Wait()
-	r.mu.RLock()
 	entries := make([]*Entry, 0, len(r.entries))
 	for _, e := range r.entries {
 		entries = append(entries, e)
 	}
-	r.mu.RUnlock()
+	r.mu.Unlock()
+	// Abort in-flight builds: shutdown should not wait out a large
+	// preprocess nobody will ever query.
 	for _, e := range entries {
 		e.mu.Lock()
-		exec := e.exec
+		building := e.state == StateBuilding
+		e.mu.Unlock()
+		if building && e.cancel != nil {
+			e.cancel()
+		}
+	}
+	close(r.queue)
+	r.wg.Wait()
+	for _, e := range entries {
+		e.mu.Lock()
+		ex := e.exec
 		if e.state == StateBuilding {
 			e.state = StateFailed
 			e.err = "server shut down before build started"
 		}
 		e.mu.Unlock()
-		if exec != nil {
-			exec.Close()
+		if ex != nil {
+			ex.Close()
 		}
 	}
 }

@@ -8,6 +8,7 @@ import (
 	"time"
 
 	spanhop "repro"
+	"repro/internal/exec"
 	"repro/internal/graph"
 )
 
@@ -17,8 +18,17 @@ type Config struct {
 	// BuildQueue bounds how many registrations may wait behind them.
 	BuildWorkers int
 	BuildQueue   int
+	// Workers caps the execution context each oracle build runs on:
+	// 1 forces the sequential reference construction, n > 1 runs the
+	// multicore construction on at most n pooled workers, and 0 defers
+	// to the deprecated Parallel bool (Parallel ? GOMAXPROCS : 1).
+	// Every build is cancelable (DELETE /graphs/{id}) and arena-backed
+	// regardless of the cap.
+	Workers int
 	// Parallel builds oracles with the machine-parallel construction
 	// (goroutine hot loops).
+	//
+	// Deprecated: set Workers instead; Parallel is Workers=GOMAXPROCS.
 	Parallel bool
 
 	// BatchWindow is how long a micro-batch stays open after its
@@ -60,14 +70,40 @@ func (c Config) withDefaults() Config {
 	return c
 }
 
+// buildExecWorkers resolves the worker cap of build execution
+// contexts: an explicit Workers wins; otherwise the deprecated
+// Parallel bool maps to GOMAXPROCS (0) or the sequential reference
+// build (1).
+func (c Config) buildExecWorkers() int {
+	if c.Workers > 0 {
+		return c.Workers
+	}
+	if c.Parallel {
+		return 0
+	}
+	return 1
+}
+
+// queryExecWorkers resolves the worker cap of the per-oracle query
+// context. Queries default to full parallelism — the executor's
+// QueryWorkers already bounds concurrent batches — unless the
+// operator explicitly capped Workers.
+func (c Config) queryExecWorkers() int {
+	if c.Workers > 0 {
+		return c.Workers
+	}
+	return 0
+}
+
 // Server is the HTTP face of the registry + executors.
 //
-//	POST /graphs              register a graph (GraphSpec JSON) → 202
-//	GET  /graphs              list entries
-//	GET  /graphs/{id}         one entry
-//	POST /graphs/{id}/query   {"s":..,"t":..} or {"pairs":[[s,t],..]}
-//	GET  /healthz             liveness + entry counts
-//	GET  /stats               per-graph serving counters
+//	POST   /graphs              register a graph (GraphSpec JSON) → 202
+//	GET    /graphs              list entries
+//	GET    /graphs/{id}         one entry
+//	DELETE /graphs/{id}         evict a graph; aborts an in-flight build
+//	POST   /graphs/{id}/query   {"s":..,"t":..} or {"pairs":[[s,t],..]}
+//	GET    /healthz             liveness + entry counts
+//	GET    /stats               per-graph serving counters + build stages
 type Server struct {
 	cfg   Config
 	reg   *Registry
@@ -86,6 +122,7 @@ func New(cfg Config) *Server {
 	s.mux.HandleFunc("POST /graphs", s.handleAddGraph)
 	s.mux.HandleFunc("GET /graphs", s.handleListGraphs)
 	s.mux.HandleFunc("GET /graphs/{id}", s.handleGetGraph)
+	s.mux.HandleFunc("DELETE /graphs/{id}", s.handleDeleteGraph)
 	s.mux.HandleFunc("POST /graphs/{id}/query", s.handleQuery)
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	s.mux.HandleFunc("GET /stats", s.handleStats)
@@ -169,6 +206,22 @@ func (s *Server) handleGetGraph(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	writeJSON(w, http.StatusOK, e.Info())
+}
+
+func (s *Server) handleDeleteGraph(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	state, err := s.reg.Delete(id)
+	if err != nil {
+		writeError(w, statusFor(err), err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"id":      id,
+		"deleted": true,
+		// The lifecycle state at eviction: "ready" graphs were
+		// drained, "building" ones had their build aborted.
+		"state": state,
+	})
 }
 
 // queryRequest accepts a single query or an explicit batch.
@@ -263,10 +316,12 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	})
 }
 
-// graphStats pairs lifecycle state with the serving counters.
+// graphStats pairs lifecycle state with the serving counters and the
+// build's per-stage execution telemetry.
 type graphStats struct {
 	State State `json:"state"`
 	StatsSnapshot
+	BuildStages []exec.StageStats `json:"build_stages,omitempty"`
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
@@ -276,7 +331,11 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		if !ok {
 			continue
 		}
-		out[info.ID] = graphStats{State: info.State, StatsSnapshot: e.stats.Snapshot()}
+		out[info.ID] = graphStats{
+			State:         info.State,
+			StatsSnapshot: e.stats.Snapshot(),
+			BuildStages:   info.BuildStages,
+		}
 	}
 	writeJSON(w, http.StatusOK, map[string]any{
 		"uptime_ms": time.Since(s.start).Milliseconds(),

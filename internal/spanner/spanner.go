@@ -27,6 +27,7 @@ import (
 	"sync/atomic"
 
 	"repro/internal/core"
+	"repro/internal/exec"
 	"repro/internal/graph"
 	"repro/internal/par"
 	"repro/internal/rng"
@@ -37,13 +38,33 @@ import (
 type Options struct {
 	// Cost accumulates PRAM work/depth; may be nil.
 	Cost *par.Cost
+	// Exec is the execution context: a parallel context runs the
+	// clustering races, boundary sweeps, and weighted groups on the
+	// pooled workers under its cap; its cancellation is polled at
+	// bucket boundaries (a canceled build's result is invalid — check
+	// Exec.Err()). Nil keeps legacy behavior.
+	Exec *exec.Ctx
 	// Parallel runs the construction's hot loops on goroutines: the
 	// EST clustering race expands buckets concurrently and the
 	// boundary-edge selection sweeps vertices in parallel chunks. The
 	// resulting edge set is identical to the sequential construction
 	// (the clustering is bit-identical and per-vertex boundary choices
 	// are independent; the id list is canonicalized by sorting).
+	//
+	// Deprecated: set Exec to a parallel execution context instead;
+	// Parallel remains as a thin alias for Exec = exec.Default().
 	Parallel bool
+}
+
+// parallel reports whether the multicore paths should run. An
+// explicit execution context is decisive (a sequential Exec forces
+// the reference path); the deprecated bool only matters for legacy
+// nil-Exec callers.
+func (o Options) parallel() bool {
+	if o.Exec != nil {
+		return o.Exec.IsParallel()
+	}
+	return o.Parallel
 }
 
 // Result is a spanner: a subset of the input graph's canonical edge
@@ -109,8 +130,11 @@ func unweightedStep(g *graph.Graph, k int, seed uint64, opt Options) ([]int32, *
 	}
 	beta := betaFor(n, k)
 	clus := core.Cluster(g, beta, seed, core.Options{
-		Cost: cost, UnitWeights: true, Parallel: opt.Parallel,
+		Cost: cost, UnitWeights: true, Exec: opt.Exec, Parallel: opt.Parallel,
 	})
+	if opt.Exec.Canceled() {
+		return nil, clus // partial, invalid; owner must check Err()
+	}
 	ids := core.ForestEdges(g, clus)
 
 	// Boundary edges: per vertex, the lightest edge to each adjacent
@@ -150,8 +174,8 @@ func unweightedStep(g *graph.Graph, k int, seed uint64, opt Options) ([]int32, *
 		ids = append(ids, local...)
 		mu.Unlock()
 	}
-	if opt.Parallel {
-		par.For(int(n), 1024, collect)
+	if opt.parallel() {
+		opt.Exec.For(int(n), 1024, collect)
 	} else {
 		collect(0, int(n))
 	}
@@ -241,6 +265,9 @@ func wellSeparated(g *graph.Graph, groupEdges []int32, k int, seed uint64, opt O
 	r := rng.New(seed)
 	var out []int32
 	for _, b := range bucketKeys {
+		if opt.Exec.Checkpoint() {
+			return nil // canceled: the group's edges are discarded
+		}
 		bucketIDs := byBucket[b]
 		// Quotient the bucket edges by the contraction state H_{i-1}
 		// (Algorithm 3 line 4): Γ_i = G[A_i]/H_{i-1}.
@@ -316,8 +343,8 @@ func WeightedOpts(g *graph.Graph, k int, seed uint64, opt Options) *Result {
 		gOpt.Cost = costs[j]
 		perGroup[j] = wellSeparated(g, groupEdges[j], k, seeds[j], gOpt)
 	}
-	if opt.Parallel {
-		par.DoN(groups, runGroup)
+	if opt.parallel() {
+		opt.Exec.DoN(groups, runGroup)
 	} else {
 		for j := 0; j < groups; j++ {
 			runGroup(j)

@@ -2,8 +2,10 @@ package sssp
 
 import (
 	"fmt"
+	"sync"
 	"sync/atomic"
 
+	"repro/internal/exec"
 	"repro/internal/graph"
 	"repro/internal/par"
 )
@@ -34,7 +36,7 @@ import (
 // bucket is at most Δ, mirroring the Dial depth analysis.
 func DeltaStepping(g *graph.Graph, sources []graph.V, opt Options) *Result {
 	n := g.NumVertices()
-	res := newResult(n)
+	res := newResultOn(opt.Exec, n)
 	bound := opt.bound()
 	delta := graph.Dist(opt.Delta)
 	if delta <= 0 {
@@ -70,11 +72,10 @@ func DeltaStepping(g *graph.Graph, sources []graph.V, opt Options) *Result {
 
 	// lastRelaxed[v] is dist[v] at v's most recent light-edge
 	// expansion; v re-expands only after an improvement. Written by the
-	// sequential coordinator between phases only.
-	lastRelaxed := make([]graph.Dist, n)
-	for i := range lastRelaxed {
-		lastRelaxed[i] = graph.InfDist
-	}
+	// sequential coordinator between phases only. The InfDist-filled
+	// arena buffer is exactly its starting state.
+	lastRelaxed := opt.Exec.Dists(int(n))
+	defer opt.Exec.PutDists(lastRelaxed)
 
 	var active []cand  // light-phase frontier, rebuilt per iteration
 	var settled []cand // all vertices expanded for this bucket (heavy phase)
@@ -88,6 +89,9 @@ func DeltaStepping(g *graph.Graph, sources []graph.V, opt Options) *Result {
 		b := buckets[int(t)%nb]
 		if len(b) == 0 {
 			continue
+		}
+		if opt.Exec.Checkpoint() {
+			return res // canceled: partial, invalid
 		}
 		buckets[int(t)%nb] = nil
 		pending -= len(b)
@@ -188,6 +192,49 @@ type cand struct {
 	d graph.Dist
 }
 
+// chunk buffers one frontier vertex's relaxation output during a
+// parallel expansion, before the sequential merge in frontier order.
+type chunk struct {
+	same    []graph.V
+	future  []bucketed
+	scanned int64
+}
+
+// chunkPool recycles the per-frontier chunk arrays (and, through them,
+// the per-vertex output buffers' capacity) across light iterations and
+// across searches: the expansion's only steady-state allocations are
+// then genuine frontier growth.
+var chunkPool sync.Pool
+
+// getChunks returns a len-n chunk slice whose entries are reset to
+// empty (retaining inner capacity). A pooled slice that is too short
+// is grown by copying its entries across, so the warm per-vertex
+// buffers accumulated so far survive frontier growth instead of being
+// dropped with the old backing array.
+func getChunks(n int) []chunk {
+	var s []chunk
+	if v := chunkPool.Get(); v != nil {
+		s = *(v.(*[]chunk))
+	}
+	if cap(s) < n {
+		grown := make([]chunk, n, n+n/2)
+		copy(grown, s[:cap(s)])
+		s = grown
+	}
+	s = s[:n]
+	for i := range s {
+		s[i].same = s[i].same[:0]
+		s[i].future = s[i].future[:0]
+		s[i].scanned = 0
+	}
+	return s
+}
+
+func putChunks(s []chunk) {
+	s = s[:cap(s)]
+	chunkPool.Put(&s)
+}
+
 // relaxFrontier expands the light (w ≤ delta) or heavy (w > delta)
 // edges of every frontier vertex in parallel, min-updating dist with
 // CAS. Won updates whose new key stays under hi are returned in same
@@ -196,13 +243,9 @@ type cand struct {
 // merged in frontier order, independent of goroutine scheduling.
 func relaxFrontier(g *graph.Graph, dist []graph.Dist, frontier []cand, opt *Options, delta, hi graph.Dist, light bool) (same []graph.V, future []bucketed, scanned int64) {
 	bound := opt.bound()
-	type chunk struct {
-		same    []graph.V
-		future  []bucketed
-		scanned int64
-	}
-	perVertex := make([]chunk, len(frontier))
-	par.For(len(frontier), 64, func(lo, hiIdx int) {
+	perVertex := getChunks(len(frontier))
+	defer putChunks(perVertex)
+	opt.Exec.For(len(frontier), 64, func(lo, hiIdx int) {
 		for i := lo; i < hiIdx; i++ {
 			v, dv := frontier[i].v, frontier[i].d
 			adj := g.Neighbors(v)
@@ -265,7 +308,7 @@ func casMin(addr *graph.Dist, nd graph.Dist) bool {
 // w(u,v) = dist[v]. Runs as one parallel round; deterministic given
 // the (deterministic) distances.
 func resolveParents(g *graph.Graph, res *Result, opt *Options) {
-	par.For(int(g.NumVertices()), 2048, func(lo, hi int) {
+	opt.Exec.For(int(g.NumVertices()), 2048, func(lo, hi int) {
 		for vi := lo; vi < hi; vi++ {
 			v := graph.V(vi)
 			d := res.Dist[v]
@@ -299,18 +342,28 @@ func resolveParents(g *graph.Graph, res *Result, opt *Options) {
 // per round, work O(m + |extra|) per round — the Definition 2.4
 // quantity at true multicore speed.
 func HopLimitedParallel(g *graph.Graph, extra []graph.Edge, sources []graph.V, hops int, cost *par.Cost) []graph.Dist {
+	return HopLimitedParallelOn(nil, g, extra, sources, hops, cost)
+}
+
+// HopLimitedParallelOn is HopLimitedParallel on an execution context:
+// the edge scans fan out under ec's worker cap, the scratch array
+// comes from its arena, and cancellation is polled per round. The
+// returned distances are freshly owned by the caller (release with
+// ec.PutDists when done).
+func HopLimitedParallelOn(ec *exec.Ctx, g *graph.Graph, extra []graph.Edge, sources []graph.V, hops int, cost *par.Cost) []graph.Dist {
 	n := g.NumVertices()
-	dist := make([]graph.Dist, n)
-	for i := range dist {
-		dist[i] = graph.InfDist
-	}
+	dist := ec.Dists(int(n))
 	for _, s := range sources {
 		dist[s] = 0
 	}
-	next := make([]graph.Dist, n)
+	next := ec.Dists(int(n))
+	defer func() { ec.PutDists(next) }()
 	edges := g.Edges()
 	weighted := g.Weighted()
 	for round := 0; round < hops; round++ {
+		if ec.Checkpoint() {
+			break // canceled: partial, invalid
+		}
 		copy(next, dist)
 		var changed atomic.Bool
 		relax := func(u, v graph.V, w graph.W) {
@@ -321,7 +374,7 @@ func HopLimitedParallel(g *graph.Graph, extra []graph.Edge, sources []graph.V, h
 				changed.Store(true)
 			}
 		}
-		par.For(len(edges), 4096, func(lo, hi int) {
+		ec.For(len(edges), 4096, func(lo, hi int) {
 			for i := lo; i < hi; i++ {
 				w := graph.W(1)
 				if weighted {
@@ -330,7 +383,7 @@ func HopLimitedParallel(g *graph.Graph, extra []graph.Edge, sources []graph.V, h
 				relax(edges[i].U, edges[i].V, w)
 			}
 		})
-		par.For(len(extra), 4096, func(lo, hi int) {
+		ec.For(len(extra), 4096, func(lo, hi int) {
 			for i := lo; i < hi; i++ {
 				relax(extra[i].U, extra[i].V, extra[i].W)
 			}

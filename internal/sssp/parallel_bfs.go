@@ -5,7 +5,6 @@ import (
 	"sync/atomic"
 
 	"repro/internal/graph"
-	"repro/internal/par"
 )
 
 // BFSParallel is the level-synchronous BFS with the frontier actually
@@ -22,12 +21,13 @@ import (
 // the "does the model translate" check.
 func BFSParallel(g *graph.Graph, sources []graph.V, opt Options) *Result {
 	n := g.NumVertices()
-	res := newResult(n)
+	res := newResultOn(opt.Exec, n)
 	bound := opt.bound()
 
 	// claimed[v] == 1 once some worker owns v. Separate from Dist so
 	// that workers can claim with a single CAS.
-	claimed := make([]int32, n)
+	claimed := opt.Exec.MarksZero(int(n))
+	defer opt.Exec.PutMarks(claimed)
 	frontier := make([]graph.V, 0, len(sources))
 	for _, s := range sources {
 		if !opt.admits(s) {
@@ -41,11 +41,14 @@ func BFSParallel(g *graph.Graph, sources []graph.V, opt Options) *Result {
 
 	level := graph.Dist(0)
 	for len(frontier) > 0 && level < bound {
+		if opt.Exec.Checkpoint() {
+			return res // canceled: partial, invalid
+		}
 		level++
 		var touched atomic.Int64
 		var mu sync.Mutex
 		var next []graph.V
-		par.For(len(frontier), 64, func(lo, hi int) {
+		opt.Exec.For(len(frontier), 64, func(lo, hi int) {
 			var local []graph.V
 			var scanned int64
 			for _, v := range frontier[lo:hi] {

@@ -21,6 +21,7 @@ import (
 	"fmt"
 	"sync/atomic"
 
+	"repro/internal/exec"
 	"repro/internal/graph"
 	"repro/internal/par"
 )
@@ -36,15 +37,39 @@ type Options struct {
 	// Mark[v] == Token. A nil Mark admits every vertex.
 	Mark  []int32
 	Token int32
+	// Exec is the execution context the search runs on: its worker cap
+	// bounds every goroutine fan-out, its arenas back the result and
+	// scratch buffers (release results with Result.Release), and its
+	// cancellation is polled at level/bucket boundaries — a canceled
+	// search returns immediately with an invalid partial result, so
+	// callers must check Exec.Err() before using it. Nil keeps the
+	// legacy behavior (full GOMAXPROCS, plain allocation, no
+	// cancellation).
+	Exec *exec.Ctx
 	// Parallel selects the multicore implementation in the Weighted
 	// dispatcher: Δ-stepping instead of the sequential Dial. The
 	// sequential paths remain the reference oracles for differential
 	// tests; distances are identical either way.
+	//
+	// Deprecated: set Exec to a parallel execution context instead;
+	// Parallel remains as a thin alias for Exec = exec.Default().
 	Parallel bool
 	// Delta overrides the Δ-stepping bucket width (0 = the
 	// Meyer–Sanders default maxW/avgDegree). Ignored by the other
 	// searches.
 	Delta graph.W
+}
+
+// parallel reports whether the Weighted dispatcher (and the bucket
+// expansions inside Δ-stepping) should take the multicore path. An
+// explicit execution context is decisive — a sequential Exec forces
+// the reference path even if the deprecated bool is also set — and
+// the bool only matters for legacy (nil-Exec) callers.
+func (o *Options) parallel() bool {
+	if o.Exec != nil {
+		return o.Exec.IsParallel()
+	}
+	return o.Parallel
 }
 
 // admits loads the mark atomically: the hopset recursion runs sibling
@@ -83,6 +108,28 @@ func newResult(n int32) *Result {
 	return r
 }
 
+// newResultOn acquires the result arrays from ec's arenas (already
+// reset to InfDist / NoVertex); nil ec allocates fresh.
+func newResultOn(ec *exec.Ctx, n int32) *Result {
+	if ec == nil {
+		return newResult(n)
+	}
+	return &Result{Dist: ec.Dists(int(n)), Parent: ec.Verts(int(n))}
+}
+
+// Release returns the result's arrays to the execution context's
+// arenas. Call it when a search result has been fully consumed — the
+// hopset clique searches and the oracle query engine do — and never
+// touch the result afterwards. Safe on nil receiver or nil ec (no-op).
+func (r *Result) Release(ec *exec.Ctx) {
+	if r == nil || ec == nil {
+		return
+	}
+	ec.PutDists(r.Dist)
+	ec.PutVerts(r.Parent)
+	r.Dist, r.Parent = nil, nil
+}
+
 // Reached reports whether v was settled.
 func (r *Result) Reached(v graph.V) bool { return r.Dist[v] < graph.InfDist }
 
@@ -112,7 +159,7 @@ func (r *Result) PathTo(v graph.V) []graph.V {
 // Algorithm 4.
 func BFS(g *graph.Graph, sources []graph.V, opt Options) *Result {
 	n := g.NumVertices()
-	res := newResult(n)
+	res := newResultOn(opt.Exec, n)
 	bound := opt.bound()
 	frontier := make([]graph.V, 0, len(sources))
 	for _, s := range sources {
@@ -124,6 +171,9 @@ func BFS(g *graph.Graph, sources []graph.V, opt Options) *Result {
 	}
 	level := graph.Dist(0)
 	for len(frontier) > 0 && level < bound {
+		if opt.Exec.Checkpoint() {
+			return res // canceled: partial, invalid
+		}
 		level++
 		var next []graph.V
 		var touched int64
@@ -151,7 +201,7 @@ func BFS(g *graph.Graph, sources []graph.V, opt Options) *Result {
 // graph must be weighted (or all weights are 1 and BFS is equivalent).
 func Dial(g *graph.Graph, sources []graph.V, opt Options) *Result {
 	n := g.NumVertices()
-	res := newResult(n)
+	res := newResultOn(opt.Exec, n)
 	bound := opt.bound()
 	maxW := g.MaxWeight()
 	if maxW < 1 {
@@ -180,7 +230,8 @@ func Dial(g *graph.Graph, sources []graph.V, opt Options) *Result {
 		buckets[0] = append(buckets[0], s)
 		pending++
 	}
-	settled := make([]bool, n)
+	settled := opt.Exec.Bools(int(n))
+	defer opt.Exec.PutBools(settled)
 	for level := graph.Dist(0); pending > 0 && level <= bound; level++ {
 		// Every distance level is one synchronous round of the
 		// weighted parallel BFS, empty or not: this is the "depth
@@ -190,6 +241,9 @@ func Dial(g *graph.Graph, sources []graph.V, opt Options) *Result {
 		b := buckets[int(level)%nb]
 		if len(b) == 0 {
 			continue
+		}
+		if opt.Exec.Checkpoint() {
+			return res // canceled: partial, invalid
 		}
 		buckets[int(level)%nb] = nil
 		pending -= len(b)
@@ -239,7 +293,7 @@ func Dial(g *graph.Graph, sources []graph.V, opt Options) *Result {
 // sequential algorithm: depth equals work.
 func Dijkstra(g *graph.Graph, sources []graph.V, opt Options) *Result {
 	n := g.NumVertices()
-	res := newResult(n)
+	res := newResultOn(opt.Exec, n)
 	bound := opt.bound()
 	pq := &distHeap{}
 	for _, s := range sources {
@@ -249,9 +303,13 @@ func Dijkstra(g *graph.Graph, sources []graph.V, opt Options) *Result {
 		res.Dist[s] = 0
 		heap.Push(pq, distEntry{v: s, d: 0})
 	}
-	settled := make([]bool, n)
+	settled := opt.Exec.Bools(int(n))
+	defer opt.Exec.PutBools(settled)
 	var ops int64
 	for pq.Len() > 0 {
+		if opt.Exec.Canceled() {
+			return res // canceled: partial, invalid
+		}
 		top := heap.Pop(pq).(distEntry)
 		v := top.v
 		if settled[v] || top.d != res.Dist[v] {
@@ -313,15 +371,16 @@ func (h *distHeap) Pop() interface{} {
 	return x
 }
 
-// Weighted dispatches a weighted multi-source SSSP on the Options
-// knob: Δ-stepping with goroutine frontier expansion when
-// opt.Parallel, the sequential Dial bucket race otherwise. Distances
-// are identical either way (both are exact); parent trees may differ
-// (any certifying tree is valid). Layers that consume weighted
-// searches — the hopset recursion, the oracle query engine — call
-// this so one flag flips the whole stack to multicore execution.
+// Weighted dispatches a weighted multi-source SSSP on the execution
+// context (or the deprecated Parallel knob): Δ-stepping with pooled
+// goroutine frontier expansion when the context is parallel, the
+// sequential Dial bucket race otherwise. Distances are identical
+// either way (both are exact); parent trees may differ (any
+// certifying tree is valid). Layers that consume weighted searches —
+// the hopset recursion, the oracle query engine — call this so one
+// execution context flips the whole stack to multicore execution.
 func Weighted(g *graph.Graph, sources []graph.V, opt Options) *Result {
-	if opt.Parallel {
+	if opt.parallel() {
 		return DeltaStepping(g, sources, opt)
 	}
 	return Dial(g, sources, opt)
@@ -333,17 +392,26 @@ func Weighted(g *graph.Graph, sources []graph.V, opt Options) *Result {
 // 2.4; the evaluation uses it to certify hopset quality. Each round is
 // one depth unit of work O(m + |extra|).
 func HopLimited(g *graph.Graph, extra []graph.Edge, sources []graph.V, hops int, cost *par.Cost) []graph.Dist {
+	return HopLimitedOn(nil, g, extra, sources, hops, cost)
+}
+
+// HopLimitedOn is HopLimited on an execution context: the next-round
+// scratch array comes from ec's arena and cancellation is polled per
+// Bellman–Ford round. The returned distance array is freshly owned by
+// the caller (release with ec.PutDists when done).
+func HopLimitedOn(ec *exec.Ctx, g *graph.Graph, extra []graph.Edge, sources []graph.V, hops int, cost *par.Cost) []graph.Dist {
 	n := g.NumVertices()
-	dist := make([]graph.Dist, n)
-	for i := range dist {
-		dist[i] = graph.InfDist
-	}
+	dist := ec.Dists(int(n))
 	for _, s := range sources {
 		dist[s] = 0
 	}
-	next := make([]graph.Dist, n)
+	next := ec.Dists(int(n))
+	defer func() { ec.PutDists(next) }()
 	edges := g.Edges()
 	for round := 0; round < hops; round++ {
+		if ec.Checkpoint() {
+			break // canceled: partial, invalid
+		}
 		copy(next, dist)
 		changed := false
 		relax := func(u, v graph.V, w graph.W) {

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math"
 
+	"repro/internal/exec"
 	"repro/internal/hopset"
 	"repro/internal/par"
 	"repro/internal/wscale"
@@ -43,6 +44,12 @@ type DistanceOracle struct {
 	// ... or decomposed: one scaled hopset per wscale instance.
 	dec       *wscale.Decomposition
 	instances []*hopset.Scaled
+
+	// queryEc is the execution context queries run on: same worker
+	// cap and arenas as the build context but detached from its
+	// cancellation, because a query must never return a truncated
+	// answer.
+	queryEc *exec.Ctx
 }
 
 // OracleOptions tune DistanceOracle preprocessing.
@@ -50,9 +57,25 @@ type OracleOptions struct {
 	// Cost, when non-nil, accumulates the PRAM work/depth of the
 	// preprocessing.
 	Cost *Cost
+	// Exec is the execution context the build runs on: worker cap,
+	// scratch arenas, cancellation (polled at band/recursion/bucket
+	// boundaries — a canceled build's oracle is invalid and must be
+	// discarded after checking Exec.Err()), and per-stage telemetry.
+	// Queries run on a detached copy that ignores the cancellation.
+	// Nil keeps legacy behavior (Parallel decides the fan-out).
+	Exec *ExecCtx
+	// QueryExec overrides the execution context queries run on
+	// (default: Exec.Detached()). The serving layer passes a
+	// never-canceled parallel context here so that query throughput is
+	// independent of the build's worker cap. It must never be
+	// cancelable: queries have no notion of a partial answer.
+	QueryExec *ExecCtx
 	// Parallel runs the hopset construction's hot loops on actual
-	// goroutines (hopset.Params.Parallel); the resulting oracle is
-	// equivalent, only the build wall-clock changes.
+	// goroutines; the resulting oracle is equivalent, only the build
+	// wall-clock changes.
+	//
+	// Deprecated: set Exec to a parallel execution context instead;
+	// Parallel remains as a thin alias for Exec = exec.Default().
 	Parallel bool
 }
 
@@ -75,9 +98,18 @@ func NewDistanceOracleOpts(g *Graph, eps float64, seed uint64, opt OracleOptions
 		panic(fmt.Sprintf("spanhop: DistanceOracle eps = %v, want (0,1)", eps))
 	}
 	cost := opt.Cost
-	o := &DistanceOracle{g: g, eps: eps}
+	ec := opt.Exec
+	if ec == nil && opt.Parallel {
+		ec = exec.Default()
+	}
+	queryEc := opt.QueryExec
+	if queryEc == nil {
+		queryEc = ec.Detached()
+	}
+	o := &DistanceOracle{g: g, eps: eps, queryEc: queryEc}
 	wp := hopset.DefaultWeightedParams(seed)
 	wp.Zeta = eps
+	wp.Exec = ec
 	wp.Parallel = opt.Parallel
 	n := float64(g.NumVertices())
 	if n < 2 || g.NumEdges() == 0 {
@@ -86,20 +118,29 @@ func NewDistanceOracleOpts(g *Graph, eps float64, seed uint64, opt OracleOptions
 	}
 	polyBound := math.Pow(n/eps, 3)
 	if g.WeightRatio() <= polyBound {
+		stop := ec.Stage("hopset-build", cost)
 		o.direct = hopset.BuildScaled(g, wp, cost)
+		stop()
 		return o
 	}
+	stop := ec.Stage("wscale-decompose", cost)
 	o.dec = wscale.Build(g, eps, cost)
+	stop()
 	// Instances are independent: side by side in the model.
+	stop = ec.Stage("hopset-build", cost)
 	costs := make([]*par.Cost, len(o.dec.Instances))
 	o.instances = make([]*hopset.Scaled, len(o.dec.Instances))
 	for i, inst := range o.dec.Instances {
 		costs[i] = par.NewCost()
+		if ec.Canceled() {
+			break // the partial oracle is discarded by the Ctx owner
+		}
 		p := wp
 		p.Seed = wp.Seed + uint64(i)*0x9e3779b97f4a7c15
 		o.instances[i] = hopset.BuildScaled(inst.G, p, costs[i])
 	}
 	cost.JoinMax(costs...)
+	stop()
 	return o
 }
 
@@ -179,7 +220,7 @@ func (o *DistanceOracle) QueryStats(s, t V) (QueryStats, error) {
 		return QueryStats{Dist: InfDist}, nil
 	}
 	if o.direct != nil {
-		q := o.direct.Query(s, t, nil)
+		q := o.direct.QueryOn(o.queryEc, s, t, nil)
 		return QueryStats{Dist: q.Dist, Levels: q.Levels, Fallback: q.Fallback}, nil
 	}
 	inst, is, it := o.dec.InstanceFor(s, t)
@@ -189,12 +230,13 @@ func (o *DistanceOracle) QueryStats(s, t V) (QueryStats, error) {
 	if is == it {
 		return QueryStats{Dist: 0}, nil
 	}
-	q := o.instances[inst.Level].Query(is, it, nil)
+	q := o.instances[inst.Level].QueryOn(o.queryEc, is, it, nil)
 	return QueryStats{Dist: q.Dist, Levels: q.Levels, Fallback: q.Fallback}, nil
 }
 
-// QueryBatch answers many s-t queries, fanning them across goroutines
-// (bounded by par.Workers()). The oracle is read-mostly after
+// QueryBatch answers many s-t queries, fanning them across the pooled
+// workers (bounded by the oracle's execution context, or par.Workers()
+// when it was built without one). The oracle is read-mostly after
 // preprocessing — the only mutation is the mutex-guarded rounded-graph
 // cache — so queries run concurrently without coordination; this is
 // the serving shape of the Theorem 1.2 pipeline: preprocess once,
@@ -204,7 +246,7 @@ func (o *DistanceOracle) QueryStats(s, t V) (QueryStats, error) {
 func (o *DistanceOracle) QueryBatch(pairs [][2]V) ([]QueryStats, error) {
 	out := make([]QueryStats, len(pairs))
 	errs := make([]error, len(pairs))
-	par.DoN(len(pairs), func(i int) {
+	o.queryEc.DoN(len(pairs), func(i int) {
 		out[i], errs[i] = o.QueryStats(pairs[i][0], pairs[i][1])
 	})
 	for _, err := range errs {

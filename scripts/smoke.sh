@@ -51,7 +51,28 @@ echo "== loadgen with bit-exact verification"
     -mix hotspot -concurrency 8 -requests 400 -verify
 
 echo "== /stats"
-curl -fsS "http://$ADDR/stats"; echo
+STATS=$(curl -fsS "http://$ADDR/stats")
+echo "$STATS"
+echo "$STATS" | grep -q '"build_stages"' || { echo "stats missing build_stages telemetry"; exit 1; }
+
+echo "== DELETE a building graph (abort the in-flight build)"
+curl -fsS -X POST "http://$ADDR/graphs" \
+    -d '{"name":"doomed","gen":"er:n=16384,d=8,w=uniform,maxw=64","seed":9}' >/dev/null
+curl -fsS -X DELETE "http://$ADDR/graphs/doomed" | grep -q '"deleted":true' \
+    || { echo "DELETE of building graph failed"; exit 1; }
+CODE=$(curl -s -o /dev/null -w "%{http_code}" "http://$ADDR/graphs/doomed")
+[ "$CODE" = "404" ] || { echo "deleted building graph still visible ($CODE)"; exit 1; }
+
+echo "== DELETE the ready graph"
+curl -fsS -X DELETE "http://$ADDR/graphs/loadgen" | grep -q '"deleted":true' \
+    || { echo "DELETE response missing deleted flag"; exit 1; }
+CODE=$(curl -s -o /dev/null -w "%{http_code}" "http://$ADDR/graphs/loadgen")
+[ "$CODE" = "404" ] || { echo "deleted graph still visible ($CODE)"; exit 1; }
+CODE=$(curl -s -o /dev/null -w "%{http_code}" -X POST "http://$ADDR/graphs/loadgen/query" -d '{"s":0,"t":1}')
+[ "$CODE" = "404" ] || { echo "query on deleted graph returned $CODE, want 404"; exit 1; }
+# The grid graph must be unaffected by its neighbors' eviction.
+curl -fsS -X POST "http://$ADDR/graphs/grid/query" -d '{"s":0,"t":224}' | grep -q '"dist":' \
+    || { echo "grid graph broken after deletes"; exit 1; }
 
 echo "== graceful shutdown"
 kill -TERM "$DAEMON_PID"

@@ -28,7 +28,10 @@
 package spanhop
 
 import (
+	"context"
+
 	"repro/internal/core"
+	"repro/internal/exec"
 	"repro/internal/graph"
 	"repro/internal/hopset"
 	"repro/internal/par"
@@ -67,6 +70,14 @@ type (
 	ScaledHopsetParams = hopset.WeightedParams
 	// PathResult holds per-vertex distances and parents of a search.
 	PathResult = sssp.Result
+	// ExecCtx is the unified execution context (internal/exec): a
+	// pooled-worker cap, scratch arenas, cancellation, and per-stage
+	// telemetry shared by every layer. Pass nil for legacy behavior.
+	ExecCtx = exec.Ctx
+	// ExecTelemetry accumulates per-stage build statistics.
+	ExecTelemetry = exec.Telemetry
+	// ExecStageStats is one telemetry stage snapshot.
+	ExecStageStats = exec.StageStats
 )
 
 // InfDist is the "unreachable" distance sentinel.
@@ -75,6 +86,24 @@ const InfDist = graph.InfDist
 // NewCost returns a fresh work/depth accumulator. Pass it to the
 // *WithCost variants (or nil to skip accounting).
 func NewCost() *Cost { return par.NewCost() }
+
+// NewExecCtx builds an execution context: ctx supplies cancellation
+// (nil = never canceled), workers caps the pooled fan-out (0 =
+// GOMAXPROCS, 1 = sequential). Every build and search routed through
+// the context reuses arena scratch buffers and aborts at the next
+// round boundary once ctx is canceled.
+func NewExecCtx(ctx context.Context, workers int) *ExecCtx {
+	return exec.New(exec.Options{Context: ctx, Workers: workers})
+}
+
+// SequentialExec returns a never-canceled workers=1 context: the
+// reference-oracle execution shape, but allocation-free on repeated
+// calls thanks to the arenas.
+func SequentialExec() *ExecCtx { return exec.Sequential() }
+
+// ParallelExec returns a never-canceled context capped at workers
+// pooled goroutines (0 = GOMAXPROCS).
+func ParallelExec(workers int) *ExecCtx { return exec.Parallel(workers) }
 
 // ---------------------------------------------------------------------------
 // Graph construction.
@@ -140,6 +169,14 @@ func ESTClusterParallel(g *Graph, beta float64, seed uint64, cost *Cost) *Cluste
 	return core.Cluster(g, beta, seed, core.Options{Cost: cost, Parallel: true})
 }
 
+// ESTClusterOn is ESTCluster on an execution context: the race runs
+// under ec's worker cap with arena-backed scratch and aborts at the
+// next bucket once ec is canceled (check ec.Err() before using the
+// result). Output is bit-identical to ESTCluster for any ec.
+func ESTClusterOn(g *Graph, beta float64, seed uint64, ec *ExecCtx, cost *Cost) *Clustering {
+	return core.Cluster(g, beta, seed, core.Options{Cost: cost, Exec: ec})
+}
+
 // ---------------------------------------------------------------------------
 // Spanners (§3).
 
@@ -179,6 +216,18 @@ func WeightedSpannerWithCost(g *Graph, k int, seed uint64, cost *Cost) *Spanner 
 // all running on goroutines; same edge set as WeightedSpanner.
 func WeightedSpannerParallel(g *Graph, k int, seed uint64, cost *Cost) *Spanner {
 	return spanner.WeightedOpts(g, k, seed, spanner.Options{Cost: cost, Parallel: true})
+}
+
+// UnweightedSpannerOn is UnweightedSpanner on an execution context
+// (worker cap, arenas, cancellation); same edge set for any ec.
+func UnweightedSpannerOn(g *Graph, k int, seed uint64, ec *ExecCtx, cost *Cost) *Spanner {
+	return spanner.UnweightedOpts(g, k, seed, spanner.Options{Cost: cost, Exec: ec})
+}
+
+// WeightedSpannerOn is WeightedSpanner on an execution context
+// (worker cap, arenas, cancellation); same edge set for any ec.
+func WeightedSpannerOn(g *Graph, k int, seed uint64, ec *ExecCtx, cost *Cost) *Spanner {
+	return spanner.WeightedOpts(g, k, seed, spanner.Options{Cost: cost, Exec: ec})
 }
 
 // BaswanaSenSpanner builds the (2k−1)-stretch baseline spanner of
@@ -281,12 +330,29 @@ func WeightedParallelBFS(g *Graph, src V, cost *Cost) *PathResult {
 	return sssp.Dial(g, []V{src}, sssp.Options{Cost: cost})
 }
 
+// WeightedParallelBFSOn is WeightedParallelBFS on an execution
+// context: result and scratch arrays come from ec's arenas (release
+// with PathResult.Release), and a canceled ec aborts the sweep at the
+// next distance level.
+func WeightedParallelBFSOn(g *Graph, src V, ec *ExecCtx, cost *Cost) *PathResult {
+	return sssp.Dial(g, []V{src}, sssp.Options{Cost: cost, Exec: ec})
+}
+
 // ParallelShortestPaths runs Δ-stepping from src with the frontier
 // expanded by concurrent goroutines and CAS-claimed relaxations — the
 // weighted counterpart of ConcurrentBFS. Distances are exact and
 // bit-identical to ShortestPaths; wall-clock scales with GOMAXPROCS.
 func ParallelShortestPaths(g *Graph, src V, cost *Cost) *PathResult {
 	return sssp.DeltaStepping(g, []V{src}, sssp.Options{Cost: cost, Parallel: true})
+}
+
+// ParallelShortestPathsOn is ParallelShortestPaths on an execution
+// context: the frontier fan-out honors ec's worker cap and the O(n)
+// result and scratch arrays come from its arenas. Release the result
+// with PathResult.Release(ec) once consumed to make repeated searches
+// allocation-free. Distances remain bit-identical to ShortestPaths.
+func ParallelShortestPathsOn(g *Graph, src V, ec *ExecCtx, cost *Cost) *PathResult {
+	return sssp.DeltaStepping(g, []V{src}, sssp.Options{Cost: cost, Exec: ec})
 }
 
 // HopLimitedDistances returns dist^h_{E∪extra}(src, ·): the h-hop
