@@ -5,6 +5,13 @@
 // Usage:
 //
 //	hopset -in graph.txt [-algo est|ks97|cohen|limited] [-seed N] [-queries 10] [-gamma2 0.5] [-workers N] [-parallel]
+//	hopset -in graph.txt -save hopset.snap     # build once, persist
+//	hopset -load hopset.snap [-queries 100]    # reuse across runs
+//
+// -save/-load apply to the est multi-scale hopset: -save snapshots
+// the built structure (graph included, checksummed), -load restores
+// it and skips the build entirely. With both -load and -in, the input
+// graph must fingerprint-match the one the snapshot was built for.
 package main
 
 import (
@@ -18,10 +25,11 @@ import (
 	"repro/internal/hopset"
 	"repro/internal/par"
 	"repro/internal/rng"
+	"repro/internal/snapshot"
 )
 
 func main() {
-	in := flag.String("in", "", "input graph file (text format; required)")
+	in := flag.String("in", "", "input graph file (text or binary; required unless -load)")
 	algo := flag.String("algo", "est", "algorithm: est (ours), ks97, cohen, limited")
 	seed := flag.Uint64("seed", 1, "random seed")
 	queries := flag.Int("queries", 10, "approximate distance queries to run (est only)")
@@ -29,36 +37,84 @@ func main() {
 	alpha := flag.Float64("alpha", 0.5, "target depth exponent (limited only)")
 	parallel := flag.Bool("parallel", false, "run the construction's hot loops on goroutines (est only; deprecated: use -workers)")
 	workers := flag.Int("workers", 0, "worker cap for the est build: 1 = sequential, N > 1 = multicore capped at N, 0 = defer to -parallel")
+	save := flag.String("save", "", "write the built est hopset to this snapshot file")
+	load := flag.String("load", "", "restore an est hopset snapshot instead of building")
 	flag.Parse()
 
-	if *in == "" {
-		fmt.Fprintln(os.Stderr, "hopset: -in is required")
+	if *in == "" && *load == "" {
+		fmt.Fprintln(os.Stderr, "hopset: -in is required (or -load a snapshot)")
 		flag.Usage()
 		os.Exit(2)
 	}
-	f, err := os.Open(*in)
-	if err != nil {
-		fatal(err)
+	if *load != "" && *algo != "est" {
+		fmt.Fprintln(os.Stderr, "hopset: -load only applies to -algo est")
+		os.Exit(2)
 	}
-	g, err := graph.ReadText(f)
-	f.Close()
-	if err != nil {
-		fatal(err)
+	var g *graph.Graph
+	if *in != "" {
+		f, err := os.Open(*in)
+		if err != nil {
+			fatal(err)
+		}
+		g, err = graph.ReadAuto(f)
+		f.Close()
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("graph: n=%d m=%d weighted=%v\n", g.NumVertices(), g.NumEdges(), g.Weighted())
 	}
-	fmt.Printf("graph: n=%d m=%d weighted=%v\n", g.NumVertices(), g.NumEdges(), g.Weighted())
 
 	cost := par.NewCost()
 	switch *algo {
 	case "est":
-		wp := hopset.DefaultWeightedParams(*seed)
-		wp.Gamma2 = *gamma2
-		wp.Parallel = *parallel
-		if *workers > 0 {
-			wp.Exec = exec.Parallel(*workers)
+		var s *hopset.Scaled
+		if *load != "" {
+			f, err := os.Open(*load)
+			if err != nil {
+				fatal(err)
+			}
+			s, _, err = snapshot.ReadScaled(f)
+			f.Close()
+			if err != nil {
+				fatal(err)
+			}
+			if g != nil {
+				if g.Fingerprint() != s.Base.Fingerprint() {
+					fatal(fmt.Errorf("snapshot %s was built for a different graph than %s", *load, *in))
+				}
+				s.Rebind(g)
+			} else {
+				g = s.Base
+				fmt.Printf("graph (from snapshot): n=%d m=%d weighted=%v\n",
+					g.NumVertices(), g.NumEdges(), g.Weighted())
+			}
+			fmt.Printf("est multi-scale hopset (restored from %s): %d edges over %d bands\n",
+				*load, s.Size(), len(s.Scales))
+		} else {
+			wp := hopset.DefaultWeightedParams(*seed)
+			wp.Gamma2 = *gamma2
+			wp.Parallel = *parallel
+			if *workers > 0 {
+				wp.Exec = exec.Parallel(*workers)
+			}
+			s = hopset.BuildScaled(g, wp, cost)
+			fmt.Printf("est multi-scale hopset: %d edges over %d bands\n", s.Size(), len(s.Scales))
+			fmt.Printf("cost: work=%d depth=%d\n", cost.Work(), cost.Depth())
 		}
-		s := hopset.BuildScaled(g, wp, cost)
-		fmt.Printf("est multi-scale hopset: %d edges over %d bands\n", s.Size(), len(s.Scales))
-		fmt.Printf("cost: work=%d depth=%d\n", cost.Work(), cost.Depth())
+		if *save != "" {
+			f, err := os.Create(*save)
+			if err != nil {
+				fatal(err)
+			}
+			err = snapshot.WriteScaled(f, s, nil)
+			if cerr := f.Close(); err == nil {
+				err = cerr
+			}
+			if err != nil {
+				fatal(err)
+			}
+			fmt.Printf("saved hopset snapshot to %s\n", *save)
+		}
 		if *queries > 0 && g.NumVertices() > 1 {
 			r := rng.New(*seed + 3)
 			var levels, ratios []float64
@@ -98,6 +154,9 @@ func main() {
 	}
 	if *parallel && *algo != "est" {
 		fmt.Fprintln(os.Stderr, "hopset: note: -parallel only affects -algo est; baselines ran sequentially")
+	}
+	if *save != "" && *algo != "est" {
+		fmt.Fprintln(os.Stderr, "hopset: note: -save only applies to -algo est; nothing was written")
 	}
 }
 

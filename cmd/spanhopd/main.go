@@ -8,14 +8,23 @@
 //	    [-eps 0.25] [-seed 1] [-workers N] [-parallel] \
 //	    [-build-workers 1] [-build-queue 16] \
 //	    [-batch-window 2ms] [-max-batch 64] \
-//	    [-query-workers N] [-query-queue 1024] [-cache 4096]
+//	    [-query-workers N] [-query-queue 1024] [-cache 4096] \
+//	    [-snapshot-dir DIR]
 //
 // Graphs can be preloaded at startup (-load for files in the
-// internal/graph text format, -gen for workload.ParseSpec generator
-// strings such as "er:n=4096,d=8,w=uniform") or registered at runtime
-// via POST /graphs. Queries go to POST /graphs/{id}/query; see
-// internal/server for the full API. SIGINT/SIGTERM drain in-flight
+// internal/graph text or binary format, -gen for workload.ParseSpec
+// generator strings such as "er:n=4096,d=8,w=uniform") or registered
+// at runtime via POST /graphs. Queries go to POST /graphs/{id}/query;
+// see internal/server for the full API. SIGINT/SIGTERM drain in-flight
 // requests before exit.
+//
+// With -snapshot-dir, every oracle that becomes ready is persisted to
+// DIR (one self-contained .snap file per graph, written atomically),
+// and on boot the daemon warm-starts every snapshot found there:
+// graphs are ready to serve immediately, with no rebuild and no
+// build-stage telemetry. A -load/-gen preload whose name was already
+// warm-started is skipped, so restarting with identical flags is
+// idempotent and cheap.
 package main
 
 import (
@@ -47,6 +56,7 @@ func main() {
 	queryWorkers := flag.Int("query-workers", 0, "concurrent query batches per graph (0 = GOMAXPROCS)")
 	queryQueue := flag.Int("query-queue", 1024, "max waiting single queries per graph (overflow → 503)")
 	cacheSize := flag.Int("cache", 4096, "per-graph LRU result cache entries (negative disables)")
+	snapshotDir := flag.String("snapshot-dir", "", "persist ready oracles here and warm-start them on boot (empty disables)")
 	var loads, gens []string
 	flag.Func("load", "preload a graph file as name=path (repeatable)", func(v string) error {
 		loads = append(loads, v)
@@ -58,6 +68,11 @@ func main() {
 	})
 	flag.Parse()
 
+	if *snapshotDir != "" {
+		if err := os.MkdirAll(*snapshotDir, 0o755); err != nil {
+			log.Fatalf("spanhopd: -snapshot-dir: %v", err)
+		}
+	}
 	srv := server.New(server.Config{
 		BuildWorkers: *buildWorkers,
 		BuildQueue:   *buildQueue,
@@ -68,7 +83,17 @@ func main() {
 		QueryWorkers: *queryWorkers,
 		QueryQueue:   *queryQueue,
 		CacheSize:    *cacheSize,
+		SnapshotDir:  *snapshotDir,
 	})
+	if *snapshotDir != "" {
+		loaded, errs := srv.Registry().WarmStart()
+		for _, err := range errs {
+			log.Printf("spanhopd: warm-start: skipping %v", err)
+		}
+		if loaded > 0 {
+			log.Printf("warm-started %d graph(s) from %s", loaded, *snapshotDir)
+		}
+	}
 
 	preload := func(kind string, args []string, mk func(name, v string) server.GraphSpec) {
 		for _, a := range args {
@@ -76,7 +101,25 @@ func main() {
 			if !ok || name == "" || v == "" {
 				log.Fatalf("spanhopd: -%s %q: want name=%s", kind, a, kind)
 			}
-			e, err := srv.Registry().Add(mk(name, v))
+			want := mk(name, v)
+			if e, ok := srv.Registry().Get(name); ok {
+				// Already warm-started from a snapshot. A restart with
+				// the same preload flags must not rebuild — but if the
+				// flags changed (different spec, eps, or seed) the
+				// stale oracle must not silently serve either: evict it
+				// (snapshot file included) and rebuild.
+				got := e.Info().Spec
+				if got.File == want.File && got.Gen == want.Gen &&
+					got.Eps == want.Eps && got.Seed == want.Seed {
+					log.Printf("skipping -%s %s: already warm-started", kind, name)
+					continue
+				}
+				log.Printf("-%s %s: spec changed since the snapshot; rebuilding", kind, name)
+				if _, err := srv.Registry().Delete(name); err != nil {
+					log.Fatalf("spanhopd: -%s %s: evict stale snapshot: %v", kind, name, err)
+				}
+			}
+			e, err := srv.Registry().Add(want)
 			if err != nil {
 				log.Fatalf("spanhopd: -%s %s: %v", kind, name, err)
 			}

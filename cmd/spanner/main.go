@@ -4,9 +4,15 @@
 // Usage:
 //
 //	spanner -in graph.txt [-k 3] [-algo est|baswana-sen|greedy] [-seed N] [-out spanner.txt] [-samples 200] [-workers N] [-parallel]
+//	spanner -in graph.txt -save sp.snap        # build once, persist
+//	spanner -in graph.txt -load sp.snap        # reuse across runs
 //
-// Graph files use the text format of internal/graph (see cmd/gengraph
-// to create one).
+// Graph files use the text or binary format of internal/graph (see
+// cmd/gengraph to create one; the format is sniffed). -save persists
+// the spanner's edge-id set in a checksummed snapshot pinned to the
+// input graph's fingerprint; -load restores it (the same -in graph is
+// required) and skips the build, so expensive constructions are
+// reusable across runs.
 package main
 
 import (
@@ -18,11 +24,12 @@ import (
 	"repro/internal/exec"
 	"repro/internal/graph"
 	"repro/internal/par"
+	"repro/internal/snapshot"
 	"repro/internal/spanner"
 )
 
 func main() {
-	in := flag.String("in", "", "input graph file (text format; required)")
+	in := flag.String("in", "", "input graph file (text or binary; required)")
 	out := flag.String("out", "", "optional output file for the spanner subgraph")
 	k := flag.Int("k", 3, "stretch parameter k")
 	algo := flag.String("algo", "est", "algorithm: est (ours), baswana-sen, greedy")
@@ -30,6 +37,8 @@ func main() {
 	samples := flag.Int("samples", 200, "edges sampled for stretch measurement (0 = skip)")
 	parallel := flag.Bool("parallel", false, "run the clustering race and boundary sweep on goroutines (est only; deprecated: use -workers)")
 	workers := flag.Int("workers", 0, "worker cap for the est build: 1 = sequential, N > 1 = multicore capped at N, 0 = defer to -parallel")
+	save := flag.String("save", "", "write the built spanner to this snapshot file")
+	load := flag.String("load", "", "restore a spanner snapshot instead of building (requires the matching -in graph)")
 	flag.Parse()
 
 	if *in == "" {
@@ -41,7 +50,7 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	g, err := graph.ReadText(f)
+	g, err := graph.ReadAuto(f)
 	f.Close()
 	if err != nil {
 		fatal(err)
@@ -49,8 +58,24 @@ func main() {
 
 	cost := par.NewCost()
 	var res *spanner.Result
-	switch *algo {
-	case "est":
+	switch {
+	case *load != "":
+		lf, err := os.Open(*load)
+		if err != nil {
+			fatal(err)
+		}
+		sk, sseed, ids, _, err := snapshot.ReadSpanner(lf, g)
+		lf.Close()
+		if err != nil {
+			fatal(err)
+		}
+		// Adopt the snapshot's provenance so a re-save (-load -save)
+		// records the parameters the edge set was actually built with.
+		*algo = fmt.Sprintf("restored from %s", *load)
+		*k = sk
+		*seed = sseed
+		res = &spanner.Result{EdgeIDs: ids}
+	case *algo == "est":
 		opts := spanner.Options{Cost: cost, Parallel: *parallel}
 		if *workers > 0 {
 			opts.Exec = exec.Parallel(*workers)
@@ -60,15 +85,15 @@ func main() {
 		} else {
 			res = spanner.UnweightedOpts(g, *k, *seed, opts)
 		}
-	case "baswana-sen":
+	case *algo == "baswana-sen":
 		res = spanner.BaswanaSen(g, *k, *seed, cost)
-	case "greedy":
+	case *algo == "greedy":
 		res = spanner.Greedy(g, *k, cost)
 	default:
 		fmt.Fprintf(os.Stderr, "spanner: unknown algorithm %q\n", *algo)
 		os.Exit(2)
 	}
-	if *parallel && *algo != "est" {
+	if *parallel && *load == "" && *algo != "est" {
 		fmt.Fprintln(os.Stderr, "spanner: note: -parallel only affects -algo est; baselines ran sequentially")
 	}
 
@@ -81,6 +106,20 @@ func main() {
 		st := eval.SpannerStretch(g, res.EdgeIDs, *samples, *seed+7)
 		fmt.Printf("stretch over %d sampled edges: max=%.3f mean=%.3f\n",
 			st.Samples, st.Max, st.Mean)
+	}
+	if *save != "" {
+		sf, err := os.Create(*save)
+		if err != nil {
+			fatal(err)
+		}
+		err = snapshot.WriteSpanner(sf, g, *k, *seed, res.EdgeIDs, nil)
+		if cerr := sf.Close(); err == nil {
+			err = cerr
+		}
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("saved spanner snapshot to %s\n", *save)
 	}
 	if *out != "" {
 		h := res.Graph(g)

@@ -251,6 +251,25 @@ func FromEdges(n int32, edges []Edge, weighted bool) *Graph {
 	return g
 }
 
+// FromEdgesOrig is FromEdges plus an explicit contraction
+// back-mapping: the returned graph reports orig[e] from OrigEdgeID(e).
+// Snapshot decoding uses it to restore quotient graphs produced by
+// Contract with their back-references intact. orig may be nil (no
+// mapping) or must have one entry per edge.
+func FromEdgesOrig(n int32, edges []Edge, weighted bool, orig []int32) *Graph {
+	if orig != nil && len(orig) != len(edges) {
+		panic(fmt.Sprintf("graph: orig mapping length %d, want %d", len(orig), len(edges)))
+	}
+	g := FromEdges(n, edges, weighted)
+	if orig != nil {
+		// Preserve empty-but-present mappings (a quotient graph with no
+		// surviving edges still reports HasOrigEdgeIDs).
+		g.origEID = make([]int32, len(orig))
+		copy(g.origEID, orig)
+	}
+	return g
+}
+
 // Simplify removes self-loops and merges parallel edges keeping the
 // minimum weight, which is the quotient-graph convention the paper
 // uses ("merging parallel edges by keeping the shortest edge"). The

@@ -4,6 +4,7 @@ import (
 	"bufio"
 	"encoding/binary"
 	"fmt"
+	"hash/fnv"
 	"io"
 	"strconv"
 	"strings"
@@ -153,6 +154,56 @@ func WriteBinary(w io.Writer, g *Graph) error {
 		}
 	}
 	return bw.Flush()
+}
+
+// ReadAuto sniffs the format (binary magic vs. text header) and
+// dispatches to ReadBinary or ReadText, so every tool accepts either
+// interchange format from one flag.
+func ReadAuto(r io.Reader) (*Graph, error) {
+	br := bufio.NewReader(r)
+	head, err := br.Peek(4)
+	if err != nil && len(head) < 4 {
+		// Too short for either magic; let the text parser report the
+		// canonical error for empty/garbage input.
+		return ReadText(br)
+	}
+	if binary.LittleEndian.Uint32(head) == binaryMagic {
+		return ReadBinary(br)
+	}
+	return ReadText(br)
+}
+
+// Fingerprint returns a stable 64-bit digest of the graph's logical
+// content: vertex count, weightedness, and the canonical edge list
+// (endpoints and weights) in order. Two graphs with equal fingerprints
+// are CSR-identical for every deterministic algorithm in this
+// repository, which is what snapshot loading validates before binding
+// a restored oracle to a caller-supplied graph.
+func (g *Graph) Fingerprint() uint64 {
+	h := fnv.New64a()
+	var buf [8]byte
+	put32 := func(v int32) {
+		binary.LittleEndian.PutUint32(buf[:4], uint32(v))
+		_, _ = h.Write(buf[:4])
+	}
+	put64 := func(v int64) {
+		binary.LittleEndian.PutUint64(buf[:], uint64(v))
+		_, _ = h.Write(buf[:])
+	}
+	put32(g.n)
+	put64(int64(len(g.edges)))
+	if g.weighted {
+		put32(1)
+	} else {
+		put32(0)
+	}
+	for i := range g.edges {
+		e := &g.edges[i]
+		put32(e.U)
+		put32(e.V)
+		put64(e.W)
+	}
+	return h.Sum64()
 }
 
 // ReadBinary parses the WriteBinary format.

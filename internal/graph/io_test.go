@@ -117,3 +117,76 @@ func TestRoundTripProperty(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// ReadAuto must sniff both interchange formats and reject junk.
+func TestReadAuto(t *testing.T) {
+	g := UniformWeights(Grid2D(4, 5), 12, 3)
+	var tb, bb bytes.Buffer
+	if err := WriteText(&tb, g); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteBinary(&bb, g); err != nil {
+		t.Fatal(err)
+	}
+	fromText, err := ReadAuto(&tb)
+	if err != nil {
+		t.Fatalf("ReadAuto(text): %v", err)
+	}
+	fromBin, err := ReadAuto(&bb)
+	if err != nil {
+		t.Fatalf("ReadAuto(binary): %v", err)
+	}
+	if !graphsEqual(g, fromText) || !graphsEqual(g, fromBin) {
+		t.Fatal("ReadAuto changed the graph")
+	}
+	if _, err := ReadAuto(bytes.NewReader(nil)); err == nil {
+		t.Error("ReadAuto accepted empty input")
+	}
+	if _, err := ReadAuto(bytes.NewReader([]byte("junk\n1 2 3\n"))); err == nil {
+		t.Error("ReadAuto accepted junk")
+	}
+}
+
+// Fingerprint must be stable across (de)serialization and sensitive to
+// any logical change: weights, endpoints, weightedness, vertex count.
+func TestFingerprint(t *testing.T) {
+	g := UniformWeights(Grid2D(5, 5), 20, 7)
+	var buf bytes.Buffer
+	if err := WriteBinary(&buf, g); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadBinary(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Fingerprint() != g.Fingerprint() {
+		t.Fatal("fingerprint changed across a binary round trip")
+	}
+	if UniformWeights(Grid2D(5, 5), 20, 8).Fingerprint() == g.Fingerprint() {
+		t.Fatal("different weights, same fingerprint")
+	}
+	if Grid2D(5, 5).Fingerprint() == g.Fingerprint() {
+		t.Fatal("unweighted vs weighted, same fingerprint")
+	}
+	if Grid2D(5, 6).Fingerprint() == Grid2D(5, 5).Fingerprint() {
+		t.Fatal("different shape, same fingerprint")
+	}
+	if Grid2D(5, 5).Fingerprint() != Grid2D(5, 5).Fingerprint() {
+		t.Fatal("fingerprint not deterministic")
+	}
+}
+
+// FromEdgesOrig must preserve the mapping, including empty-but-present.
+func TestFromEdgesOrig(t *testing.T) {
+	edges := []Edge{{U: 0, V: 1, W: 2}, {U: 1, V: 2, W: 3}}
+	g := FromEdgesOrig(3, edges, true, []int32{7, 9})
+	if !g.HasOrigEdgeIDs() || g.OrigEdgeID(0) != 7 || g.OrigEdgeID(1) != 9 {
+		t.Fatalf("mapping lost: %v %v", g.OrigEdgeID(0), g.OrigEdgeID(1))
+	}
+	if e := FromEdgesOrig(2, nil, false, []int32{}); !e.HasOrigEdgeIDs() {
+		t.Fatal("empty-but-present mapping collapsed to absent")
+	}
+	if p := FromEdgesOrig(3, edges, true, nil); p.HasOrigEdgeIDs() {
+		t.Fatal("nil mapping reported as present")
+	}
+}

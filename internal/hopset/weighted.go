@@ -91,6 +91,31 @@ type Scaled struct {
 	roundedAug map[graph.W]*graph.Graph
 }
 
+// NewScaled assembles a queryable Scaled from already-built parts —
+// the snapshot decoder's entry point. The caller guarantees the scales
+// were produced by BuildScaled over base with wp (the codec verifies
+// structural invariants; semantic fidelity is the encoder's job).
+// Query caches (augmented and rounded-augmented graphs) start cold and
+// repopulate lazily, exactly as after a fresh build.
+func NewScaled(base *graph.Graph, scales []Scale, wp WeightedParams) *Scaled {
+	return &Scaled{Base: base, Scales: scales, Params: wp, roundedAug: map[graph.W]*graph.Graph{}}
+}
+
+// Rebind points the hopset at an equivalent base graph (same
+// fingerprint; the caller validates). Snapshot loading uses it to
+// share the caller's already-resident graph instead of the embedded
+// copy. It must only be called before the first query: the lazy
+// augmented-graph caches key off Base.
+func (s *Scaled) Rebind(base *graph.Graph) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.Base = base
+	s.aug = nil
+	for k := range s.roundedAug {
+		delete(s.roundedAug, k)
+	}
+}
+
 // Edges returns the union of all bands' hopset edges.
 func (s *Scaled) Edges() []graph.Edge {
 	var out []graph.Edge

@@ -90,6 +90,17 @@ type Entry struct {
 	exec    *Executor
 	buildMS int64
 	created time.Time
+
+	// Snapshot persistence: warm marks an entry restored from disk at
+	// boot (it never ran a build in this process); snapSize/snapTime/
+	// snapErr describe the entry's snapshot file (guarded by mu). The
+	// file writes themselves are serialized by the registry's per-id
+	// snapshot lock — per id, not per entry, because the .snap path is
+	// keyed by id and a deleted graph's id can be re-registered.
+	warm     bool
+	snapSize int64
+	snapTime time.Time
+	snapErr  string
 }
 
 // Info is the JSON snapshot of an Entry.
@@ -114,8 +125,14 @@ type Info struct {
 	BuildMS     int64 `json:"build_ms,omitempty"`
 	// BuildStages is the per-stage build telemetry (graph loading,
 	// weight-class decomposition, hopset construction) recorded by the
-	// build's execution context.
+	// build's execution context. Empty for warm-started graphs: they
+	// never built anything in this process.
 	BuildStages []exec.StageStats `json:"build_stages,omitempty"`
+	// WarmStarted marks a graph restored from a snapshot at boot.
+	WarmStarted bool `json:"warm_started,omitempty"`
+	// Snapshot describes the graph's on-disk snapshot, when snapshot
+	// persistence is configured.
+	Snapshot *SnapshotInfo `json:"snapshot,omitempty"`
 }
 
 // Info snapshots the entry.
@@ -139,6 +156,11 @@ func (e *Entry) Info() Info {
 		info.Degenerate = e.oracle.Degenerate()
 	}
 	info.BuildStages = e.tel.Snapshot()
+	info.WarmStarted = e.warm
+	if !e.snapTime.IsZero() || e.snapErr != "" {
+		si := e.snapshotInfoLocked()
+		info.Snapshot = &si
+	}
 	return info
 }
 
@@ -171,6 +193,13 @@ type Registry struct {
 
 	queue chan *Entry
 	wg    sync.WaitGroup
+
+	// snapLocks holds one mutex per graph id ever snapshotted: all
+	// file operations on {id}.snap(.tmp) — background writes, forced
+	// writes, DELETE cleanup — serialize on it, so a stale writer for
+	// a deleted entry can never interleave with (or clobber) the
+	// snapshot of a new graph re-registered under the same id.
+	snapLocks sync.Map // id string → *sync.Mutex
 }
 
 // NewRegistry starts the build workers.
@@ -315,6 +344,14 @@ func (r *Registry) Delete(id string) (State, error) {
 	if ex != nil {
 		ex.Close()
 	}
+	// Evicting a graph also evicts its persisted snapshot: a deleted
+	// graph must not resurrect on the next boot. The per-id lock
+	// orders this after any in-flight write; a writer that acquires
+	// the lock later finds the entry gone from the registry and skips.
+	lock := r.snapLock(id)
+	lock.Lock()
+	r.removeSnapshot(id)
+	lock.Unlock()
 	return state, nil
 }
 
@@ -370,7 +407,7 @@ func (r *Registry) build(e *Entry) {
 				return ferr
 			}
 			defer f.Close()
-			g, err = graph.ReadText(f)
+			g, err = graph.ReadAuto(f)
 			if err != nil {
 				return err
 			}
@@ -415,6 +452,13 @@ func (r *Registry) build(e *Entry) {
 	// executor (and closed it) or we see the flag now and tear down.
 	if e.deleted.Load() {
 		ex.Close()
+		return
+	}
+	// Snapshot-on-ready: persist the freshly built oracle off the
+	// build worker so the next boot warm-starts it. Failures are
+	// recorded on the entry (surfaced via /stats), never fatal.
+	if r.cfg.SnapshotDir != "" {
+		go func() { _, _ = r.snapshotEntry(e) }()
 	}
 }
 

@@ -43,6 +43,14 @@ type Config struct {
 	// CacheSize is the per-graph LRU result-cache capacity
 	// ((s,t) → QueryStats); 0 takes the default, negative disables.
 	CacheSize int
+
+	// SnapshotDir enables oracle snapshot persistence: every oracle
+	// that becomes ready is written there as a self-contained snapshot
+	// (atomic rename; spec, graph, and oracle in one file), WarmStart
+	// restores the directory's snapshots as ready graphs on boot
+	// without rebuilding, and DELETE /graphs/{id} removes the file.
+	// Empty disables persistence.
+	SnapshotDir string
 }
 
 func (c Config) withDefaults() Config {
@@ -102,8 +110,10 @@ func (c Config) queryExecWorkers() int {
 //	GET    /graphs/{id}         one entry
 //	DELETE /graphs/{id}         evict a graph; aborts an in-flight build
 //	POST   /graphs/{id}/query   {"s":..,"t":..} or {"pairs":[[s,t],..]}
+//	POST   /graphs/{id}/snapshot force a snapshot write (persistence on)
 //	GET    /healthz             liveness + entry counts
 //	GET    /stats               per-graph serving counters + build stages
+//	                            + snapshot size/age
 type Server struct {
 	cfg   Config
 	reg   *Registry
@@ -124,6 +134,7 @@ func New(cfg Config) *Server {
 	s.mux.HandleFunc("GET /graphs/{id}", s.handleGetGraph)
 	s.mux.HandleFunc("DELETE /graphs/{id}", s.handleDeleteGraph)
 	s.mux.HandleFunc("POST /graphs/{id}/query", s.handleQuery)
+	s.mux.HandleFunc("POST /graphs/{id}/snapshot", s.handleSnapshot)
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	s.mux.HandleFunc("GET /stats", s.handleStats)
 	return s
@@ -300,6 +311,19 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	}
 }
 
+// handleSnapshot forces a synchronous snapshot write for a ready
+// graph: POST /graphs/{id}/snapshot. 404 for unknown graphs, 409 while
+// building, 400 when the server runs without a snapshot directory.
+func (s *Server) handleSnapshot(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	info, err := s.reg.Snapshot(id)
+	if err != nil {
+		writeError(w, statusFor(err), err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"id": id, "snapshot": info})
+}
+
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	infos := s.reg.List()
 	counts := map[State]int{}
@@ -316,12 +340,15 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	})
 }
 
-// graphStats pairs lifecycle state with the serving counters and the
-// build's per-stage execution telemetry.
+// graphStats pairs lifecycle state with the serving counters, the
+// build's per-stage execution telemetry, and the snapshot persistence
+// state (size/age of the on-disk file, warm-start provenance).
 type graphStats struct {
 	State State `json:"state"`
 	StatsSnapshot
 	BuildStages []exec.StageStats `json:"build_stages,omitempty"`
+	WarmStarted bool              `json:"warm_started,omitempty"`
+	Snapshot    *SnapshotInfo     `json:"snapshot,omitempty"`
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
@@ -335,6 +362,8 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 			State:         info.State,
 			StatsSnapshot: e.stats.Snapshot(),
 			BuildStages:   info.BuildStages,
+			WarmStarted:   info.WarmStarted,
+			Snapshot:      info.Snapshot,
 		}
 	}
 	writeJSON(w, http.StatusOK, map[string]any{

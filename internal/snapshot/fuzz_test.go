@@ -1,0 +1,107 @@
+package snapshot
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/graph"
+	"repro/internal/hopset"
+)
+
+// FuzzReadOracle hardens the snapshot decoder the way FuzzReadBinary
+// hardens the graph parser: arbitrary bytes — corrupted headers,
+// truncated sections, bad CRCs, forged counts — must produce an error
+// or a structurally valid oracle, and must never panic. A successful
+// decode must additionally survive being queried (the decoder's
+// validation contract is "nothing restored can panic later").
+func FuzzReadOracle(f *testing.F) {
+	// Seed corpus: valid snapshots of each shape plus mutations.
+	small := graph.UniformWeights(graph.Grid2D(4, 4), 9, 1)
+	o, _ := buildOracle(small, 0.3, 2)
+	var direct bytes.Buffer
+	_ = WriteOracle(&direct, small, o, []byte("spec"))
+	f.Add(direct.Bytes())
+
+	multi := graph.ExponentialWeights(graph.RandomConnectedGNM(40, 160, 3), 10, 28, 4)
+	od, _ := buildOracle(multi, 0.25, 5)
+	if od.Dec != nil {
+		var dec bytes.Buffer
+		_ = WriteOracle(&dec, multi, od, nil)
+		f.Add(dec.Bytes())
+	}
+
+	empty := graph.FromEdges(1, nil, false)
+	og := &Oracle{Eps: 0.5, Seed: 1, Degenerate: true}
+	var degen bytes.Buffer
+	_ = WriteOracle(&degen, empty, og, nil)
+	f.Add(degen.Bytes())
+
+	var scaled bytes.Buffer
+	_ = WriteScaled(&scaled, hopset.BuildScaled(small, hopset.DefaultWeightedParams(6), nil), nil)
+	f.Add(scaled.Bytes())
+
+	f.Add([]byte{})
+	f.Add([]byte{0x53, 0x50, 0x53, 0x31})         // magic only
+	f.Add(direct.Bytes()[:len(direct.Bytes())/2]) // truncated mid-section
+	f.Add(direct.Bytes()[:len(direct.Bytes())-2]) // truncated trailer
+	corrupt := append([]byte(nil), direct.Bytes()...)
+	corrupt[len(corrupt)/2] ^= 0xA5
+	f.Add(corrupt)
+
+	f.Fuzz(func(t *testing.T, input []byte) {
+		defer func() {
+			if r := recover(); r != nil {
+				t.Fatalf("ReadOracle panicked: %v", r)
+			}
+		}()
+		got, g, _, err := ReadOracle(bytes.NewReader(input))
+		if err != nil {
+			return
+		}
+		// Anything that decodes cleanly must be internally consistent
+		// enough to query without panicking.
+		if err := g.Validate(); err != nil {
+			t.Fatalf("decoded graph invalid: %v", err)
+		}
+		if g.NumVertices() >= 2 {
+			switch {
+			case got.Direct != nil:
+				_ = got.Direct.Query(0, g.NumVertices()-1, nil)
+			case got.Dec != nil:
+				if inst, s, d := got.Dec.InstanceFor(0, g.NumVertices()-1); inst != nil && s != d {
+					_ = got.Instances[inst.Level].Query(s, d, nil)
+				}
+			}
+		}
+	})
+}
+
+// FuzzReadSpanner covers the standalone spanner shape's decoder.
+func FuzzReadSpanner(f *testing.F) {
+	g := graph.Grid2D(4, 4)
+	var good bytes.Buffer
+	_ = WriteSpanner(&good, g, 3, 1, []int32{0, 2, 5}, nil)
+	f.Add(good.Bytes())
+	f.Add([]byte{})
+	f.Add(good.Bytes()[:len(good.Bytes())-3])
+
+	f.Fuzz(func(t *testing.T, input []byte) {
+		defer func() {
+			if r := recover(); r != nil {
+				t.Fatalf("ReadSpanner panicked: %v", r)
+			}
+		}()
+		k, _, ids, _, err := ReadSpanner(bytes.NewReader(input), g)
+		if err != nil {
+			return
+		}
+		if k < 1 {
+			t.Fatalf("decoded k = %d", k)
+		}
+		for _, id := range ids {
+			if int64(id) < 0 || int64(id) >= g.NumEdges() {
+				t.Fatalf("decoded edge id %d out of range", id)
+			}
+		}
+	})
+}

@@ -1,0 +1,419 @@
+// Package snapshot is the persistence layer for built oracles: a
+// versioned, checksummed, streaming binary codec that serializes a
+// fully preprocessed DistanceOracle — the wscale decomposition, every
+// per-band hopset, and the degenerate/direct fast-path markers — so a
+// daemon restart (or a second CLI run) warm-starts from disk instead
+// of re-running the expensive Section 5 construction.
+//
+// # Wire format (version 1)
+//
+// A snapshot is a fixed header followed by a sequence of sections and
+// a terminating end marker:
+//
+//	header:  magic  uint32  ("SPS1", little-endian)
+//	         version uint32 (currently 1)
+//	section: type   uint32
+//	         length uint64  (payload bytes, excluding this frame)
+//	         payload …
+//	         crc32  uint32  (IEEE, over the payload only)
+//
+// All integers are little-endian; floats are IEEE-754 bits. The
+// section table for the three oracle shapes is:
+//
+//	degenerate:  META NOTE? GRAPH END
+//	direct:      META NOTE? GRAPH SCALED END
+//	decomposed:  META NOTE? GRAPH WSCALE (INSTANCE SCALED)×L END
+//
+// plus two standalone shapes used by the CLI tools:
+//
+//	scaled hopset: META NOTE? GRAPH SCALED END
+//	spanner:       META NOTE? SPANNER END
+//
+// META carries the shape tag, eps, seed, and the base graph's 64-bit
+// fingerprint; decoding verifies the embedded graph hashes to it, and
+// loaders verify a caller-supplied graph matches before binding the
+// restored oracle to it. Sections stream through a running CRC on
+// both sides — the encoder never buffers a section, the decoder never
+// slurps the file — so multi-GB oracles round-trip without a second
+// in-memory copy.
+//
+// # Corruption policy
+//
+// Everything read from disk is data, not trust: a wrong magic,
+// unknown version, out-of-order section, truncated payload, CRC
+// mismatch, or any structurally invalid value (vertex out of range,
+// self-loop, non-positive weight, parameter outside its normalized()
+// domain, non-finite float) is a returned error — never a panic, and
+// never a half-built object that panics later. FuzzReadOracle holds
+// the line.
+//
+// # Version policy
+//
+// The version is bumped on any incompatible layout change; decoders
+// reject versions they do not know rather than guessing. Additive
+// evolution happens by bumping the version and teaching the decoder
+// both layouts — there are no optional/skippable sections inside a
+// version, which keeps the decode path a strict state machine.
+package snapshot
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash"
+	"hash/crc32"
+	"io"
+	"math"
+)
+
+const (
+	magicV1 uint32 = 0x31535053 // "SPS1" when read as little-endian bytes
+	version uint32 = 1
+)
+
+// Section types.
+const (
+	secMeta     uint32 = 1
+	secNote     uint32 = 2
+	secGraph    uint32 = 3
+	secWScale   uint32 = 4
+	secInstance uint32 = 5
+	secScaled   uint32 = 6
+	secSpanner  uint32 = 7
+	secEnd      uint32 = 0xFFFFFFFF
+)
+
+// Snapshot shape tags (the META mode byte).
+const (
+	modeDegenerate uint8 = 0
+	modeDirect     uint8 = 1
+	modeDecomposed uint8 = 2
+	modeScaled     uint8 = 3
+	modeSpanner    uint8 = 4
+)
+
+const (
+	// maxVertices mirrors the graph file-format limit: a larger header
+	// is corruption, not a graph this process could hold anyway.
+	maxVertices = 1 << 26
+	// maxNote bounds the opaque annotation payload.
+	maxNote = 1 << 20
+	// chunkElems is the array-decode granularity: a forged element
+	// count allocates at most one chunk before the (truncated) stream
+	// errors out.
+	chunkElems = 4096
+)
+
+// ErrCorrupt wraps every decode-side failure so callers can
+// distinguish "bad snapshot file" from I/O plumbing errors.
+var ErrCorrupt = errors.New("snapshot: corrupt")
+
+func corruptf(format string, args ...any) error {
+	return fmt.Errorf("%w: %s", ErrCorrupt, fmt.Sprintf(format, args...))
+}
+
+// ---------------------------------------------------------------------------
+// Encoder.
+
+// encoder streams sections with a running CRC and a declared-length
+// audit: every section encoder computes its payload size up front, and
+// end() verifies the bytes actually written match — a size-formula bug
+// fails the write loudly instead of producing an unreadable file.
+type encoder struct {
+	w        *bufio.Writer
+	crc      hash.Hash32
+	declared uint64
+	written  uint64
+	open     bool
+	err      error
+	buf      [16]byte
+}
+
+func newEncoder(w io.Writer) *encoder {
+	return &encoder{w: bufio.NewWriterSize(w, 1<<16), crc: crc32.NewIEEE()}
+}
+
+func (e *encoder) fail(err error) {
+	if e.err == nil {
+		e.err = err
+	}
+}
+
+// raw writes bytes, folding them into the section CRC when a section
+// is open.
+func (e *encoder) raw(b []byte) {
+	if e.err != nil {
+		return
+	}
+	if _, err := e.w.Write(b); err != nil {
+		e.fail(err)
+		return
+	}
+	if e.open {
+		_, _ = e.crc.Write(b) // hash.Hash never errors
+		e.written += uint64(len(b))
+	}
+}
+
+func (e *encoder) u8(v uint8) {
+	e.buf[0] = v
+	e.raw(e.buf[:1])
+}
+
+func (e *encoder) u32(v uint32) {
+	binary.LittleEndian.PutUint32(e.buf[:4], v)
+	e.raw(e.buf[:4])
+}
+
+func (e *encoder) u64(v uint64) {
+	binary.LittleEndian.PutUint64(e.buf[:8], v)
+	e.raw(e.buf[:8])
+}
+
+func (e *encoder) i32(v int32)   { e.u32(uint32(v)) }
+func (e *encoder) i64(v int64)   { e.u64(uint64(v)) }
+func (e *encoder) f64(v float64) { e.u64(math.Float64bits(v)) }
+
+// header writes the file preamble (outside any section).
+func (e *encoder) header() {
+	e.u32(magicV1)
+	e.u32(version)
+}
+
+// begin opens a section of the given type and declared payload length.
+func (e *encoder) begin(typ uint32, length uint64) {
+	if e.open {
+		e.fail(errors.New("snapshot: encoder bug: nested section"))
+		return
+	}
+	e.u32(typ)
+	e.u64(length)
+	e.crc.Reset()
+	e.declared, e.written = length, 0
+	e.open = true
+}
+
+// end closes the current section, verifying the declared length and
+// appending the payload CRC.
+func (e *encoder) end() {
+	if !e.open {
+		e.fail(errors.New("snapshot: encoder bug: end outside section"))
+		return
+	}
+	if e.err == nil && e.written != e.declared {
+		e.fail(fmt.Errorf("snapshot: encoder bug: section wrote %d bytes, declared %d", e.written, e.declared))
+	}
+	e.open = false
+	e.u32(e.crc.Sum32())
+}
+
+func (e *encoder) flush() error {
+	if e.err != nil {
+		return e.err
+	}
+	return e.w.Flush()
+}
+
+// ---------------------------------------------------------------------------
+// Decoder.
+
+// decoder mirrors the encoder: a strict state machine over sections,
+// with a sticky error (after the first failure every getter returns
+// zero and nothing is trusted) and chunked array reads so forged
+// counts cannot force giant allocations.
+type decoder struct {
+	r         *bufio.Reader
+	crc       hash.Hash32
+	remaining uint64
+	open      bool
+	err       error
+	buf       [16]byte
+	chunk     []byte // reused chunk buffer for array reads
+}
+
+func newDecoder(r io.Reader) *decoder {
+	return &decoder{r: bufio.NewReaderSize(r, 1<<16), crc: crc32.NewIEEE()}
+}
+
+func (d *decoder) fail(err error) {
+	if d.err == nil {
+		d.err = err
+	}
+	d.remaining = 0
+}
+
+// rawFrame reads frame bytes that live outside any section payload
+// (header, section type/length, CRC trailers).
+func (d *decoder) rawFrame(b []byte) {
+	if d.err != nil {
+		return
+	}
+	if _, err := io.ReadFull(d.r, b); err != nil {
+		d.fail(corruptf("truncated frame: %v", err))
+	}
+}
+
+// read reads payload bytes of the open section.
+func (d *decoder) read(b []byte) {
+	if d.err != nil {
+		return
+	}
+	if !d.open {
+		d.fail(errors.New("snapshot: decoder bug: payload read outside section"))
+		return
+	}
+	if uint64(len(b)) > d.remaining {
+		d.fail(corruptf("section payload overrun: need %d bytes, %d left", len(b), d.remaining))
+		return
+	}
+	if _, err := io.ReadFull(d.r, b); err != nil {
+		d.fail(corruptf("truncated section payload: %v", err))
+		return
+	}
+	_, _ = d.crc.Write(b)
+	d.remaining -= uint64(len(b))
+}
+
+func (d *decoder) u8() uint8 {
+	d.read(d.buf[:1])
+	if d.err != nil {
+		return 0
+	}
+	return d.buf[0]
+}
+
+func (d *decoder) u32() uint32 {
+	d.read(d.buf[:4])
+	if d.err != nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint32(d.buf[:4])
+}
+
+func (d *decoder) u64() uint64 {
+	d.read(d.buf[:8])
+	if d.err != nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint64(d.buf[:8])
+}
+
+func (d *decoder) i32() int32   { return int32(d.u32()) }
+func (d *decoder) i64() int64   { return int64(d.u64()) }
+func (d *decoder) f64() float64 { return math.Float64frombits(d.u64()) }
+
+// header verifies the file preamble.
+func (d *decoder) header() {
+	if m := d.u32frame(); d.err == nil && m != magicV1 {
+		d.fail(corruptf("bad magic %#x", m))
+	}
+	if v := d.u32frame(); d.err == nil && v != version {
+		d.fail(corruptf("unknown version %d (this build reads %d)", v, version))
+	}
+}
+
+func (d *decoder) u32frame() uint32 {
+	d.rawFrame(d.buf[:4])
+	if d.err != nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint32(d.buf[:4])
+}
+
+func (d *decoder) u64frame() uint64 {
+	d.rawFrame(d.buf[:8])
+	if d.err != nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint64(d.buf[:8])
+}
+
+// next opens the next section and requires it to be of the expected
+// type — the version-1 layout is a fixed sequence, so anything else is
+// corruption (or a foreign file).
+func (d *decoder) next(want uint32) {
+	if d.open {
+		d.fail(errors.New("snapshot: decoder bug: next inside section"))
+		return
+	}
+	typ := d.u32frame()
+	length := d.u64frame()
+	if d.err != nil {
+		return
+	}
+	if typ != want {
+		d.fail(corruptf("section %#x where %#x expected", typ, want))
+		return
+	}
+	d.crc.Reset()
+	d.remaining = length
+	d.open = true
+}
+
+// end closes the current section: the payload must be fully consumed
+// and the CRC trailer must match.
+func (d *decoder) end() {
+	if d.err != nil {
+		return
+	}
+	if !d.open {
+		d.fail(errors.New("snapshot: decoder bug: end outside section"))
+		return
+	}
+	d.open = false
+	if d.remaining != 0 {
+		d.fail(corruptf("section has %d undecoded payload bytes", d.remaining))
+		return
+	}
+	sum := d.crc.Sum32()
+	if got := d.u32frame(); d.err == nil && got != sum {
+		d.fail(corruptf("section CRC mismatch: stored %#x, computed %#x", got, sum))
+	}
+}
+
+// need verifies that count elements of elem bytes each fit in the
+// remaining payload — the pre-allocation sanity check.
+func (d *decoder) need(count, elem uint64) bool {
+	if d.err != nil {
+		return false
+	}
+	if elem != 0 && count > d.remaining/elem {
+		d.fail(corruptf("element count %d exceeds section payload", count))
+		return false
+	}
+	return true
+}
+
+// chunkBuf returns the reused chunk buffer sized to n bytes.
+func (d *decoder) chunkBuf(n int) []byte {
+	if cap(d.chunk) < n {
+		d.chunk = make([]byte, n)
+	}
+	return d.chunk[:n]
+}
+
+// i32s reads count little-endian int32s in chunks.
+func (d *decoder) i32s(count uint64) []int32 {
+	if !d.need(count, 4) {
+		return nil
+	}
+	out := make([]int32, 0, min(count, chunkElems))
+	for count > 0 {
+		c := min(count, chunkElems)
+		buf := d.chunkBuf(int(c) * 4)
+		d.read(buf)
+		if d.err != nil {
+			return nil
+		}
+		for i := uint64(0); i < c; i++ {
+			out = append(out, int32(binary.LittleEndian.Uint32(buf[i*4:])))
+		}
+		count -= c
+	}
+	return out
+}
+
+func finite(x float64) bool {
+	return !math.IsNaN(x) && !math.IsInf(x, 0)
+}

@@ -30,8 +30,9 @@ import (
 // engine; answers are within [(1−ε)·d, (1+ε̃)·d] where ε̃ is the
 // hopset construction's distortion envelope.
 type DistanceOracle struct {
-	g   *Graph
-	eps float64
+	g    *Graph
+	eps  float64
+	seed uint64
 
 	// degenerate marks an oracle over a graph too small to route
 	// (n < 2 or no edges): no hopset is built and every s ≠ t query
@@ -106,7 +107,7 @@ func NewDistanceOracleOpts(g *Graph, eps float64, seed uint64, opt OracleOptions
 	if queryEc == nil {
 		queryEc = ec.Detached()
 	}
-	o := &DistanceOracle{g: g, eps: eps, queryEc: queryEc}
+	o := &DistanceOracle{g: g, eps: eps, seed: seed, queryEc: queryEc}
 	wp := hopset.DefaultWeightedParams(seed)
 	wp.Zeta = eps
 	wp.Exec = ec
@@ -155,6 +156,14 @@ func (o *DistanceOracle) Degenerate() bool { return o.degenerate }
 
 // Eps returns the accuracy parameter the oracle was built with.
 func (o *DistanceOracle) Eps() float64 { return o.eps }
+
+// Seed returns the seed the oracle was built (or restored) with.
+func (o *DistanceOracle) Seed() uint64 { return o.seed }
+
+// Graph returns the base graph the oracle answers queries on. For a
+// snapshot-restored oracle this is the caller-supplied graph when one
+// was passed to LoadOracle, or the snapshot's embedded copy otherwise.
+func (o *DistanceOracle) Graph() *Graph { return o.g }
 
 // NumVertices returns the vertex count of the preprocessed graph
 // (the valid query id range is [0, NumVertices)).

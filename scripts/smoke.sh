@@ -1,33 +1,48 @@
 #!/usr/bin/env bash
 # Serving-layer smoke test: build the binaries, start spanhopd on a
 # small graph, curl /healthz and a query, then run loadgen with
-# bit-exact verification against a locally rebuilt oracle. CI runs
-# this; it also works standalone from the repo root.
+# bit-exact verification against a locally rebuilt oracle. Finally,
+# kill the daemon and restart it with the same -snapshot-dir to prove
+# the warm start: the graph is ready without a rebuild (no build-stage
+# telemetry) and answers are unchanged. CI runs this; it also works
+# standalone from the repo root.
 set -euo pipefail
 
 ADDR="127.0.0.1:${SMOKE_PORT:-8095}"
 DIR="$(mktemp -d)"
+SNAPDIR="$DIR/snapshots"
+DAEMON_PID=""
 trap 'kill "$DAEMON_PID" 2>/dev/null || true; rm -rf "$DIR"' EXIT
 
 echo "== build binaries"
 go build -o "$DIR/bin/" ./cmd/...
 
-echo "== generate a small weighted grid"
-"$DIR/bin/gengraph" -family grid -rows 15 -cols 15 -weights uniform -maxw 20 -out "$DIR/grid.txt"
+echo "== generate a small weighted grid (binary format)"
+"$DIR/bin/gengraph" -family grid -rows 15 -cols 15 -weights uniform -maxw 20 \
+    -format binary -out "$DIR/grid.bin"
 
-echo "== start spanhopd"
-"$DIR/bin/spanhopd" -addr "$ADDR" -batch-window 2ms -load "grid=$DIR/grid.txt" -eps 0.3 -seed 2 \
-    >"$DIR/spanhopd.log" 2>&1 &
-DAEMON_PID=$!
+start_daemon() {
+    "$DIR/bin/spanhopd" -addr "$ADDR" -batch-window 2ms -load "grid=$DIR/grid.bin" \
+        -eps 0.3 -seed 2 -snapshot-dir "$SNAPDIR" >"$1" 2>&1 &
+    DAEMON_PID=$!
+}
+
+wait_healthz() {
+    for i in $(seq 1 50); do
+        if curl -fsS "http://$ADDR/healthz" >/dev/null 2>&1; then return 0; fi
+        if ! kill -0 "$DAEMON_PID" 2>/dev/null; then
+            echo "spanhopd died:"; cat "$1"; exit 1
+        fi
+        sleep 0.2
+    done
+    echo "spanhopd never became healthy"; exit 1
+}
+
+echo "== start spanhopd (snapshot persistence on)"
+start_daemon "$DIR/spanhopd.log"
 
 echo "== wait for /healthz"
-for i in $(seq 1 50); do
-    if curl -fsS "http://$ADDR/healthz" >/dev/null 2>&1; then break; fi
-    if ! kill -0 "$DAEMON_PID" 2>/dev/null; then
-        echo "spanhopd died:"; cat "$DIR/spanhopd.log"; exit 1
-    fi
-    sleep 0.2
-done
+wait_healthz "$DIR/spanhopd.log"
 curl -fsS "http://$ADDR/healthz"; echo
 
 echo "== wait for the preloaded graph build"
@@ -45,6 +60,7 @@ echo "== single query via curl"
 OUT=$(curl -fsS -X POST "http://$ADDR/graphs/grid/query" -d '{"s":0,"t":224}')
 echo "$OUT"
 echo "$OUT" | grep -q '"dist":' || { echo "query response missing dist"; exit 1; }
+COLD_DIST=$(echo "$OUT" | sed -n 's/.*"dist":\([0-9]*\).*/\1/p')
 
 echo "== loadgen with bit-exact verification"
 "$DIR/bin/loadgen" -addr "http://$ADDR" -gen "er:n=512,d=6,w=uniform,maxw=30" \
@@ -55,6 +71,17 @@ STATS=$(curl -fsS "http://$ADDR/stats")
 echo "$STATS"
 echo "$STATS" | grep -q '"build_stages"' || { echo "stats missing build_stages telemetry"; exit 1; }
 
+echo "== wait for the background snapshot write"
+for i in $(seq 1 100); do
+    [ -f "$SNAPDIR/grid.snap" ] && break
+    sleep 0.2
+done
+[ -f "$SNAPDIR/grid.snap" ] || { echo "grid snapshot never written"; exit 1; }
+
+echo "== forced snapshot write via the admin API"
+curl -fsS -X POST "http://$ADDR/graphs/grid/snapshot" | grep -q '"size_bytes"' \
+    || { echo "forced snapshot failed"; exit 1; }
+
 echo "== DELETE a building graph (abort the in-flight build)"
 curl -fsS -X POST "http://$ADDR/graphs" \
     -d '{"name":"doomed","gen":"er:n=16384,d=8,w=uniform,maxw=64","seed":9}' >/dev/null
@@ -63,13 +90,14 @@ curl -fsS -X DELETE "http://$ADDR/graphs/doomed" | grep -q '"deleted":true' \
 CODE=$(curl -s -o /dev/null -w "%{http_code}" "http://$ADDR/graphs/doomed")
 [ "$CODE" = "404" ] || { echo "deleted building graph still visible ($CODE)"; exit 1; }
 
-echo "== DELETE the ready graph"
+echo "== DELETE the ready graph (snapshot file must go with it)"
 curl -fsS -X DELETE "http://$ADDR/graphs/loadgen" | grep -q '"deleted":true' \
     || { echo "DELETE response missing deleted flag"; exit 1; }
 CODE=$(curl -s -o /dev/null -w "%{http_code}" "http://$ADDR/graphs/loadgen")
 [ "$CODE" = "404" ] || { echo "deleted graph still visible ($CODE)"; exit 1; }
 CODE=$(curl -s -o /dev/null -w "%{http_code}" -X POST "http://$ADDR/graphs/loadgen/query" -d '{"s":0,"t":1}')
 [ "$CODE" = "404" ] || { echo "query on deleted graph returned $CODE, want 404"; exit 1; }
+[ ! -f "$SNAPDIR/loadgen.snap" ] || { echo "deleted graph's snapshot survived"; exit 1; }
 # The grid graph must be unaffected by its neighbors' eviction.
 curl -fsS -X POST "http://$ADDR/graphs/grid/query" -d '{"s":0,"t":224}' | grep -q '"dist":' \
     || { echo "grid graph broken after deletes"; exit 1; }
@@ -78,4 +106,25 @@ echo "== graceful shutdown"
 kill -TERM "$DAEMON_PID"
 wait "$DAEMON_PID" || true
 grep -q "bye" "$DIR/spanhopd.log" || { echo "no clean shutdown:"; cat "$DIR/spanhopd.log"; exit 1; }
+
+echo "== restart: warm-start from the snapshot dir, no rebuild"
+start_daemon "$DIR/spanhopd2.log"
+wait_healthz "$DIR/spanhopd2.log"
+INFO=$(curl -fsS "http://$ADDR/graphs/grid")
+echo "$INFO"
+echo "$INFO" | grep -q '"state":"ready"' || { echo "warm-started graph not ready"; exit 1; }
+echo "$INFO" | grep -q '"warm_started":true' || { echo "graph not marked warm_started"; exit 1; }
+echo "$INFO" | grep -q '"build_stages"' && { echo "warm start recorded build stages — a rebuild happened"; exit 1; }
+grep -q "warm-started 1 graph" "$DIR/spanhopd2.log" || { echo "no warm-start log line"; exit 1; }
+grep -q "skipping -load grid" "$DIR/spanhopd2.log" || { echo "preload not skipped after warm start"; exit 1; }
+
+echo "== warm-started answers match the first life"
+WARM=$(curl -fsS -X POST "http://$ADDR/graphs/grid/query" -d '{"s":0,"t":224}')
+WARM_DIST=$(echo "$WARM" | sed -n 's/.*"dist":\([0-9]*\).*/\1/p')
+[ "$WARM_DIST" = "$COLD_DIST" ] || { echo "warm answer $WARM_DIST != cold answer $COLD_DIST"; exit 1; }
+
+echo "== final shutdown"
+kill -TERM "$DAEMON_PID"
+wait "$DAEMON_PID" || true
+grep -q "bye" "$DIR/spanhopd2.log" || { echo "no clean second shutdown:"; cat "$DIR/spanhopd2.log"; exit 1; }
 echo "smoke OK"

@@ -1,0 +1,101 @@
+package spanhop
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/exec"
+	"repro/internal/snapshot"
+)
+
+// This file is the facade over internal/snapshot: preprocess-once /
+// query-many only pays off if "once" survives the process, so a built
+// DistanceOracle can be saved to a self-contained, versioned,
+// checksummed snapshot and restored in milliseconds — the wscale
+// decomposition, every per-band hopset, and the degenerate/direct
+// fast paths round-trip bit-identically (restored oracles answer
+// exactly what the in-memory oracle would, QueryStats included).
+
+// SaveOracle writes a self-contained snapshot of o (including its
+// base graph) to w. The oracle must be fully built: saving an oracle
+// whose build was canceled returns an error.
+func SaveOracle(w io.Writer, o *DistanceOracle) error {
+	return SaveOracleNote(w, o, nil)
+}
+
+// SaveOracleNote is SaveOracle with an opaque caller annotation
+// stored alongside the oracle (the serving layer keeps the graph's
+// registration spec there). len(note) is capped at 1 MiB.
+func SaveOracleNote(w io.Writer, o *DistanceOracle, note []byte) error {
+	so := &snapshot.Oracle{
+		Eps:        o.eps,
+		Seed:       o.seed,
+		Degenerate: o.degenerate,
+		Direct:     o.direct,
+		Dec:        o.dec,
+		Instances:  o.instances,
+	}
+	return snapshot.WriteOracle(w, o.g, so, note)
+}
+
+// LoadOracle restores a SaveOracle snapshot. If g is non-nil it must
+// fingerprint-match the snapshot's embedded graph and becomes the
+// oracle's base (sharing the caller's already-resident graph); nil
+// uses the embedded copy. opt supplies the execution contexts queries
+// run on, resolved exactly as NewDistanceOracleOpts resolves them
+// (QueryExec wins, then Exec.Detached(), then the deprecated Parallel
+// bool); build-only fields (Cost) are ignored — nothing is built.
+//
+// The restored oracle is bit-identical to the one saved: every Query/
+// QueryBatch answer, including Levels and Fallback diagnostics,
+// matches the in-memory original.
+func LoadOracle(r io.Reader, g *Graph, opt OracleOptions) (*DistanceOracle, error) {
+	o, _, err := LoadOracleNote(r, g, opt)
+	return o, err
+}
+
+// LoadOracleNote is LoadOracle returning the annotation stored by
+// SaveOracleNote (nil when none).
+func LoadOracleNote(r io.Reader, g *Graph, opt OracleOptions) (*DistanceOracle, []byte, error) {
+	so, embedded, note, err := snapshot.ReadOracle(r)
+	if err != nil {
+		return nil, nil, err
+	}
+	base := embedded
+	if g != nil {
+		// so.Fingerprint is the META digest ReadOracle already verified
+		// the embedded graph against — no need to rehash it here.
+		if g.Fingerprint() != so.Fingerprint {
+			return nil, nil, fmt.Errorf("spanhop: snapshot was built for a different graph (fingerprint %#x, got %#x)",
+				so.Fingerprint, g.Fingerprint())
+		}
+		base = g
+		// Rebind the restored structures to the caller's graph so the
+		// snapshot's embedded copy can be collected.
+		if so.Direct != nil {
+			so.Direct.Rebind(base)
+		}
+		if so.Dec != nil {
+			so.Dec.Base = base
+		}
+	}
+	ec := opt.Exec
+	if ec == nil && opt.Parallel {
+		ec = exec.Default()
+	}
+	queryEc := opt.QueryExec
+	if queryEc == nil {
+		queryEc = ec.Detached()
+	}
+	o := &DistanceOracle{
+		g:          base,
+		eps:        so.Eps,
+		seed:       so.Seed,
+		degenerate: so.Degenerate,
+		direct:     so.Direct,
+		dec:        so.Dec,
+		instances:  so.Instances,
+		queryEc:    queryEc,
+	}
+	return o, note, nil
+}
