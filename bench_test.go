@@ -561,6 +561,57 @@ func BenchmarkOracleBuild(b *testing.B) {
 	})
 }
 
+// BenchmarkDynamicOracleQuery measures the live-update overlay's
+// three query regimes against the same base oracle: a clean overlay
+// (pure delegation), an improving overlay (sketch over the patched
+// endpoints + base-oracle estimates), and a degrading overlay (exact
+// bidirectional search on the patched graph) — the cost profile the
+// rebuild policy trades against.
+func BenchmarkDynamicOracleQuery(b *testing.B) {
+	g := WithUniformWeights(GridGraph(40, 40), 50, 3)
+	n := g.NumVertices()
+	o := NewDistanceOracle(g, 0.25, 2)
+	run := func(b *testing.B, d *DynamicOracle) {
+		b.Helper()
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := d.Query(V(i)%n, V(i*7+13)%n); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	b.Run("clean", func(b *testing.B) {
+		d := NewDynamicOracle(o, RebuildPolicy{Disabled: true})
+		defer d.Close()
+		run(b, d)
+	})
+	b.Run("improving-8-inserts", func(b *testing.B) {
+		d := NewDynamicOracle(o, RebuildPolicy{Disabled: true})
+		defer d.Close()
+		var ups []DynamicUpdate
+		for i := 0; i < 8; i++ {
+			ups = append(ups, DynamicUpdate{Op: UpdateInsert, U: V(i * 11), V: n - 1 - V(i*17), W: W(i + 1)})
+		}
+		if _, err := d.ApplyUpdates(ups); err != nil {
+			b.Fatal(err)
+		}
+		run(b, d)
+	})
+	b.Run("degrading-8-deletes", func(b *testing.B) {
+		d := NewDynamicOracle(o, RebuildPolicy{Disabled: true})
+		defer d.Close()
+		var ups []DynamicUpdate
+		for i := 0; i < 8; i++ {
+			e := g.Edges()[i*31]
+			ups = append(ups, DynamicUpdate{Op: UpdateDelete, U: e.U, V: e.V})
+		}
+		if _, err := d.ApplyUpdates(ups); err != nil {
+			b.Fatal(err)
+		}
+		run(b, d)
+	})
+}
+
 func reportStats(b *testing.B, rows []experiments.StatRow) {
 	b.Helper()
 	ok := 0

@@ -8,6 +8,7 @@
 //	loadgen -addr http://localhost:8080 \
 //	    [-graph id | -gen "er:n=4096,d=8,w=uniform"] \
 //	    [-mix uniform|hotspot|repeat] [-concurrency 16] [-requests 2000] \
+//	    [-mutate N] [-mutate-batch 4] [-mutate-mix churn] \
 //	    [-eps 0.25] [-seed 1] [-verify] [-workers N]
 //
 // With -gen, loadgen registers the graph itself (id "loadgen") and
@@ -15,10 +16,22 @@
 // same oracle locally — generation and preprocessing are
 // deterministic in (gen, seed, eps) — and asserts every server answer
 // is bit-identical to serial DistanceOracle.Query.
+//
+// With -mutate N (requires -gen), loadgen first drives N edge-mutation
+// batches through POST /graphs/{id}/edges using a deterministic
+// workload.Mutator stream, asserting the generation advances by
+// exactly one per mutation; the read phase then runs against the
+// mutated graph. Combined with -verify, the mutations are replayed
+// into a local DynamicOracle replica: pre-rebuild answers are checked
+// against the replica's overlay path, then both sides force a rebuild
+// (POST /graphs/{id}/rebuild and a local ForceRebuild) so the
+// concurrent read phase verifies bit-identical against the same
+// compacted generation.
 package main
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -45,6 +58,10 @@ func main() {
 	eps := flag.Float64("eps", 0.25, "oracle accuracy (with -gen)")
 	seed := flag.Uint64("seed", 1, "seed (with -gen; also seeds the mixes)")
 	verify := flag.Bool("verify", false, "rebuild the oracle locally and verify every answer (needs -gen)")
+	mutate := flag.Int("mutate", 0, "edge-mutation batches to apply before the read phase (needs -gen; 0 = off)")
+	mutateBatch := flag.Int("mutate-batch", 4, "mutations per batch (with -mutate)")
+	mutateMix := flag.String("mutate-mix", "churn", "mutation mix: churn, grow, decay, reweight")
+	mutateMaxW := flag.Int64("mutate-maxw", 50, "max weight for inserted/reweighted edges (weighted graphs)")
 	workers := flag.Int("workers", 0, "worker cap for the local -verify rebuild; must mirror the daemon's -workers so both sides build the same oracle (0 = the sequential reference build, matching a daemon without -workers/-parallel)")
 	timeout := flag.Duration("timeout", 120*time.Second, "build-wait timeout")
 	flag.Parse()
@@ -54,6 +71,12 @@ func main() {
 	}
 	if *verify && *gen == "" {
 		fatal(fmt.Errorf("-verify needs -gen (the spec to rebuild locally)"))
+	}
+	if *mutate > 0 && *gen == "" {
+		fatal(fmt.Errorf("-mutate needs -gen (the spec to derive valid mutations from)"))
+	}
+	if *mutateBatch < 1 {
+		*mutateBatch = 1
 	}
 
 	client := &http.Client{Timeout: 30 * time.Second}
@@ -83,22 +106,62 @@ func main() {
 			fatal(fmt.Errorf("graph %q on the daemon was built from (gen=%q eps=%g seed=%d), not the requested (gen=%q eps=%g seed=%d); restart the daemon or change -gen",
 				id, info.Spec.Gen, info.Spec.Eps, info.Spec.Seed, *gen, *eps, *seed))
 		}
+		// A reused graph (409 above) may carry mutations from an earlier
+		// -mutate run; the local replica starts from the pristine spec
+		// graph, so -mutate/-verify against it would mismatch for
+		// reasons that look like server bugs.
+		if (*mutate > 0 || *verify) && info.Dynamic != nil && info.Dynamic.Generation > 0 {
+			fatal(fmt.Errorf("graph %q already carries %d generations of mutations from a previous run; DELETE /graphs/%s it first (or restart the daemon)",
+				id, info.Dynamic.Generation, id))
+		}
 	}
 	fmt.Printf("graph %s: n=%d m=%d weighted=%v hopset=%d instances=%d (built in %dms)\n",
 		id, info.N, info.M, info.Weighted, info.HopsetEdges, info.Instances, info.BuildMS)
 
-	var oracle *spanhop.DistanceOracle
-	if *verify {
+	// Generate the spec graph once: the -verify replica and the
+	// -mutate stream both derive from it.
+	var specGraph *graph.Graph
+	if *verify || *mutate > 0 {
 		spec, err := workload.ParseSpec(*gen, *seed)
 		if err != nil {
 			fatal(err)
 		}
+		specGraph = spec.Gen()
+	}
+
+	// The verification reference: a plain static oracle without
+	// mutations, or a DynamicOracle replica once -mutate is in play.
+	var oracle interface {
+		QueryStats(s, t graph.V) (spanhop.QueryStats, error)
+	}
+	var replica *spanhop.DynamicOracle
+	if *verify {
 		fmt.Printf("verify: rebuilding oracle locally (eps=%g seed=%d workers=%d)...\n", *eps, *seed, *workers)
 		var opt spanhop.OracleOptions
 		if *workers > 0 {
 			opt.Exec = spanhop.ParallelExec(*workers)
 		}
-		oracle = spanhop.NewDistanceOracleOpts(spec.Gen(), *eps, *seed, opt)
+		static := spanhop.NewDistanceOracleOpts(specGraph, *eps, *seed, opt)
+		if *mutate > 0 {
+			replica = spanhop.NewDynamicOracle(static, spanhop.RebuildPolicy{Disabled: true, Workers: *workers})
+			defer replica.Close()
+			oracle = replica
+		} else {
+			oracle = static
+		}
+	}
+
+	if *mutate > 0 {
+		verifiable, err := runMutations(client, *addr, id, specGraph, mutationConfig{
+			seed: *seed, batches: *mutate, batchSize: *mutateBatch,
+			mix: *mutateMix, maxW: *mutateMaxW,
+		}, replica)
+		if err != nil {
+			fatal(err)
+		}
+		if !verifiable {
+			oracle = nil
+		}
 	}
 
 	type sample struct {
@@ -244,6 +307,178 @@ func main() {
 	if errCount > 0 {
 		os.Exit(1)
 	}
+}
+
+type mutationConfig struct {
+	seed      uint64
+	batches   int
+	batchSize int
+	mix       string
+	maxW      int64
+}
+
+// runMutations drives the mutation phase: deterministic batches from
+// workload.Mutator through POST /graphs/{id}/edges, asserting the
+// generation advances by exactly one per mutation. With a replica
+// (-verify), every batch is replayed locally, pre-rebuild answers are
+// spot-checked against the replica's overlay path, and finally both
+// sides force a rebuild so the read phase verifies against one
+// compacted generation. The returned bool reports whether bit-exact
+// verification remains sound: if the server's policy triggered a
+// rebuild MID-phase, its final oracle was materialized through an
+// intermediate swap — graph materialization is path-dependent (edge
+// order differs across swap points), so the replica's single-shot
+// materialization is not CSR-identical and the read phase must fall
+// back to unverified measurement.
+func runMutations(client *http.Client, addr, id string, g *graph.Graph, cfg mutationConfig, replica *spanhop.DynamicOracle) (bool, error) {
+	mut, err := workload.NewMutator(g, cfg.mix, cfg.maxW, cfg.seed^0xD15EA5E)
+	if err != nil {
+		return false, err
+	}
+	dynOf := func() (*server.DynamicInfo, error) {
+		code, body, err := doJSON(client, "GET", addr+"/graphs/"+id, nil)
+		if err != nil {
+			return nil, err
+		}
+		if code != http.StatusOK {
+			return nil, fmt.Errorf("GET /graphs/%s: %d: %s", id, code, body)
+		}
+		var info server.Info
+		if err := json.Unmarshal(body, &info); err != nil {
+			return nil, err
+		}
+		if info.Dynamic == nil {
+			return nil, fmt.Errorf("graph %s reports no dynamic state", id)
+		}
+		return info.Dynamic, nil
+	}
+	dyn, err := dynOf()
+	if err != nil {
+		return false, err
+	}
+	lastGen := dyn.Generation
+
+	url := fmt.Sprintf("%s/graphs/%s/edges", addr, id)
+	total := 0
+	start := time.Now()
+	for b := 0; b < cfg.batches; b++ {
+		ups := mut.Batch(cfg.batchSize)
+		if len(ups) == 0 {
+			fmt.Printf("mutate: %s mix ran dry after %d batches\n", cfg.mix, b)
+			break
+		}
+		wire := make([]map[string]any, len(ups))
+		for i, u := range ups {
+			wire[i] = map[string]any{"op": u.Op.String(), "u": u.U, "v": u.V}
+			if u.Op != spanhop.UpdateDelete {
+				wire[i]["w"] = u.W
+			}
+		}
+		code, body, err := doJSON(client, "POST", url, map[string]any{"updates": wire})
+		if err != nil {
+			return false, err
+		}
+		if code != http.StatusOK {
+			return false, fmt.Errorf("POST /graphs/%s/edges: %d: %s", id, code, body)
+		}
+		var resp struct {
+			Applied    int    `json:"applied"`
+			Generation uint64 `json:"generation"`
+		}
+		if err := json.Unmarshal(body, &resp); err != nil {
+			return false, err
+		}
+		if resp.Applied != len(ups) || resp.Generation != lastGen+uint64(len(ups)) {
+			return false, fmt.Errorf("batch %d: applied %d at generation %d, want %d at %d",
+				b, resp.Applied, resp.Generation, len(ups), lastGen+uint64(len(ups)))
+		}
+		lastGen = resp.Generation
+		total += len(ups)
+		if replica != nil {
+			if _, err := replica.ApplyUpdates(ups); err != nil {
+				return false, fmt.Errorf("local replay: %w", err)
+			}
+		}
+	}
+	fmt.Printf("mutate: %d mutations in %d batches (%s mix) in %s; server generation %d\n",
+		total, cfg.batches, cfg.mix, time.Since(start).Round(time.Millisecond), lastGen)
+	if replica == nil {
+		return true, nil
+	}
+
+	// Overlay-phase spot check: only sound while the server has not
+	// folded any of the journal into a rebuilt oracle (no mutations
+	// will land from here on, so rebuild state is stable once idle).
+	dyn, err = dynOf()
+	if err != nil {
+		return false, err
+	}
+	if dyn.Rebuilds > 0 || dyn.RebuildRunning {
+		// The server's policy rebuilt mid-phase: its oracle was
+		// materialized through an intermediate swap, which the
+		// single-shot replica cannot reproduce CSR-identically.
+		fmt.Println("mutate: server auto-rebuilt mid-phase; bit-exact verification disabled for this run (raise the daemon's rebuild thresholds or lower -mutate to restore it)")
+		return false, nil
+	}
+	mix := workload.UniformMix(g.NumVertices(), cfg.seed^0x0fface)
+	for i := 0; i < 25; i++ {
+		p := mix.Next()
+		if err := verifyOne(client, addr, id, replica, p); err != nil {
+			return false, fmt.Errorf("overlay verify: %w", err)
+		}
+	}
+	fmt.Println("mutate: 25 overlay answers bit-identical to the local replica")
+
+	// Force both sides to the same compacted generation for the read
+	// phase: the server folds its journal synchronously, the replica
+	// follows, and afterwards both answer from a from-scratch oracle
+	// on the identical mutated graph and seed.
+	code, body, err := doJSON(client, "POST", addr+"/graphs/"+id+"/rebuild", nil)
+	if err != nil {
+		return false, err
+	}
+	if code != http.StatusOK {
+		return false, fmt.Errorf("POST /graphs/%s/rebuild: %d: %s", id, code, body)
+	}
+	if err := replica.ForceRebuild(context.Background()); err != nil {
+		return false, err
+	}
+	fmt.Println("mutate: server and replica rebuilt at the same generation")
+	return true, nil
+}
+
+// verifyOne compares one server answer against the local reference.
+func verifyOne(client *http.Client, addr, id string, oracle interface {
+	QueryStats(s, t graph.V) (spanhop.QueryStats, error)
+}, p [2]graph.V) error {
+	code, body, err := doJSON(client, "POST", fmt.Sprintf("%s/graphs/%s/query", addr, id),
+		map[string]any{"s": p[0], "t": p[1]})
+	if err != nil {
+		return err
+	}
+	if code != http.StatusOK {
+		return fmt.Errorf("query %v: %d: %s", p, code, body)
+	}
+	var got struct {
+		Dist        graph.Dist `json:"dist"`
+		Unreachable bool       `json:"unreachable"`
+	}
+	if err := json.Unmarshal(body, &got); err != nil {
+		return err
+	}
+	want, err := oracle.QueryStats(p[0], p[1])
+	if err != nil {
+		return err
+	}
+	wantUnreachable := want.Dist == graph.InfDist
+	wantDist := want.Dist
+	if wantUnreachable {
+		wantDist = 0
+	}
+	if got.Dist != wantDist || got.Unreachable != wantUnreachable {
+		return fmt.Errorf("query %v: server %d/%v, local %d/%v", p, got.Dist, got.Unreachable, wantDist, wantUnreachable)
+	}
+	return nil
 }
 
 // doJSON sends one JSON request and returns (status, body, error).

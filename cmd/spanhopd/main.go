@@ -9,7 +9,17 @@
 //	    [-build-workers 1] [-build-queue 16] \
 //	    [-batch-window 2ms] [-max-batch 64] \
 //	    [-query-workers N] [-query-queue 1024] [-cache 4096] \
-//	    [-snapshot-dir DIR]
+//	    [-snapshot-dir DIR] \
+//	    [-rebuild-max-journal N] [-rebuild-max-patch-frac F] \
+//	    [-rebuild-max-staleness D]
+//
+// Served graphs accept live edge mutations (POST /graphs/{id}/edges:
+// insert/delete/reweight, each stamped with a generation); queries
+// reflect them immediately through the dynamic overlay, and the
+// -rebuild-max-* policy decides when the journal is folded into a
+// fresh oracle in the background. With -snapshot-dir the pending
+// journal persists too, so a restart replays it. GET /metrics exposes
+// everything as a Prometheus scrape.
 //
 // Graphs can be preloaded at startup (-load for files in the
 // internal/graph text or binary format, -gen for workload.ParseSpec
@@ -57,6 +67,9 @@ func main() {
 	queryQueue := flag.Int("query-queue", 1024, "max waiting single queries per graph (overflow → 503)")
 	cacheSize := flag.Int("cache", 4096, "per-graph LRU result cache entries (negative disables)")
 	snapshotDir := flag.String("snapshot-dir", "", "persist ready oracles here and warm-start them on boot (empty disables)")
+	rebuildJournal := flag.Int("rebuild-max-journal", 0, "rebuild a graph's oracle once this many mutations are pending (0 = default 256, negative disables)")
+	rebuildPatchFrac := flag.Float64("rebuild-max-patch-frac", 0, "rebuild once the mutation overlay exceeds this fraction of base edges (0 = default 0.10, negative disables)")
+	rebuildStaleness := flag.Duration("rebuild-max-staleness", 0, "rebuild once the oldest pending mutation is this old (0 disables)")
 	var loads, gens []string
 	flag.Func("load", "preload a graph file as name=path (repeatable)", func(v string) error {
 		loads = append(loads, v)
@@ -84,6 +97,10 @@ func main() {
 		QueryQueue:   *queryQueue,
 		CacheSize:    *cacheSize,
 		SnapshotDir:  *snapshotDir,
+
+		RebuildMaxJournal:       *rebuildJournal,
+		RebuildMaxPatchFraction: *rebuildPatchFrac,
+		RebuildMaxStaleness:     *rebuildStaleness,
 	})
 	if *snapshotDir != "" {
 		loaded, errs := srv.Registry().WarmStart()

@@ -1,0 +1,773 @@
+// Package dynamic adds live mutation support to the
+// preprocess-once/query-many pipeline: a versioned delta-overlay on
+// top of a built (static) distance oracle. Edge insertions, deletions,
+// and reweights append to an in-memory journal — each stamped with a
+// monotonically increasing generation — and queries answer against
+// min(base-oracle distance, best path through overlay edges) without
+// touching the expensive hopset construction. A rebuild scheduler
+// (scheduler.go) folds the journal back into a fresh base oracle in
+// the background and atomically swaps generations.
+//
+// # Query semantics and approximation bound
+//
+// Let G be the base graph the current static oracle was built on
+// (generation = FloorGen) and G'(g) the graph after applying every
+// journal entry with generation ≤ g. QueryAt(g, s, t) estimates
+// d_{G'(g)}(s, t) in one of two regimes:
+//
+//   - Improving overlay (no pair is deleted or weight-increased
+//     relative to G): the answer is the shortest path in a sketch
+//     graph over {s, t} ∪ P, where P is the set of overlay-edge
+//     endpoints; sketch arcs are the overlay edges at their new
+//     weights plus base-oracle estimates between every pair of sketch
+//     vertices. Every base segment of a true shortest path in G'
+//     consists of unchanged edges and is therefore a path in G, so
+//     the static envelope survives intact:
+//
+//     answer ∈ [(1−ε)·d_{G'}, (1+ε̃)·d_{G'}]
+//
+//     with ε and ε̃ exactly the static oracle's lower/upper distortion
+//     — the overlay adds NO additional error term in this regime.
+//
+//   - Degrading overlay (some pair is deleted or weight-increased):
+//     base-oracle estimates can undershoot d_{G'} arbitrarily (the
+//     oracle may route through a deleted edge), so no composition of
+//     static estimates is sound. Queries fall back to an exact
+//     bidirectional Dijkstra over the patched adjacency (base CSR
+//     with per-edge patch resolution plus overlay arcs); the answer
+//     is d_{G'} exactly. This is the documented "overlay term": zero
+//     approximation error, paid for with query work proportional to
+//     the searched ball rather than the hopset depth. The rebuild
+//     policy bounds how long this regime lasts.
+//
+// After the scheduler's rebuild completes at generation g*, queries
+// at g ≥ g* answer through a from-scratch oracle on G'(g*) and match
+// it bit-for-bit.
+//
+// # Pair semantics
+//
+// Mutations address vertex PAIRS, not edge ids: deleting (u,v)
+// removes every parallel base edge between u and v, reweighting sets
+// the pair's single surviving weight, inserting requires the pair to
+// be currently absent. The vertex set is fixed at the base graph's;
+// mutations never add vertices. Unweighted base graphs accept only
+// weight-1 insertions and no reweights (an unweighted graph stays
+// unweighted across its whole dynamic life).
+package dynamic
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/graph"
+)
+
+// Op is a mutation kind.
+type Op uint8
+
+const (
+	// OpInsert adds a currently-absent pair edge.
+	OpInsert Op = iota
+	// OpDelete removes a currently-present pair edge.
+	OpDelete
+	// OpReweight changes a currently-present pair edge's weight.
+	OpReweight
+)
+
+// String returns the wire name of the op ("insert"/"delete"/"reweight").
+func (op Op) String() string {
+	switch op {
+	case OpInsert:
+		return "insert"
+	case OpDelete:
+		return "delete"
+	case OpReweight:
+		return "reweight"
+	default:
+		return fmt.Sprintf("op(%d)", uint8(op))
+	}
+}
+
+// ParseOp is the inverse of Op.String.
+func ParseOp(s string) (Op, error) {
+	switch s {
+	case "insert":
+		return OpInsert, nil
+	case "delete":
+		return OpDelete, nil
+	case "reweight":
+		return OpReweight, nil
+	default:
+		return 0, fmt.Errorf("dynamic: unknown op %q", s)
+	}
+}
+
+// Update is one requested mutation. W is ignored for OpDelete; for an
+// unweighted base graph W must be 0 or 1 on OpInsert.
+type Update struct {
+	Op   Op
+	U, V graph.V
+	W    graph.W
+}
+
+// Entry is one applied mutation: the update plus its generation stamp
+// and apply time (the staleness clock; not persisted).
+type Entry struct {
+	Update
+	Gen     uint64
+	Applied time.Time
+}
+
+// Typed errors.
+var (
+	// ErrCompactedGen: QueryAt asked for a generation older than the
+	// current base oracle (the journal below it was compacted away).
+	ErrCompactedGen = errors.New("dynamic: generation compacted into the base oracle")
+	// ErrFutureGen: QueryAt asked for a generation not yet applied.
+	ErrFutureGen = errors.New("dynamic: generation not yet applied")
+	// ErrBadUpdate wraps every mutation validation failure.
+	ErrBadUpdate = errors.New("dynamic: invalid update")
+)
+
+func badUpdatef(format string, args ...any) error {
+	return fmt.Errorf("%w: %s", ErrBadUpdate, fmt.Sprintf(format, args...))
+}
+
+// Querier is the slice of the static oracle the overlay composes
+// with: approximate point-to-point distances on the base graph.
+// Implementations must be safe for concurrent use and deterministic
+// (the same (s,t) always returns the same estimate).
+type Querier interface {
+	Query(s, t graph.V) (graph.Dist, error)
+}
+
+// pairKey is a canonical (min,max) vertex pair.
+type pairKey struct{ a, b graph.V }
+
+func keyOf(u, v graph.V) pairKey {
+	if u > v {
+		u, v = v, u
+	}
+	return pairKey{a: u, b: v}
+}
+
+// ver is one absolute pair state at a generation: either deleted or
+// present with weight w. States are absolute (not diffs), so they
+// survive a base swap unchanged: "state of pair at gen g" is the
+// latest ver with Gen ≤ g, falling back to the base graph.
+type ver struct {
+	gen     uint64
+	deleted bool
+	w       graph.W
+}
+
+// pairState resolves a pair against base + history.
+type pairState struct {
+	present bool
+	w       graph.W
+}
+
+// Oracle is the dynamic overlay engine: a static base Querier plus
+// the versioned patch set. All methods are safe for concurrent use;
+// queries proceed under a read lock so mutation batches and rebuild
+// swaps serialize against them.
+type Oracle struct {
+	mu sync.RWMutex
+
+	base  Querier
+	baseG *graph.Graph
+
+	floorGen uint64 // generation the base oracle reflects
+	curGen   uint64 // latest applied generation
+
+	entries []Entry                // pending journal, ascending Gen
+	patch   map[pairKey][]ver      // per-pair absolute state history, ascending gen
+	cache   map[pairKey]graph.Dist // base-oracle P×P estimates (valid until swap)
+	// epoch increments on every Swap; estimate writers capture it with
+	// the base they queried, so a slow query racing a swap can never
+	// store an old-base estimate into the new cache.
+	epoch uint64
+
+	// curBlocked/curArcs cache the current generation's regime
+	// classification and improving-arc list — the values every Query
+	// (the overwhelmingly common gen == curGen case) needs — so the hot
+	// path skips the O(|patch|·degree) rescan; Apply and Swap hold the
+	// write lock and refresh them. Historical QueryAt generations still
+	// scan.
+	curBlocked bool
+	curArcs    []arc
+	curIns     map[graph.V][]arc // degrading-regime insert adjacency at curGen
+}
+
+// New wraps a built static oracle (base, answering distances on
+// baseG) into a dynamic overlay starting at floorGen with an empty
+// journal.
+func New(base Querier, baseG *graph.Graph, floorGen uint64) *Oracle {
+	return &Oracle{
+		base:     base,
+		baseG:    baseG,
+		floorGen: floorGen,
+		curGen:   floorGen,
+		patch:    map[pairKey][]ver{},
+		cache:    map[pairKey]graph.Dist{},
+	}
+}
+
+// Generation returns the latest applied generation.
+func (d *Oracle) Generation() uint64 {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	return d.curGen
+}
+
+// FloorGen returns the generation the current base oracle reflects;
+// QueryAt accepts generations in [FloorGen, Generation].
+func (d *Oracle) FloorGen() uint64 {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	return d.floorGen
+}
+
+// Pending returns the number of journal entries not yet absorbed by a
+// rebuild.
+func (d *Oracle) Pending() int {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	return len(d.entries)
+}
+
+// OverlayEdges returns how many pairs currently diverge from the base
+// graph (net inserts, deletes, and reweights at the latest
+// generation).
+func (d *Oracle) OverlayEdges() int {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	return d.overlayEdgesLocked()
+}
+
+func (d *Oracle) overlayEdgesLocked() int {
+	n := 0
+	for k, hist := range d.patch {
+		if d.divergesLocked(k, hist[len(hist)-1]) {
+			n++
+		}
+	}
+	return n
+}
+
+// Gauges is a mutually consistent snapshot of the overlay's
+// observability gauges, taken under one lock acquisition so a
+// concurrent Apply or Swap cannot tear it (e.g. a generation from
+// before a swap paired with a pending count from after).
+type Gauges struct {
+	Generation    uint64
+	FloorGen      uint64
+	Pending       int
+	OverlayEdges  int
+	OldestPending time.Time
+}
+
+// Gauges snapshots the observability gauges atomically.
+func (d *Oracle) Gauges() Gauges {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	g := Gauges{
+		Generation:   d.curGen,
+		FloorGen:     d.floorGen,
+		Pending:      len(d.entries),
+		OverlayEdges: d.overlayEdgesLocked(),
+	}
+	if len(d.entries) > 0 {
+		g.OldestPending = d.entries[0].Applied
+	}
+	return g
+}
+
+// OldestPending returns the apply time of the oldest journal entry
+// (zero time when the journal is empty) — the staleness clock.
+func (d *Oracle) OldestPending() time.Time {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	if len(d.entries) == 0 {
+		return time.Time{}
+	}
+	return d.entries[0].Applied
+}
+
+// Base returns the current base Querier (after a rebuild swap this is
+// the freshly built oracle).
+func (d *Oracle) Base() Querier {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	return d.base
+}
+
+// BaseGraph returns the graph the current base oracle answers on.
+func (d *Oracle) BaseGraph() *graph.Graph {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	return d.baseG
+}
+
+// Journal returns a copy of the pending journal (persistence).
+func (d *Oracle) Journal() []Entry {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	return append([]Entry(nil), d.entries...)
+}
+
+// PersistState returns a mutually consistent snapshot of (base
+// querier, base graph, floor generation, pending journal) under one
+// lock acquisition — the tuple persistence must capture atomically so
+// a rebuild swap can never interleave between reading the oracle and
+// reading its journal.
+func (d *Oracle) PersistState() (Querier, *graph.Graph, uint64, []Entry) {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	return d.base, d.baseG, d.floorGen, append([]Entry(nil), d.entries...)
+}
+
+// basePairLocked resolves a pair against the base graph only:
+// presence and (minimum, for parallel edges) weight. O(min degree).
+func (d *Oracle) basePairLocked(k pairKey) pairState {
+	u, v := k.a, k.b
+	if d.baseG.Degree(v) < d.baseG.Degree(u) {
+		u, v = v, u
+	}
+	adj := d.baseG.Neighbors(u)
+	wts := d.baseG.AdjWeights(u)
+	st := pairState{}
+	for i, nb := range adj {
+		if nb != v {
+			continue
+		}
+		w := graph.W(1)
+		if wts != nil {
+			w = wts[i]
+		}
+		if !st.present || w < st.w {
+			st = pairState{present: true, w: w}
+		}
+	}
+	return st
+}
+
+// stateAtLocked resolves a pair's state at generation g.
+func (d *Oracle) stateAtLocked(k pairKey, g uint64) pairState {
+	hist := d.patch[k]
+	// Latest version with gen ≤ g.
+	i := sort.Search(len(hist), func(i int) bool { return hist[i].gen > g })
+	if i == 0 {
+		return d.basePairLocked(k)
+	}
+	v := hist[i-1]
+	if v.deleted {
+		return pairState{}
+	}
+	return pairState{present: true, w: v.w}
+}
+
+// divergesLocked reports whether version v differs from the pair's
+// base state (a deleted-then-reinserted-at-base-weight pair does not
+// diverge).
+func (d *Oracle) divergesLocked(k pairKey, v ver) bool {
+	base := d.basePairLocked(k)
+	if v.deleted {
+		return base.present
+	}
+	return !base.present || base.w != v.w
+}
+
+// Apply validates and applies a batch of updates atomically: either
+// every update commits (each with its own fresh generation, in order)
+// or none does and the error names the first offender. Returns the
+// last generation of the batch.
+func (d *Oracle) Apply(us []Update) (uint64, error) {
+	if len(us) == 0 {
+		return d.Generation(), nil
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	n := d.baseG.NumVertices()
+	weighted := d.baseG.Weighted()
+
+	// Stage: net states of touched pairs, seeded lazily from the
+	// committed state, mutated as the batch validates in order.
+	stage := map[pairKey]pairState{}
+	stateOf := func(k pairKey) pairState {
+		if st, ok := stage[k]; ok {
+			return st
+		}
+		return d.stateAtLocked(k, d.curGen)
+	}
+	staged := make([]ver, 0, len(us))
+	keys := make([]pairKey, 0, len(us))
+	for i := range us {
+		u := us[i]
+		if u.U < 0 || u.U >= n || u.V < 0 || u.V >= n {
+			return 0, badUpdatef("update %d: endpoint (%d,%d) out of range n=%d", i, u.U, u.V, n)
+		}
+		if u.U == u.V {
+			return 0, badUpdatef("update %d: self-loop at %d", i, u.U)
+		}
+		k := keyOf(u.U, u.V)
+		st := stateOf(k)
+		var nv ver
+		switch u.Op {
+		case OpInsert:
+			if st.present {
+				return 0, badUpdatef("update %d: insert (%d,%d): edge already present (use reweight)", i, u.U, u.V)
+			}
+			w := u.W
+			if !weighted {
+				if w != 0 && w != 1 {
+					return 0, badUpdatef("update %d: insert (%d,%d): weight %d into an unweighted graph", i, u.U, u.V, w)
+				}
+				w = 1
+			}
+			if w <= 0 {
+				return 0, badUpdatef("update %d: insert (%d,%d): non-positive weight %d", i, u.U, u.V, w)
+			}
+			nv = ver{w: w}
+		case OpDelete:
+			if !st.present {
+				return 0, badUpdatef("update %d: delete (%d,%d): edge not present", i, u.U, u.V)
+			}
+			nv = ver{deleted: true}
+		case OpReweight:
+			if !weighted {
+				return 0, badUpdatef("update %d: reweight (%d,%d): graph is unweighted", i, u.U, u.V)
+			}
+			if !st.present {
+				return 0, badUpdatef("update %d: reweight (%d,%d): edge not present", i, u.U, u.V)
+			}
+			if u.W <= 0 {
+				return 0, badUpdatef("update %d: reweight (%d,%d): non-positive weight %d", i, u.U, u.V, u.W)
+			}
+			nv = ver{w: u.W}
+		default:
+			return 0, badUpdatef("update %d: unknown op %d", i, u.Op)
+		}
+		if nv.deleted {
+			stage[k] = pairState{}
+		} else {
+			stage[k] = pairState{present: true, w: nv.w}
+		}
+		staged = append(staged, nv)
+		keys = append(keys, k)
+	}
+
+	// Commit: one generation per update, in batch order. The journal
+	// stores the NORMALIZED update (insert weight resolved to 1 on
+	// unweighted graphs, delete weight zeroed): the journal is
+	// persisted and replayed by the strict snapshot decoder, which
+	// rejects e.g. a w=0 insert a caller legitimately sent.
+	now := time.Now()
+	for i := range us {
+		d.curGen++
+		v := staged[i]
+		v.gen = d.curGen
+		d.patch[keys[i]] = append(d.patch[keys[i]], v)
+		up := us[i]
+		if up.Op == OpDelete {
+			up.W = 0
+		} else {
+			up.W = v.w
+		}
+		d.entries = append(d.entries, Entry{Update: up, Gen: d.curGen, Applied: now})
+	}
+	d.refreshCurLocked()
+	return d.curGen, nil
+}
+
+// refreshCurLocked recomputes the cached current-generation regime,
+// arc list, and (in the degrading regime) the net-insert adjacency
+// the exact search walks. d.mu held for writing.
+func (d *Oracle) refreshCurLocked() {
+	d.curBlocked = d.blockedAtLocked(d.curGen)
+	d.curArcs = d.arcsAtLocked(d.curGen)
+	if d.curBlocked {
+		d.curIns = d.insAdjLocked(d.curGen)
+	} else {
+		d.curIns = nil
+	}
+}
+
+// Replay re-applies a persisted journal (snapshot warm start) as ONE
+// batched Apply — a long journal replays in O(J + |patch|), not
+// per-entry rescans. The entries must be gen-ascending and start
+// above the current generation; the overlay adopts their stamps
+// verbatim so a restored oracle reports the same generation it was
+// saved at. Apply times are reset to now (staleness restarts with the
+// process).
+func (d *Oracle) Replay(entries []Entry) error {
+	if len(entries) == 0 {
+		return nil
+	}
+	prev := d.Generation()
+	start := prev
+	ups := make([]Update, len(entries))
+	for i, e := range entries {
+		if e.Gen <= prev {
+			return badUpdatef("replay: journal generations not ascending at %d", e.Gen)
+		}
+		prev = e.Gen
+		ups[i] = e.Update
+	}
+	if _, err := d.Apply(ups); err != nil {
+		return fmt.Errorf("replay: %w", err)
+	}
+	// Apply stamped the batch start+1 .. start+len; rewrite every
+	// stamp (journal tail and pair-history versions) to the persisted
+	// generations. The mapping is order-preserving, so histories stay
+	// gen-ascending and the graph state at any stamped generation is
+	// unchanged.
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	remap := func(gen uint64) uint64 {
+		if gen <= start {
+			return gen
+		}
+		return entries[gen-start-1].Gen
+	}
+	tail := d.entries[len(d.entries)-len(entries):]
+	for i := range tail {
+		tail[i].Gen = remap(tail[i].Gen)
+	}
+	for _, hist := range d.patch {
+		for i := range hist {
+			hist[i].gen = remap(hist[i].gen)
+		}
+	}
+	d.curGen = entries[len(entries)-1].Gen
+	return nil
+}
+
+// blockedAtLocked reports whether generation g has any pair deleted
+// or weight-increased relative to the base graph — the regime where
+// composed base-oracle estimates are unsound and queries must run the
+// exact patched search.
+func (d *Oracle) blockedAtLocked(g uint64) bool {
+	for k, hist := range d.patch {
+		i := sort.Search(len(hist), func(i int) bool { return hist[i].gen > g })
+		if i == 0 {
+			continue
+		}
+		v := hist[i-1]
+		base := d.basePairLocked(k)
+		if !base.present {
+			continue // net insert (or insert+delete = no-op): never degrading
+		}
+		if v.deleted || v.w > base.w {
+			return true
+		}
+	}
+	return false
+}
+
+// arcsAtLocked collects the overlay arcs live at generation g that
+// differ from base: for the sketch (improving regime) every arc is an
+// insert or a decrease. Sorted by pair for determinism.
+func (d *Oracle) arcsAtLocked(g uint64) []arc {
+	var out []arc
+	for k, hist := range d.patch {
+		i := sort.Search(len(hist), func(i int) bool { return hist[i].gen > g })
+		if i == 0 {
+			continue
+		}
+		v := hist[i-1]
+		if v.deleted {
+			continue
+		}
+		base := d.basePairLocked(k)
+		if base.present && base.w == v.w {
+			continue
+		}
+		out = append(out, arc{u: k.a, v: k.b, w: v.w})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].u != out[j].u {
+			return out[i].u < out[j].u
+		}
+		return out[i].v < out[j].v
+	})
+	return out
+}
+
+// checkGenLocked validates a query generation.
+func (d *Oracle) checkGenLocked(g uint64) error {
+	if g < d.floorGen {
+		return fmt.Errorf("%w: generation %d < base %d", ErrCompactedGen, g, d.floorGen)
+	}
+	if g > d.curGen {
+		return fmt.Errorf("%w: generation %d > current %d", ErrFutureGen, g, d.curGen)
+	}
+	return nil
+}
+
+// Query estimates the s-t distance on the latest generation's graph.
+// It resolves the generation under the same lock acquisition the
+// query runs under, so a rebuild swap between "read curGen" and "run
+// the query" can never surface as a spurious ErrCompactedGen.
+func (d *Oracle) Query(s, t graph.V) (graph.Dist, error) {
+	d.mu.RLock()
+	return d.queryRLocked(d.curGen, s, t)
+}
+
+// QueryAt estimates the s-t distance on G'(gen), the base graph with
+// every journal entry of generation ≤ gen applied. gen must lie in
+// [FloorGen, Generation]. See the package comment for the bound.
+func (d *Oracle) QueryAt(gen uint64, s, t graph.V) (graph.Dist, error) {
+	d.mu.RLock()
+	return d.queryRLocked(gen, s, t)
+}
+
+// queryRLocked is the query body; the caller holds d.mu for reading
+// and EVERY return path releases it.
+func (d *Oracle) queryRLocked(gen uint64, s, t graph.V) (graph.Dist, error) {
+	if err := d.checkGenLocked(gen); err != nil {
+		d.mu.RUnlock()
+		return 0, err
+	}
+	n := d.baseG.NumVertices()
+	if s < 0 || s >= n || t < 0 || t >= n {
+		d.mu.RUnlock()
+		return 0, fmt.Errorf("dynamic: query (%d,%d) out of range n=%d", s, t, n)
+	}
+	if s == t {
+		d.mu.RUnlock()
+		return 0, nil
+	}
+	// Capture the base (and its cache epoch) under the lock: a
+	// concurrent Swap may replace both, and the estimates below must
+	// come from one consistent base.
+	base, epoch := d.base, d.epoch
+	if len(d.patch) == 0 {
+		d.mu.RUnlock()
+		return base.Query(s, t)
+	}
+	// The common case queries the latest generation, whose regime and
+	// arc list are precomputed; historical generations rescan.
+	blocked, arcs, cached := d.curBlocked, d.curArcs, gen == d.curGen
+	if !cached {
+		blocked = d.blockedAtLocked(gen)
+	}
+	if blocked {
+		// Degrading regime: exact bidirectional search on the patched
+		// adjacency (still under the read lock — mutations wait).
+		dist := d.exactPatchedLocked(gen, s, t)
+		d.mu.RUnlock()
+		return dist, nil
+	}
+	if !cached {
+		arcs = d.arcsAtLocked(gen)
+	}
+	d.mu.RUnlock()
+	if len(arcs) == 0 {
+		return base.Query(s, t)
+	}
+	return d.sketchQuery(base, epoch, arcs, s, t)
+}
+
+// Swap installs a freshly built base oracle reflecting G'(upTo):
+// journal entries with gen ≤ upTo are compacted away, pair histories
+// drop versions the new base already embodies, and the P×P estimate
+// cache resets. newG must be the materialization the new base was
+// built on (MutatedGraphAt(upTo)).
+func (d *Oracle) Swap(base Querier, newG *graph.Graph, upTo uint64) error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if upTo < d.floorGen || upTo > d.curGen {
+		return fmt.Errorf("dynamic: swap at generation %d outside [%d,%d]", upTo, d.floorGen, d.curGen)
+	}
+	d.base = base
+	d.baseG = newG
+	d.floorGen = upTo
+	// Drop compacted journal entries.
+	i := sort.Search(len(d.entries), func(i int) bool { return d.entries[i].Gen > upTo })
+	d.entries = append([]Entry(nil), d.entries[i:]...)
+	// Drop pair versions the new base embodies.
+	for k, hist := range d.patch {
+		j := sort.Search(len(hist), func(i int) bool { return hist[i].gen > upTo })
+		if j == len(hist) {
+			delete(d.patch, k)
+			continue
+		}
+		d.patch[k] = append([]ver(nil), hist[j:]...)
+	}
+	d.cache = map[pairKey]graph.Dist{}
+	d.epoch++
+	d.refreshCurLocked()
+	return nil
+}
+
+// MutatedGraph materializes the latest generation's graph. The
+// generation resolves under the same lock the materialization runs
+// under (a swap in between cannot invalidate it).
+func (d *Oracle) MutatedGraph() *graph.Graph {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	return d.materializeLocked(d.curGen)
+}
+
+// MutatedGraphAt materializes G'(gen) as a fresh graph: base edges in
+// their canonical order with deleted pairs dropped and reweighted
+// pairs' weight replaced at their first occurrence (parallel
+// duplicates of a patched pair are dropped), then net-inserted pairs
+// appended in (u,v) order. The construction is deterministic, so two
+// overlays that applied the same updates materialize CSR-identical
+// graphs — the contract the rebuild differential tests rely on.
+func (d *Oracle) MutatedGraphAt(gen uint64) (*graph.Graph, error) {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	if err := d.checkGenLocked(gen); err != nil {
+		return nil, err
+	}
+	return d.materializeLocked(gen), nil
+}
+
+// materializeLocked builds G'(gen); d.mu held, gen already validated.
+func (d *Oracle) materializeLocked(gen uint64) *graph.Graph {
+	base := d.baseG
+	edges := make([]graph.Edge, 0, int64(len(base.Edges()))+int64(len(d.patch)))
+	emitted := map[pairKey]bool{}
+	for _, e := range base.Edges() {
+		k := keyOf(e.U, e.V)
+		hist := d.patch[k]
+		i := sort.Search(len(hist), func(i int) bool { return hist[i].gen > gen })
+		if i == 0 {
+			edges = append(edges, e)
+			continue
+		}
+		v := hist[i-1]
+		if v.deleted || emitted[k] {
+			continue
+		}
+		emitted[k] = true
+		edges = append(edges, graph.Edge{U: e.U, V: e.V, W: v.w})
+	}
+	// Net inserts: pairs present at gen but absent from base.
+	var ins []graph.Edge
+	for k, hist := range d.patch {
+		i := sort.Search(len(hist), func(i int) bool { return hist[i].gen > gen })
+		if i == 0 {
+			continue
+		}
+		v := hist[i-1]
+		if v.deleted || d.basePairLocked(k).present {
+			continue
+		}
+		ins = append(ins, graph.Edge{U: k.a, V: k.b, W: v.w})
+	}
+	sort.Slice(ins, func(i, j int) bool {
+		if ins[i].U != ins[j].U {
+			return ins[i].U < ins[j].U
+		}
+		return ins[i].V < ins[j].V
+	})
+	edges = append(edges, ins...)
+	return graph.FromEdges(base.NumVertices(), edges, base.Weighted())
+}

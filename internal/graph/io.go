@@ -231,6 +231,11 @@ func ReadBinary(r io.Reader) (*Graph, error) {
 	if m < 0 || n < 0 {
 		return nil, fmt.Errorf("graph: negative sizes in header (n=%d, m=%d)", n, m)
 	}
+	if flag > 1 {
+		// Only 0 and 1 are defined; anything else is a corrupt or
+		// foreign file, not an unweighted graph to guess at.
+		return nil, fmt.Errorf("graph: bad weighted flag %d in header", flag)
+	}
 	// Grow the edge list incrementally so a forged header cannot
 	// force a giant allocation before the (truncated) stream errors.
 	cap0 := m

@@ -2,10 +2,16 @@ package graph
 
 import (
 	"bytes"
+	"encoding/binary"
+	"io"
 	"strings"
 	"testing"
 	"testing/quick"
 )
+
+// binaryWrite is the little-endian write shorthand used to hand-craft
+// malformed binary files.
+func binaryWrite(w io.Writer, v any) error { return binary.Write(w, binary.LittleEndian, v) }
 
 func graphsEqual(a, b *Graph) bool {
 	if a.NumVertices() != b.NumVertices() || a.NumEdges() != b.NumEdges() ||
@@ -144,6 +150,111 @@ func TestReadAuto(t *testing.T) {
 	}
 	if _, err := ReadAuto(bytes.NewReader([]byte("junk\n1 2 3\n"))); err == nil {
 		t.Error("ReadAuto accepted junk")
+	}
+}
+
+// TestRoundTripEdgeCases is the table-driven sweep of the codec's
+// corner geometry: empty graphs (weighted and not), a single isolated
+// vertex, an isolated MAX-index vertex (n larger than any endpoint —
+// the header, not the edge list, must carry n), duplicate parallel
+// edges, and a two-vertex weighted edge — through text, binary, and
+// the ReadAuto sniffer.
+func TestRoundTripEdgeCases(t *testing.T) {
+	cases := []struct {
+		name string
+		g    *Graph
+	}{
+		{"empty-unweighted", FromEdges(0, nil, false)},
+		{"empty-weighted", FromEdges(0, nil, true)},
+		{"single-isolated-vertex", FromEdges(1, nil, false)},
+		{"isolated-max-index-vertex", FromEdges(5, []Edge{{U: 0, V: 1, W: 3}}, true)},
+		{"isolated-max-index-unweighted", FromEdges(7, []Edge{{U: 2, V: 3}}, false)},
+		{"parallel-edges", FromEdges(3, []Edge{{U: 0, V: 1, W: 2}, {U: 1, V: 0, W: 5}}, true)},
+		{"two-vertex", FromEdges(2, []Edge{{U: 0, V: 1, W: 1 << 40}}, true)},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			var tb, bb bytes.Buffer
+			if err := WriteText(&tb, tc.g); err != nil {
+				t.Fatalf("WriteText: %v", err)
+			}
+			if err := WriteBinary(&bb, tc.g); err != nil {
+				t.Fatalf("WriteBinary: %v", err)
+			}
+			for _, rt := range []struct {
+				kind string
+				g    *Graph
+				err  error
+			}{
+				read("text", func() (*Graph, error) { return ReadText(bytes.NewReader(tb.Bytes())) }),
+				read("binary", func() (*Graph, error) { return ReadBinary(bytes.NewReader(bb.Bytes())) }),
+				read("auto-text", func() (*Graph, error) { return ReadAuto(bytes.NewReader(tb.Bytes())) }),
+				read("auto-binary", func() (*Graph, error) { return ReadAuto(bytes.NewReader(bb.Bytes())) }),
+			} {
+				if rt.err != nil {
+					t.Fatalf("%s: %v", rt.kind, rt.err)
+				}
+				if !graphsEqual(tc.g, rt.g) {
+					t.Fatalf("%s round trip changed the graph", rt.kind)
+				}
+				if err := rt.g.Validate(); err != nil {
+					t.Fatalf("%s: decoded graph invalid: %v", rt.kind, err)
+				}
+				if rt.g.Fingerprint() != tc.g.Fingerprint() {
+					t.Fatalf("%s: fingerprint changed", rt.kind)
+				}
+			}
+		})
+	}
+}
+
+func read(kind string, f func() (*Graph, error)) (out struct {
+	kind string
+	g    *Graph
+	err  error
+}) {
+	out.kind = kind
+	out.g, out.err = f()
+	return out
+}
+
+// TestSelfLoopFilesRejected: a graph can never hold a self-loop
+// (FromEdges panics on programmer error), so files carrying one must
+// fail as data errors in every reader — cleanly, never a panic.
+func TestSelfLoopFilesRejected(t *testing.T) {
+	text := "spanhop-graph/v1 3 1 0\n2 2 1\n"
+	if _, err := ReadText(strings.NewReader(text)); err == nil {
+		t.Error("ReadText accepted a self-loop")
+	}
+	if _, err := ReadAuto(strings.NewReader(text)); err == nil {
+		t.Error("ReadAuto accepted a text self-loop")
+	}
+	// Binary: magic, n=3, m=1, flag=0, edge (2,2).
+	var bb bytes.Buffer
+	for _, v := range []any{binaryMagic, int32(3), int64(1), uint32(0), [2]int32{2, 2}} {
+		if err := binaryWrite(&bb, v); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := ReadBinary(bytes.NewReader(bb.Bytes())); err == nil {
+		t.Error("ReadBinary accepted a self-loop")
+	}
+	if _, err := ReadAuto(bytes.NewReader(bb.Bytes())); err == nil {
+		t.Error("ReadAuto accepted a binary self-loop")
+	}
+}
+
+// TestBinaryBadWeightFlag: the weighted flag is 0 or 1; anything else
+// is corruption, not a graph.
+func TestBinaryBadWeightFlag(t *testing.T) {
+	var bb bytes.Buffer
+	for _, v := range []any{binaryMagic, int32(2), int64(0), uint32(7)} {
+		if err := binaryWrite(&bb, v); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := ReadBinary(bytes.NewReader(bb.Bytes())); err == nil {
+		t.Error("ReadBinary accepted weighted flag 7")
 	}
 }
 

@@ -1,8 +1,11 @@
 package server
 
 import (
+	"encoding/json"
+	"fmt"
 	"net/http"
 	"runtime"
+	"sync"
 	"testing"
 	"time"
 )
@@ -136,6 +139,88 @@ func TestDeleteQueuedBuild(t *testing.T) {
 	}
 	if _, ok := reg.Get("queued"); ok {
 		t.Fatal("deleted queued entry still in registry")
+	}
+}
+
+// TestDeleteVsQueryRace is the -race stress for the delete-vs-query
+// contract: a DELETE landing while coalesced micro-batches and
+// explicit batch calls are in flight must leave every caller with
+// either a complete answer set or a clean 404 — never a partial
+// batch, and never a misleading 503 for a graph that is simply gone.
+func TestDeleteVsQueryRace(t *testing.T) {
+	_, ts := newTestServer(t)
+	code := httpJSON(t, ts, "POST", "/graphs",
+		GraphSpec{Name: "racy", Gen: "er:n=200,d=4,w=uniform,maxw=20", Seed: 7}, nil)
+	if code != http.StatusAccepted {
+		t.Fatalf("POST = %d", code)
+	}
+	waitReady(t, ts, "racy")
+
+	const workers = 8
+	var (
+		start = make(chan struct{})
+		wg    sync.WaitGroup
+		mu    sync.Mutex
+		bad   []string
+	)
+	report := func(format string, args ...any) {
+		mu.Lock()
+		if len(bad) < 5 {
+			bad = append(bad, fmt.Sprintf(format, args...))
+		}
+		mu.Unlock()
+	}
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			<-start
+			for i := 0; ; i++ {
+				var code int
+				if w%2 == 0 {
+					var res struct {
+						Dist *int64 `json:"dist"`
+					}
+					code = httpJSON(t, ts, "POST", "/graphs/racy/query",
+						map[string]any{"s": int32((w*31 + i) % 200), "t": int32((i * 7) % 200)}, &res)
+					if code == http.StatusOK && res.Dist == nil {
+						report("worker %d: 200 single answer without dist", w)
+					}
+				} else {
+					pairs := [][2]int32{{0, 1}, {2, 3}, {4, 5}, {int32(i % 200), int32((i + 1) % 200)}}
+					var res struct {
+						Results []json.RawMessage `json:"results"`
+					}
+					code = httpJSON(t, ts, "POST", "/graphs/racy/query",
+						map[string]any{"pairs": pairs}, &res)
+					if code == http.StatusOK && len(res.Results) != len(pairs) {
+						report("worker %d: partial batch: %d of %d answers", w, len(res.Results), len(pairs))
+					}
+				}
+				switch code {
+				case http.StatusOK:
+				case http.StatusNotFound:
+					return // clean 404 after the delete: done
+				default:
+					report("worker %d: status %d", w, code)
+					return
+				}
+			}
+		}(w)
+	}
+	close(start)
+	time.Sleep(20 * time.Millisecond) // let queries pile into the window
+	if code := httpJSON(t, ts, "DELETE", "/graphs/racy", nil, nil); code != http.StatusOK {
+		t.Fatalf("DELETE = %d", code)
+	}
+	wg.Wait()
+	for _, b := range bad {
+		t.Error(b)
+	}
+	// Post-delete, the route is a plain 404.
+	if code := httpJSON(t, ts, "POST", "/graphs/racy/query",
+		map[string]any{"s": 0, "t": 1}, nil); code != http.StatusNotFound {
+		t.Fatalf("post-delete query = %d", code)
 	}
 }
 

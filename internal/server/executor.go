@@ -19,6 +19,17 @@ var (
 	ErrClosed     = errors.New("server: shutting down")
 )
 
+// servingOracle is the query surface the executor batches over — both
+// the static spanhop.DistanceOracle and the mutation-absorbing
+// spanhop.DynamicOracle implement it. The registry always hands the
+// executor a dynamic oracle so mutations are visible to queries the
+// moment ApplyUpdates returns.
+type servingOracle interface {
+	QueryStats(s, t graph.V) (spanhop.QueryStats, error)
+	QueryBatch(pairs [][2]graph.V) ([]spanhop.QueryStats, error)
+	NumVertices() int32
+}
+
 // request is one single query waiting to be coalesced.
 type request struct {
 	s, t graph.V
@@ -46,7 +57,7 @@ type response struct {
 // batch, the queue fills, and overload propagates to callers as typed
 // errors rather than unbounded goroutine pileup.
 type Executor struct {
-	oracle *spanhop.DistanceOracle
+	oracle servingOracle
 	n      graph.V
 	window time.Duration
 	maxB   int
@@ -69,7 +80,7 @@ type Executor struct {
 }
 
 // newExecutor starts the collector for a ready oracle.
-func newExecutor(oracle *spanhop.DistanceOracle, cfg Config, stats *GraphStats) *Executor {
+func newExecutor(oracle servingOracle, cfg Config, stats *GraphStats) *Executor {
 	cfg = cfg.withDefaults()
 	x := &Executor{
 		oracle: oracle,
@@ -178,13 +189,17 @@ func (x *Executor) Batch(ctx context.Context, pairs [][2]graph.V) ([]spanhop.Que
 	start := time.Now()
 	x.stats.batchCalls.Add(1)
 	x.stats.batchQueries.Add(int64(len(pairs)))
+	// Capture the cache epoch before computing: if a mutation batch
+	// flushes the cache while this QueryBatch runs, the results below
+	// belong to the old generation and must not be re-cached.
+	epoch := x.cache.epoch()
 	res, err := x.oracle.QueryBatch(pairs)
 	if err != nil {
 		x.stats.failures.Add(1)
 		return nil, err
 	}
 	for i, p := range pairs {
-		x.cache.put(p, res[i])
+		x.cache.put(p, res[i], epoch)
 	}
 	x.stats.lat.Record(time.Since(start))
 	return res, nil
@@ -260,17 +275,22 @@ func (x *Executor) dispatch(batch []request) {
 		}
 		x.stats.coalesced.Add(1)
 		x.stats.coalescedQueries.Add(int64(len(batch)))
+		epoch := x.cache.epoch()
 		res, err := x.oracle.QueryBatch(pairs)
 		for i, r := range batch {
 			if err != nil {
 				r.ch <- response{err: err}
 				continue
 			}
-			x.cache.put(pairs[i], res[i])
+			x.cache.put(pairs[i], res[i], epoch)
 			r.ch <- response{st: res[i]}
 		}
 	}()
 }
+
+// flushCache drops every cached result. The registry calls it after a
+// mutation batch commits: cached answers reflect an older generation.
+func (x *Executor) flushCache() { x.cache.flush() }
 
 // Close stops the collector, fails queued requests with ErrClosed,
 // and waits for in-flight batches. Safe to call more than once.
@@ -287,11 +307,15 @@ func (x *Executor) Close() {
 
 // lruCache memoizes QueryStats keyed on the ordered (s, t) pair.
 // Query answers are deterministic for a built oracle, so a cached
-// result is exactly what re-running the query would return. cap <= 0
-// disables caching.
+// result is exactly what re-running the query would return — until a
+// mutation or rebuild changes the graph, which flushes the cache and
+// bumps its epoch; writers that captured an older epoch before
+// computing stand down, so a batch in flight across a flush can never
+// re-insert a pre-mutation answer. cap <= 0 disables caching.
 type lruCache struct {
 	mu  sync.Mutex
 	cap int
+	gen uint64 // epoch: bumped by flush
 	m   map[[2]graph.V]*list.Element
 	l   *list.List // front = most recently used
 }
@@ -324,12 +348,26 @@ func (c *lruCache) get(k [2]graph.V) (spanhop.QueryStats, bool) {
 	return el.Value.(*cacheEnt).st, true
 }
 
-func (c *lruCache) put(k [2]graph.V, st spanhop.QueryStats) {
+// epoch returns the current flush epoch; capture it before computing
+// a result that will be put().
+func (c *lruCache) epoch() uint64 {
+	if c.cap <= 0 {
+		return 0
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.gen
+}
+
+func (c *lruCache) put(k [2]graph.V, st spanhop.QueryStats, epoch uint64) {
 	if c.cap <= 0 {
 		return
 	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	if epoch != c.gen {
+		return // computed against a pre-flush generation
+	}
 	if el, ok := c.m[k]; ok {
 		el.Value.(*cacheEnt).st = st
 		c.l.MoveToFront(el)
@@ -341,6 +379,19 @@ func (c *lruCache) put(k [2]graph.V, st spanhop.QueryStats) {
 		c.l.Remove(oldest)
 		delete(c.m, oldest.Value.(*cacheEnt).k)
 	}
+}
+
+// flush empties the cache and bumps the epoch, invalidating puts
+// computed before the flush.
+func (c *lruCache) flush() {
+	if c.cap <= 0 {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.gen++
+	c.m = make(map[[2]graph.V]*list.Element, c.cap)
+	c.l.Init()
 }
 
 // len reports the current cache size (tests).

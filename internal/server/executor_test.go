@@ -307,10 +307,10 @@ func TestExecutorCloseFailsPending(t *testing.T) {
 func TestLRUCacheEviction(t *testing.T) {
 	c := newLRUCache(2)
 	st := func(d graph.Dist) spanhop.QueryStats { return spanhop.QueryStats{Dist: d} }
-	c.put([2]graph.V{0, 1}, st(10))
-	c.put([2]graph.V{0, 2}, st(20))
+	c.put([2]graph.V{0, 1}, st(10), c.epoch())
+	c.put([2]graph.V{0, 2}, st(20), c.epoch())
 	c.get([2]graph.V{0, 1}) // refresh 0-1
-	c.put([2]graph.V{0, 3}, st(30))
+	c.put([2]graph.V{0, 3}, st(30), c.epoch())
 	if _, ok := c.get([2]graph.V{0, 2}); ok {
 		t.Fatal("LRU kept the stale entry")
 	}
@@ -319,6 +319,27 @@ func TestLRUCacheEviction(t *testing.T) {
 	}
 	if c.len() != 2 {
 		t.Fatalf("len = %d, want 2", c.len())
+	}
+}
+
+// TestLRUCacheEpochFlush: a put whose result was computed before a
+// flush (stale epoch) is dropped — the guard that keeps an in-flight
+// batch from resurrecting pre-mutation answers.
+func TestLRUCacheEpochFlush(t *testing.T) {
+	c := newLRUCache(4)
+	st := func(d graph.Dist) spanhop.QueryStats { return spanhop.QueryStats{Dist: d} }
+	old := c.epoch()
+	c.flush()
+	c.put([2]graph.V{0, 1}, st(10), old) // computed pre-flush: must not land
+	if _, ok := c.get([2]graph.V{0, 1}); ok {
+		t.Fatal("stale-epoch put landed in the cache")
+	}
+	if c.len() != 0 {
+		t.Fatalf("len = %d, want 0", c.len())
+	}
+	c.put([2]graph.V{0, 1}, st(11), c.epoch())
+	if got, ok := c.get([2]graph.V{0, 1}); !ok || got.Dist != 11 {
+		t.Fatal("fresh-epoch put missing")
 	}
 }
 

@@ -65,6 +65,7 @@ var (
 	ErrDuplicateName  = errors.New("server: graph name already registered")
 	ErrUnknownGraph   = errors.New("server: unknown graph")
 	ErrNotReady       = errors.New("server: graph not ready")
+	ErrRebuildFailed  = errors.New("server: rebuild failed")
 )
 
 // Entry is one registered graph and its lifecycle state.
@@ -82,11 +83,14 @@ type Entry struct {
 	deleted atomic.Bool
 	tel     *exec.Telemetry
 
+	// dyn owns the serving state once ready: the current static oracle
+	// and its base graph live inside it (and are REPLACED by rebuild
+	// swaps — holding direct references here would pin the pre-rebuild
+	// oracle in memory for the entry's lifetime).
 	mu      sync.Mutex
 	state   State
 	err     string
-	g       *graph.Graph
-	oracle  *spanhop.DistanceOracle
+	dyn     *spanhop.DynamicOracle
 	exec    *Executor
 	buildMS int64
 	created time.Time
@@ -97,10 +101,12 @@ type Entry struct {
 	// file writes themselves are serialized by the registry's per-id
 	// snapshot lock — per id, not per entry, because the .snap path is
 	// keyed by id and a deleted graph's id can be re-registered.
+	// snapPend marks a coalesced background rewrite already scheduled.
 	warm     bool
 	snapSize int64
 	snapTime time.Time
 	snapErr  string
+	snapPend atomic.Bool
 }
 
 // Info is the JSON snapshot of an Entry.
@@ -133,6 +139,54 @@ type Info struct {
 	// Snapshot describes the graph's on-disk snapshot, when snapshot
 	// persistence is configured.
 	Snapshot *SnapshotInfo `json:"snapshot,omitempty"`
+	// Dynamic describes the live-update overlay (generation window,
+	// pending journal, rebuild scheduler), set once ready.
+	Dynamic *DynamicInfo `json:"dynamic,omitempty"`
+}
+
+// DynamicInfo is the JSON shape of a graph's dynamic-overlay state.
+type DynamicInfo struct {
+	// Generation is the latest applied mutation generation;
+	// BaseGeneration is the one the underlying static oracle reflects.
+	Generation     uint64 `json:"generation"`
+	BaseGeneration uint64 `json:"base_generation"`
+	// PendingUpdates / OverlayEdges describe the journal awaiting a
+	// rebuild; StalenessMS is the age of its oldest entry.
+	PendingUpdates int   `json:"pending_updates"`
+	OverlayEdges   int   `json:"overlay_edges"`
+	StalenessMS    int64 `json:"staleness_ms"`
+	// Rebuild scheduler counters.
+	Rebuilds       int64  `json:"rebuilds"`
+	RebuildRunning bool   `json:"rebuild_running,omitempty"`
+	LastCause      string `json:"last_rebuild_cause,omitempty"`
+	LastRebuildMS  int64  `json:"last_rebuild_ms,omitempty"`
+	LastError      string `json:"last_rebuild_error,omitempty"`
+}
+
+// dynamicInfo snapshots the overlay state (nil until ready). The
+// overlay gauges come from one consistent snapshot; the scheduler
+// counters are read separately (they only ever grow).
+func dynamicInfo(dyn *spanhop.DynamicOracle) *DynamicInfo {
+	if dyn == nil {
+		return nil
+	}
+	g := dyn.Gauges()
+	st := dyn.RebuildStats()
+	info := &DynamicInfo{
+		Generation:     g.Generation,
+		BaseGeneration: g.FloorGen,
+		PendingUpdates: g.Pending,
+		OverlayEdges:   g.OverlayEdges,
+		Rebuilds:       st.Rebuilds,
+		RebuildRunning: st.Running,
+		LastCause:      st.LastCause,
+		LastRebuildMS:  st.LastRebuildMS,
+		LastError:      st.LastError,
+	}
+	if !g.OldestPending.IsZero() {
+		info.StalenessMS = time.Since(g.OldestPending).Milliseconds()
+	}
+	return info
 }
 
 // Info snapshots the entry.
@@ -144,17 +198,21 @@ func (e *Entry) Info() Info {
 	info.Spec.Gen = e.spec.Gen
 	info.Spec.Eps = e.spec.Eps
 	info.Spec.Seed = e.spec.Seed
-	if e.g != nil {
-		info.N = e.g.NumVertices()
-		info.M = e.g.NumEdges()
-		info.Weighted = e.g.Weighted()
+	// The current static oracle and its base graph live inside the
+	// overlay (rebuild swaps replace them); Introspect reads the pair
+	// under one lock so a concurrent swap cannot tear the row. Nothing
+	// is set until ready.
+	if e.dyn != nil {
+		oracle, g := e.dyn.Introspect()
+		info.N = g.NumVertices()
+		info.M = g.NumEdges()
+		info.Weighted = g.Weighted()
+		info.HopsetEdges = oracle.HopsetSize()
+		info.Decomposed = oracle.Decomposed()
+		info.Instances = oracle.InstanceCount()
+		info.Degenerate = oracle.Degenerate()
 	}
-	if e.oracle != nil {
-		info.HopsetEdges = e.oracle.HopsetSize()
-		info.Decomposed = e.oracle.Decomposed()
-		info.Instances = e.oracle.InstanceCount()
-		info.Degenerate = e.oracle.Degenerate()
-	}
+	info.Dynamic = dynamicInfo(e.dyn)
 	info.BuildStages = e.tel.Snapshot()
 	info.WarmStarted = e.warm
 	if !e.snapTime.IsZero() || e.snapErr != "" {
@@ -194,6 +252,12 @@ type Registry struct {
 	queue chan *Entry
 	wg    sync.WaitGroup
 
+	// snapStop wakes debounced snapshot writers early on Close (their
+	// pending rewrite is flushed, not dropped); snapWG lets Close wait
+	// them out so no writer touches the directory after Close returns.
+	snapStop chan struct{}
+	snapWG   sync.WaitGroup
+
 	// snapLocks holds one mutex per graph id ever snapshotted: all
 	// file operations on {id}.snap(.tmp) — background writes, forced
 	// writes, DELETE cleanup — serialize on it, so a stale writer for
@@ -206,9 +270,10 @@ type Registry struct {
 func NewRegistry(cfg Config) *Registry {
 	cfg = cfg.withDefaults()
 	r := &Registry{
-		cfg:     cfg,
-		entries: make(map[string]*Entry),
-		queue:   make(chan *Entry, cfg.BuildQueue),
+		cfg:      cfg,
+		entries:  make(map[string]*Entry),
+		queue:    make(chan *Entry, cfg.BuildQueue),
+		snapStop: make(chan struct{}),
 	}
 	for i := 0; i < cfg.BuildWorkers; i++ {
 		r.wg.Add(1)
@@ -340,9 +405,13 @@ func (r *Registry) Delete(id string) (State, error) {
 	e.mu.Lock()
 	state := e.state
 	ex := e.exec
+	dyn := e.dyn
 	e.mu.Unlock()
 	if ex != nil {
 		ex.Close()
+	}
+	if dyn != nil {
+		dyn.Close() // cancels an in-flight overlay rebuild
 	}
 	// Evicting a graph also evicts its persisted snapshot: a deleted
 	// graph must not resurrect on the next boot. The per-id lock
@@ -440,10 +509,14 @@ func (r *Registry) build(e *Entry) {
 		fail(err)
 		return
 	}
-	ex := newExecutor(oracle, r.cfg, e.stats)
+	// Every ready oracle serves through a dynamic overlay so the graph
+	// can absorb live mutations; with an empty journal it delegates
+	// straight to the static oracle.
+	dyn := spanhop.NewDynamicOracle(oracle, r.cfg.rebuildPolicy())
+	ex := newExecutor(dyn, r.cfg, e.stats)
+	r.hookRebuild(e, dyn, ex)
 	e.mu.Lock()
-	e.g = g
-	e.oracle = oracle
+	e.dyn = dyn
 	e.exec = ex
 	e.state = StateReady
 	e.buildMS = time.Since(start).Milliseconds()
@@ -452,14 +525,69 @@ func (r *Registry) build(e *Entry) {
 	// executor (and closed it) or we see the flag now and tear down.
 	if e.deleted.Load() {
 		ex.Close()
+		dyn.Close()
 		return
 	}
 	// Snapshot-on-ready: persist the freshly built oracle off the
 	// build worker so the next boot warm-starts it. Failures are
 	// recorded on the entry (surfaced via /stats), never fatal.
+	// Tracked by snapWG so Close waits this writer out too.
 	if r.cfg.SnapshotDir != "" {
-		go func() { _, _ = r.snapshotEntry(e) }()
+		r.snapWG.Add(1)
+		go func() {
+			defer r.snapWG.Done()
+			_, _ = r.snapshotEntry(e)
+		}()
 	}
+}
+
+// ForceRebuild synchronously folds a ready graph's pending journal
+// into a fresh oracle (the POST /graphs/{id}/rebuild path), then
+// flushes the executor cache and rewrites the snapshot.
+func (r *Registry) ForceRebuild(ctx context.Context, id string) (*DynamicInfo, error) {
+	e, ok := r.Get(id)
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", ErrUnknownGraph, id)
+	}
+	e.mu.Lock()
+	state, dyn := e.state, e.dyn
+	e.mu.Unlock()
+	if state != StateReady || dyn == nil {
+		return nil, fmt.Errorf("%w: %s is %s", ErrNotReady, id, state)
+	}
+	// Cache invalidation and the snapshot rewrite ride on the
+	// oracle's post-swap hook (hookRebuild), exactly as they do for a
+	// policy-triggered background rebuild.
+	if err := dyn.ForceRebuild(ctx); err != nil {
+		// A DELETE racing the rebuild closes the scheduler; that is
+		// "graph gone", not an internal error. Registry shutdown maps
+		// to the usual 503, and everything else (a failed build) is a
+		// server-side failure, never the client's 400.
+		if e.deleted.Load() {
+			return nil, fmt.Errorf("%w: %q", ErrUnknownGraph, id)
+		}
+		if r.isClosed() {
+			return nil, ErrClosed
+		}
+		return nil, fmt.Errorf("%w: %v", ErrRebuildFailed, err)
+	}
+	if e.deleted.Load() {
+		return nil, fmt.Errorf("%w: %q", ErrUnknownGraph, id)
+	}
+	return dynamicInfo(dyn), nil
+}
+
+// hookRebuild wires an entry's rebuild-swap hook: whenever the
+// overlay scheduler swaps in a freshly rebuilt oracle (background or
+// forced), the executor's result cache is flushed — cached answers
+// are bound-correct for the mutated graph but may differ from the
+// rebuilt oracle's canonical answers — and the snapshot is rewritten
+// so the compacted state (not the journal) persists.
+func (r *Registry) hookRebuild(e *Entry, dyn *spanhop.DynamicOracle, ex *Executor) {
+	dyn.SetOnRebuild(func() {
+		ex.flushCache()
+		r.scheduleSnapshot(e)
+	})
 }
 
 // validName keeps ids routable: the mux pattern /graphs/{id} matches
@@ -501,6 +629,7 @@ func (r *Registry) Close() {
 		return
 	}
 	r.closed = true
+	close(r.snapStop) // flush debounced snapshot writers now
 	entries := make([]*Entry, 0, len(r.entries))
 	for _, e := range r.entries {
 		entries = append(entries, e)
@@ -521,6 +650,7 @@ func (r *Registry) Close() {
 	for _, e := range entries {
 		e.mu.Lock()
 		ex := e.exec
+		dyn := e.dyn
 		if e.state == StateBuilding {
 			e.state = StateFailed
 			e.err = "server shut down before build started"
@@ -529,5 +659,88 @@ func (r *Registry) Close() {
 		if ex != nil {
 			ex.Close()
 		}
+		if dyn != nil {
+			dyn.Close()
+		}
 	}
+	// Wait out the flushed snapshot writers: after Close returns,
+	// nothing touches the snapshot directory.
+	r.snapWG.Wait()
+}
+
+// ApplyUpdates applies a mutation batch to a ready graph's dynamic
+// overlay: validates and commits atomically, flushes the executor's
+// result cache (cached answers predate the new generation), notifies
+// the rebuild scheduler, and — with persistence on — rewrites the
+// snapshot in the background so a restart replays the journal.
+// Returns the batch's final generation and the overlay state.
+func (r *Registry) ApplyUpdates(id string, us []spanhop.DynamicUpdate) (uint64, *DynamicInfo, error) {
+	e, ok := r.Get(id)
+	if !ok {
+		return 0, nil, fmt.Errorf("%w: %q", ErrUnknownGraph, id)
+	}
+	e.mu.Lock()
+	state, dyn, ex := e.state, e.dyn, e.exec
+	e.mu.Unlock()
+	if state != StateReady || dyn == nil {
+		return 0, nil, fmt.Errorf("%w: %s is %s", ErrNotReady, id, state)
+	}
+	gen, err := dyn.ApplyUpdates(us)
+	if err != nil {
+		return 0, nil, err
+	}
+	// A DELETE racing this apply: the mutation landed in an overlay
+	// nothing can reach anymore, so report the graph gone rather than
+	// ack a write the caller would believe durable. (The snapshot
+	// writer stands down on deleted entries regardless.)
+	if e.deleted.Load() {
+		return 0, nil, fmt.Errorf("%w: %q", ErrUnknownGraph, id)
+	}
+	ex.flushCache()
+	e.stats.mutationBatches.Add(1)
+	e.stats.mutations.Add(int64(len(us)))
+	r.scheduleSnapshot(e)
+	return gen, dynamicInfo(dyn), nil
+}
+
+// snapshotDebounce is how long a mutation-triggered background
+// snapshot rewrite waits before writing, so a stream of mutation
+// batches coalesces into one full-file rewrite instead of one per
+// batch. Restart durability within the window is not at risk of
+// serving wrong data — a lost journal suffix just reverts those
+// mutations — and POST /graphs/{id}/snapshot remains the synchronous
+// escape hatch.
+const snapshotDebounce = 500 * time.Millisecond
+
+// scheduleSnapshot coalesces background snapshot rewrites: at most
+// one debounced writer per entry is in flight; mutations landing
+// inside the window ride along with it (the flag clears before the
+// write, so anything later schedules anew). Close flushes pending
+// writers early and waits for them, so an acked mutation followed by
+// a graceful shutdown still reaches disk and no writer runs after
+// Close returns.
+func (r *Registry) scheduleSnapshot(e *Entry) {
+	if r.cfg.SnapshotDir == "" {
+		return
+	}
+	// The closed-check and the WaitGroup Add must be atomic with
+	// respect to Close (which sets closed under r.mu and then waits):
+	// an Add after Close's Wait started would be a WaitGroup misuse
+	// and an escaped writer.
+	r.mu.RLock()
+	if r.closed || !e.snapPend.CompareAndSwap(false, true) {
+		r.mu.RUnlock()
+		return
+	}
+	r.snapWG.Add(1)
+	r.mu.RUnlock()
+	go func() {
+		defer r.snapWG.Done()
+		select {
+		case <-time.After(snapshotDebounce):
+		case <-r.snapStop: // shutdown: flush now instead of dropping
+		}
+		e.snapPend.Store(false)
+		_, _ = r.snapshotEntry(e)
+	}()
 }

@@ -46,11 +46,34 @@ type Config struct {
 
 	// SnapshotDir enables oracle snapshot persistence: every oracle
 	// that becomes ready is written there as a self-contained snapshot
-	// (atomic rename; spec, graph, and oracle in one file), WarmStart
-	// restores the directory's snapshots as ready graphs on boot
-	// without rebuilding, and DELETE /graphs/{id} removes the file.
-	// Empty disables persistence.
+	// (atomic rename; spec, graph, oracle, and any pending mutation
+	// journal in one file), WarmStart restores the directory's
+	// snapshots as ready graphs on boot without rebuilding (replaying
+	// the journal), and DELETE /graphs/{id} removes the file. Empty
+	// disables persistence.
 	SnapshotDir string
+
+	// Rebuild policy for the dynamic-update overlay: a background
+	// rebuild of a graph's oracle triggers once RebuildMaxJournal
+	// mutations are pending (default 256), once the overlay diverges
+	// on more than RebuildMaxPatchFraction of the base edges (default
+	// 0.10), or once the oldest pending mutation is older than
+	// RebuildMaxStaleness (default: disabled). Negative values disable
+	// a trigger. Rebuilds run on the build worker cap (Workers) and
+	// are canceled by DELETE and shutdown.
+	RebuildMaxJournal       int
+	RebuildMaxPatchFraction float64
+	RebuildMaxStaleness     time.Duration
+}
+
+// rebuildPolicy resolves the dynamic-overlay scheduler policy.
+func (c Config) rebuildPolicy() spanhop.RebuildPolicy {
+	return spanhop.RebuildPolicy{
+		MaxJournal:       c.RebuildMaxJournal,
+		MaxPatchFraction: c.RebuildMaxPatchFraction,
+		MaxStaleness:     c.RebuildMaxStaleness,
+		Workers:          c.buildExecWorkers(),
+	}
 }
 
 func (c Config) withDefaults() Config {
@@ -110,10 +133,14 @@ func (c Config) queryExecWorkers() int {
 //	GET    /graphs/{id}         one entry
 //	DELETE /graphs/{id}         evict a graph; aborts an in-flight build
 //	POST   /graphs/{id}/query   {"s":..,"t":..} or {"pairs":[[s,t],..]}
+//	POST   /graphs/{id}/edges   apply mutations: {"updates":[{"op":..},..]}
+//	DELETE /graphs/{id}/edges   delete edges: {"edges":[[u,v],..]}
+//	POST   /graphs/{id}/rebuild force a synchronous overlay rebuild
 //	POST   /graphs/{id}/snapshot force a snapshot write (persistence on)
 //	GET    /healthz             liveness + entry counts
+//	GET    /metrics             Prometheus plain-text exposition
 //	GET    /stats               per-graph serving counters + build stages
-//	                            + snapshot size/age
+//	                            + snapshot size/age + overlay generation
 type Server struct {
 	cfg   Config
 	reg   *Registry
@@ -134,8 +161,12 @@ func New(cfg Config) *Server {
 	s.mux.HandleFunc("GET /graphs/{id}", s.handleGetGraph)
 	s.mux.HandleFunc("DELETE /graphs/{id}", s.handleDeleteGraph)
 	s.mux.HandleFunc("POST /graphs/{id}/query", s.handleQuery)
+	s.mux.HandleFunc("POST /graphs/{id}/edges", s.handleApplyEdges)
+	s.mux.HandleFunc("DELETE /graphs/{id}/edges", s.handleDeleteEdges)
+	s.mux.HandleFunc("POST /graphs/{id}/rebuild", s.handleRebuild)
 	s.mux.HandleFunc("POST /graphs/{id}/snapshot", s.handleSnapshot)
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
 	s.mux.HandleFunc("GET /stats", s.handleStats)
 	return s
 }
@@ -182,6 +213,8 @@ func statusFor(err error) int {
 		return http.StatusConflict
 	case errors.Is(err, ErrBuildQueueFull), errors.Is(err, ErrOverloaded), errors.Is(err, ErrClosed):
 		return http.StatusServiceUnavailable
+	case errors.Is(err, ErrRebuildFailed):
+		return http.StatusInternalServerError
 	default:
 		return http.StatusBadRequest
 	}
@@ -263,6 +296,20 @@ func toResult(s, t graph.V, st spanhop.QueryStats) queryResult {
 	return res
 }
 
+// queryError maps an executor failure to an HTTP response. A query
+// that raced a DELETE can observe the executor's shutdown (ErrClosed)
+// even though the graph is simply gone: report the clean 404 the
+// post-delete state deserves, never a confusing 503 — and because
+// batches are all-or-error, a caller either gets every answer or that
+// 404, never a partial batch.
+func (s *Server) queryError(w http.ResponseWriter, e *Entry, err error) {
+	if errors.Is(err, ErrClosed) && e.deleted.Load() {
+		writeError(w, http.StatusNotFound, ErrUnknownGraph)
+		return
+	}
+	writeError(w, statusFor(err), err)
+}
+
 func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	e, ok := s.reg.Get(r.PathValue("id"))
 	if !ok {
@@ -290,7 +337,7 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		}
 		res, err := exec.Batch(r.Context(), q.Pairs)
 		if err != nil {
-			writeError(w, statusFor(err), err)
+			s.queryError(w, e, err)
 			return
 		}
 		out := make([]queryResult, len(res))
@@ -301,7 +348,7 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	case q.S != nil && q.T != nil:
 		st, err := exec.Query(r.Context(), *q.S, *q.T)
 		if err != nil {
-			writeError(w, statusFor(err), err)
+			s.queryError(w, e, err)
 			return
 		}
 		writeJSON(w, http.StatusOK, toResult(*q.S, *q.T, st))
@@ -309,6 +356,96 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest,
 			errors.New(`server: body needs {"s":..,"t":..} or {"pairs":[[s,t],..]}`))
 	}
+}
+
+// edgeUpdate is the wire shape of one mutation.
+type edgeUpdate struct {
+	Op string  `json:"op"`
+	U  graph.V `json:"u"`
+	V  graph.V `json:"v"`
+	W  graph.W `json:"w,omitempty"`
+}
+
+// handleApplyEdges applies a mutation batch to a ready graph:
+// POST /graphs/{id}/edges with {"updates":[{"op":"insert","u":0,
+// "v":5,"w":3},...]}. The batch is atomic (all or none; 400 names the
+// first offender) and the response carries the new generation plus
+// the overlay state.
+func (s *Server) handleApplyEdges(w http.ResponseWriter, r *http.Request) {
+	var body struct {
+		Updates []edgeUpdate `json:"updates"`
+	}
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<22))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&body); err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	if len(body.Updates) == 0 {
+		writeError(w, http.StatusBadRequest, errors.New(`server: body needs {"updates":[{"op":..,"u":..,"v":..},..]}`))
+		return
+	}
+	ups := make([]spanhop.DynamicUpdate, len(body.Updates))
+	for i, u := range body.Updates {
+		op, err := spanhop.ParseUpdateOp(u.Op)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, err)
+			return
+		}
+		ups[i] = spanhop.DynamicUpdate{Op: op, U: u.U, V: u.V, W: u.W}
+	}
+	s.applyUpdates(w, r.PathValue("id"), ups)
+}
+
+// handleDeleteEdges is delete-only sugar:
+// DELETE /graphs/{id}/edges with {"edges":[[u,v],...]}.
+func (s *Server) handleDeleteEdges(w http.ResponseWriter, r *http.Request) {
+	var body struct {
+		Edges [][2]graph.V `json:"edges"`
+	}
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<22))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&body); err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	if len(body.Edges) == 0 {
+		writeError(w, http.StatusBadRequest, errors.New(`server: body needs {"edges":[[u,v],..]}`))
+		return
+	}
+	ups := make([]spanhop.DynamicUpdate, len(body.Edges))
+	for i, p := range body.Edges {
+		ups[i] = spanhop.DynamicUpdate{Op: spanhop.UpdateDelete, U: p[0], V: p[1]}
+	}
+	s.applyUpdates(w, r.PathValue("id"), ups)
+}
+
+func (s *Server) applyUpdates(w http.ResponseWriter, id string, ups []spanhop.DynamicUpdate) {
+	gen, dyn, err := s.reg.ApplyUpdates(id, ups)
+	if err != nil {
+		writeError(w, statusFor(err), err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"id":         id,
+		"applied":    len(ups),
+		"generation": gen,
+		"dynamic":    dyn,
+	})
+}
+
+// handleRebuild forces a synchronous overlay rebuild:
+// POST /graphs/{id}/rebuild. Returns once the pending journal is
+// folded into a fresh oracle (204 body-free semantics are not worth
+// it; the new overlay state comes back).
+func (s *Server) handleRebuild(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	dyn, err := s.reg.ForceRebuild(r.Context(), id)
+	if err != nil {
+		writeError(w, statusFor(err), err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"id": id, "dynamic": dyn})
 }
 
 // handleSnapshot forces a synchronous snapshot write for a ready
@@ -349,6 +486,9 @@ type graphStats struct {
 	BuildStages []exec.StageStats `json:"build_stages,omitempty"`
 	WarmStarted bool              `json:"warm_started,omitempty"`
 	Snapshot    *SnapshotInfo     `json:"snapshot,omitempty"`
+	// Dynamic carries the live-update overlay gauges: generation
+	// window, pending journal, staleness, rebuild counters.
+	Dynamic *DynamicInfo `json:"dynamic,omitempty"`
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
@@ -364,6 +504,7 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 			BuildStages:   info.BuildStages,
 			WarmStarted:   info.WarmStarted,
 			Snapshot:      info.Snapshot,
+			Dynamic:       info.Dynamic,
 		}
 	}
 	writeJSON(w, http.StatusOK, map[string]any{

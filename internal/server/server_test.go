@@ -192,8 +192,8 @@ func TestHTTPErrors(t *testing.T) {
 	}
 	waitReady(t, ts, "g")
 	badBodies := []any{
-		map[string]any{},                                          // neither shape
-		map[string]any{"s": 1},                                    // half a pair
+		map[string]any{},       // neither shape
+		map[string]any{"s": 1}, // half a pair
 		map[string]any{"s": 1, "t": 2, "pairs": [][2]int{{1, 2}}}, // both shapes
 		map[string]any{"s": 1, "t": 900},                          // out of range
 	}

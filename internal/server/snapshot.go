@@ -86,10 +86,10 @@ func (r *Registry) snapshotEntry(e *Entry) (SnapshotInfo, error) {
 	defer lock.Unlock()
 
 	e.mu.Lock()
-	oracle, state := e.oracle, e.state
+	dyn, state := e.dyn, e.state
 	spec := e.spec
 	e.mu.Unlock()
-	if state != StateReady || oracle == nil {
+	if state != StateReady || dyn == nil {
 		return SnapshotInfo{}, fmt.Errorf("%w: %s is %s", ErrNotReady, e.id, state)
 	}
 	if !r.current(e) {
@@ -113,7 +113,10 @@ func (r *Registry) snapshotEntry(e *Entry) (SnapshotInfo, error) {
 	if err != nil {
 		return record(err)
 	}
-	werr := spanhop.SaveOracleNote(f, oracle, note)
+	// SaveDynamicOracle persists the current base oracle plus any
+	// pending mutation journal, so a warm start replays updates the
+	// scheduler had not yet folded in.
+	werr := spanhop.SaveDynamicOracle(f, dyn, note)
 	if werr == nil {
 		werr = f.Sync() // the rename must publish fully durable bytes
 	}
@@ -216,14 +219,18 @@ func (r *Registry) warmStartFile(id, path string) error {
 		return err
 	}
 	defer f.Close()
-	oracle, note, err := spanhop.LoadOracleNote(f, nil, spanhop.OracleOptions{
+	dyn, note, err := spanhop.LoadDynamicOracle(f, nil, spanhop.OracleOptions{
 		QueryExec: exec.Parallel(r.cfg.queryExecWorkers()),
-	})
+	}, r.cfg.rebuildPolicy())
 	if err != nil {
 		return err
 	}
 	var spec GraphSpec
 	if err := json.Unmarshal(note, &spec); err != nil {
+		// The oracle was restored (its scheduler may even be rebuilding
+		// a policy-due journal already) but will never be registered:
+		// tear it down or the goroutine outlives the registry.
+		dyn.Close()
 		return fmt.Errorf("snapshot annotation is not a graph spec: %w", err)
 	}
 	var size int64
@@ -239,24 +246,32 @@ func (r *Registry) warmStartFile(id, path string) error {
 		state:    StateReady,
 		created:  time.Now(),
 		tel:      exec.NewTelemetry(),
-		g:        oracle.Graph(),
-		oracle:   oracle,
+		dyn:      dyn,
 		warm:     true,
 		snapSize: size,
 		snapTime: snapTime,
 	}
-	e.exec = newExecutor(oracle, r.cfg, e.stats)
+	e.exec = newExecutor(dyn, r.cfg, e.stats)
 	r.mu.Lock()
-	defer r.mu.Unlock()
 	if r.closed {
+		r.mu.Unlock()
 		e.exec.Close()
+		dyn.Close()
 		return ErrClosed
 	}
 	if _, dup := r.entries[id]; dup {
+		r.mu.Unlock()
 		e.exec.Close()
+		dyn.Close()
 		return fmt.Errorf("%w: %q", ErrDuplicateName, id)
 	}
 	r.entries[id] = e
 	r.order = append(r.order, id)
+	r.mu.Unlock()
+	// Hook after registration: if the restored journal was already
+	// policy-due and its rebuild finished in the window above, the
+	// hook's missed-swap replay fires now — against a registered entry
+	// the snapshot writer will accept.
+	r.hookRebuild(e, dyn, e.exec)
 	return nil
 }

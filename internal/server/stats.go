@@ -28,6 +28,10 @@ type GraphStats struct {
 	batchQueries atomic.Int64
 	// failures counts queries that returned an error from the oracle.
 	failures atomic.Int64
+	// mutationBatches / mutations count applied update batches and the
+	// individual mutations inside them.
+	mutationBatches atomic.Int64
+	mutations       atomic.Int64
 
 	lat latencyHist
 }
@@ -43,6 +47,8 @@ type StatsSnapshot struct {
 	BatchCalls       int64   `json:"batch_calls"`
 	BatchCallQueries int64   `json:"batch_call_queries"`
 	Failures         int64   `json:"failures"`
+	MutationBatches  int64   `json:"mutation_batches"`
+	Mutations        int64   `json:"mutations"`
 
 	Latency LatencySnapshot `json:"latency"`
 }
@@ -61,6 +67,8 @@ func (s *GraphStats) Snapshot() StatsSnapshot {
 		BatchCalls:       s.batchCalls.Load(),
 		BatchCallQueries: s.batchQueries.Load(),
 		Failures:         s.failures.Load(),
+		MutationBatches:  s.mutationBatches.Load(),
+		Mutations:        s.mutations.Load(),
 		Latency:          s.lat.Snapshot(),
 	}
 	if snap.Batches > 0 {

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"io"
 
+	"repro/internal/dynamic"
 	"repro/internal/graph"
 	"repro/internal/hopset"
 	"repro/internal/wscale"
@@ -31,6 +32,14 @@ type Oracle struct {
 	// form a decomposed oracle.
 	Dec       *wscale.Decomposition
 	Instances []*hopset.Scaled
+
+	// FloorGen and Journal carry a dynamic oracle's overlay state: the
+	// generation the serialized base oracle reflects and the pending
+	// mutations above it (gen-ascending). Both zero for a static
+	// oracle. New in format version 2; a v1 stream decodes with an
+	// empty journal.
+	FloorGen uint64
+	Journal  []dynamic.Entry
 }
 
 // WriteOracle writes a self-contained snapshot of o built over g:
@@ -38,6 +47,16 @@ type Oracle struct {
 // server's graph spec), the embedded base graph, and the oracle
 // sections. The stream is flushed but not closed.
 func WriteOracle(w io.Writer, g *graph.Graph, o *Oracle, note []byte) error {
+	return writeOracleVersion(w, g, o, note, version)
+}
+
+// writeOracleVersion is WriteOracle pinned to a format version; only
+// tests emit the legacy v1 layout (no JOURNAL section, which
+// therefore requires an empty journal).
+func writeOracleVersion(w io.Writer, g *graph.Graph, o *Oracle, note []byte, ver uint32) error {
+	if ver < versionV2 && (len(o.Journal) > 0 || o.FloorGen != 0) {
+		return errors.New("snapshot: version 1 cannot carry a mutation journal")
+	}
 	mode := modeDegenerate
 	switch {
 	case o.Degenerate:
@@ -60,6 +79,7 @@ func WriteOracle(w io.Writer, g *graph.Graph, o *Oracle, note []byte) error {
 		return errors.New("snapshot: oracle has neither a hopset nor a decomposition")
 	}
 	e := newEncoder(w)
+	e.version = ver
 	e.header()
 	writeMeta(e, mode, o.Eps, o.Seed, g.Fingerprint())
 	writeNote(e, note)
@@ -73,6 +93,9 @@ func WriteOracle(w io.Writer, g *graph.Graph, o *Oracle, note []byte) error {
 			writeInstance(e, o.Dec, inst, g.NumVertices())
 			writeScaled(e, o.Instances[j])
 		}
+	}
+	if ver >= versionV2 {
+		writeJournal(e, o.FloorGen, o.Journal)
 	}
 	writeEnd(e)
 	return e.flush()
@@ -117,6 +140,9 @@ func ReadOracle(r io.Reader) (*Oracle, *graph.Graph, []byte, error) {
 			}
 		}
 		o.Dec = dec
+	}
+	if d.version >= versionV2 {
+		o.FloorGen, o.Journal = readJournal(d, g)
 	}
 	readEnd(d)
 	if d.err != nil {
@@ -293,6 +319,105 @@ func writeEnd(e *encoder) {
 func readEnd(d *decoder) {
 	d.next(secEnd)
 	d.end()
+}
+
+// ---------------------------------------------------------------------------
+// JOURNAL section (version 2): a dynamic oracle's pending mutations.
+
+// journalEntrySize is the fixed per-entry payload: gen u64, op u8,
+// u i32, v i32, w i64.
+const journalEntrySize = 8 + 1 + 4 + 4 + 8
+
+// maxJournalEntries bounds a declared journal: a rebuild policy that
+// let this many mutations pile up does not exist, so a bigger count
+// is corruption.
+const maxJournalEntries = 1 << 24
+
+func writeJournal(e *encoder, floorGen uint64, entries []dynamic.Entry) {
+	if uint64(len(entries)) > maxJournalEntries {
+		// The decoder hard-rejects larger counts; writing one would
+		// produce a snapshot no reader accepts. Fail the save instead
+		// (mirrors writeOracleVersion refusing v1 + journal).
+		e.fail(fmt.Errorf("snapshot: journal of %d entries exceeds the format limit %d", len(entries), maxJournalEntries))
+		return
+	}
+	e.begin(secJournal, 8+8+uint64(len(entries))*journalEntrySize)
+	e.u64(floorGen)
+	e.u64(uint64(len(entries)))
+	for _, ent := range entries {
+		e.u64(ent.Gen)
+		e.u8(uint8(ent.Op))
+		e.i32(ent.U)
+		e.i32(ent.V)
+		e.i64(int64(ent.W))
+	}
+	e.end()
+}
+
+// readJournal decodes and structurally validates the journal against
+// the embedded base graph: known ops, in-range non-loop endpoints,
+// positive weights where a weight is meaningful (exactly 1 for an
+// unweighted graph), and strictly ascending generations above the
+// floor. Semantic validity (delete of an absent edge, ...) is the
+// loader's replay to verify — it needs the evolving pair state.
+func readJournal(d *decoder, g *graph.Graph) (uint64, []dynamic.Entry) {
+	d.next(secJournal)
+	floorGen := d.u64()
+	count := d.u64()
+	if d.err == nil && count > maxJournalEntries {
+		d.fail(corruptf("journal declares %d entries, limit %d", count, maxJournalEntries))
+	}
+	if !d.need(count, journalEntrySize) {
+		count = 0
+	}
+	n := g.NumVertices()
+	entries := make([]dynamic.Entry, 0, min(count, chunkElems))
+	prev := floorGen
+	for i := uint64(0); i < count && d.err == nil; i++ {
+		var ent dynamic.Entry
+		ent.Gen = d.u64()
+		op := d.u8()
+		ent.U = d.i32()
+		ent.V = d.i32()
+		ent.W = d.i64()
+		if d.err != nil {
+			break
+		}
+		if op > uint8(dynamic.OpReweight) {
+			d.fail(corruptf("journal entry %d has unknown op %d", i, op))
+			break
+		}
+		ent.Op = dynamic.Op(op)
+		if ent.Gen <= prev {
+			d.fail(corruptf("journal generations not ascending at entry %d (%d after %d)", i, ent.Gen, prev))
+			break
+		}
+		prev = ent.Gen
+		if ent.U < 0 || ent.U >= n || ent.V < 0 || ent.V >= n {
+			d.fail(corruptf("journal entry %d endpoint (%d,%d) out of range n=%d", i, ent.U, ent.V, n))
+			break
+		}
+		if ent.U == ent.V {
+			d.fail(corruptf("journal entry %d is a self-loop at %d", i, ent.U))
+			break
+		}
+		if ent.Op != dynamic.OpDelete {
+			if ent.W <= 0 {
+				d.fail(corruptf("journal entry %d has non-positive weight %d", i, ent.W))
+				break
+			}
+			if !g.Weighted() && ent.W != 1 {
+				d.fail(corruptf("journal entry %d carries weight %d into an unweighted graph", i, ent.W))
+				break
+			}
+		}
+		entries = append(entries, ent)
+	}
+	d.end()
+	if len(entries) == 0 {
+		entries = nil
+	}
+	return floorGen, entries
 }
 
 // ---------------------------------------------------------------------------

@@ -36,6 +36,18 @@ func FuzzReadOracle(f *testing.F) {
 	_ = WriteOracle(&degen, empty, og, nil)
 	f.Add(degen.Bytes())
 
+	// Version-2 journal section and a legacy version-1 stream.
+	oj, _ := buildOracle(small, 0.3, 2)
+	oj.FloorGen, oj.Journal = journalFixture()
+	var withJournal bytes.Buffer
+	_ = WriteOracle(&withJournal, small, oj, []byte("spec"))
+	f.Add(withJournal.Bytes())
+	var v1 bytes.Buffer
+	_ = writeOracleVersion(&v1, small, o, nil, versionV1)
+	f.Add(v1.Bytes())
+	trunc := withJournal.Bytes()
+	f.Add(trunc[:len(trunc)-24]) // truncated inside the journal section
+
 	var scaled bytes.Buffer
 	_ = WriteScaled(&scaled, hopset.BuildScaled(small, hopset.DefaultWeightedParams(6), nil), nil)
 	f.Add(scaled.Bytes())

@@ -5,13 +5,13 @@
 // daemon restart (or a second CLI run) warm-starts from disk instead
 // of re-running the expensive Section 5 construction.
 //
-// # Wire format (version 1)
+// # Wire format (version 2)
 //
 // A snapshot is a fixed header followed by a sequence of sections and
 // a terminating end marker:
 //
 //	header:  magic  uint32  ("SPS1", little-endian)
-//	         version uint32 (currently 1)
+//	         version uint32 (currently 2; 1 still decodes)
 //	section: type   uint32
 //	         length uint64  (payload bytes, excluding this frame)
 //	         payload …
@@ -20,14 +20,21 @@
 // All integers are little-endian; floats are IEEE-754 bits. The
 // section table for the three oracle shapes is:
 //
-//	degenerate:  META NOTE? GRAPH END
-//	direct:      META NOTE? GRAPH SCALED END
-//	decomposed:  META NOTE? GRAPH WSCALE (INSTANCE SCALED)×L END
+//	degenerate:  META NOTE? GRAPH JOURNAL END
+//	direct:      META NOTE? GRAPH SCALED JOURNAL END
+//	decomposed:  META NOTE? GRAPH WSCALE (INSTANCE SCALED)×L JOURNAL END
 //
 // plus two standalone shapes used by the CLI tools:
 //
 //	scaled hopset: META NOTE? GRAPH SCALED END
 //	spanner:       META NOTE? SPANNER END
+//
+// JOURNAL (new in version 2, mandatory for the oracle shapes, usually
+// empty) carries a dynamic oracle's pending mutation journal — floor
+// generation, then (gen, op, u, v, w) per entry — so warm starts
+// replay updates the daemon absorbed after the base oracle was built.
+// Version-1 streams have no JOURNAL section and decode with an empty
+// journal.
 //
 // META carries the shape tag, eps, seed, and the base graph's 64-bit
 // fingerprint; decoding verifies the embedded graph hashes to it, and
@@ -69,7 +76,14 @@ import (
 
 const (
 	magicV1 uint32 = 0x31535053 // "SPS1" when read as little-endian bytes
-	version uint32 = 1
+
+	// versionV1 is the PR 4 layout; versionV2 appends a mandatory
+	// (possibly empty) JOURNAL section to the oracle shapes so a
+	// dynamic oracle's pending mutations survive restarts. Encoders
+	// write the current version; the decoder reads both.
+	versionV1 uint32 = 1
+	versionV2 uint32 = 2
+	version   uint32 = versionV2
 )
 
 // Section types.
@@ -81,6 +95,7 @@ const (
 	secInstance uint32 = 5
 	secScaled   uint32 = 6
 	secSpanner  uint32 = 7
+	secJournal  uint32 = 8
 	secEnd      uint32 = 0xFFFFFFFF
 )
 
@@ -128,10 +143,11 @@ type encoder struct {
 	open     bool
 	err      error
 	buf      [16]byte
+	version  uint32
 }
 
 func newEncoder(w io.Writer) *encoder {
-	return &encoder{w: bufio.NewWriterSize(w, 1<<16), crc: crc32.NewIEEE()}
+	return &encoder{w: bufio.NewWriterSize(w, 1<<16), crc: crc32.NewIEEE(), version: version}
 }
 
 func (e *encoder) fail(err error) {
@@ -178,7 +194,7 @@ func (e *encoder) f64(v float64) { e.u64(math.Float64bits(v)) }
 // header writes the file preamble (outside any section).
 func (e *encoder) header() {
 	e.u32(magicV1)
-	e.u32(version)
+	e.u32(e.version)
 }
 
 // begin opens a section of the given type and declared payload length.
@@ -230,6 +246,7 @@ type decoder struct {
 	err       error
 	buf       [16]byte
 	chunk     []byte // reused chunk buffer for array reads
+	version   uint32 // stream version from the header (1 or 2)
 }
 
 func newDecoder(r io.Reader) *decoder {
@@ -303,14 +320,18 @@ func (d *decoder) i32() int32   { return int32(d.u32()) }
 func (d *decoder) i64() int64   { return int64(d.u64()) }
 func (d *decoder) f64() float64 { return math.Float64frombits(d.u64()) }
 
-// header verifies the file preamble.
+// header verifies the file preamble. Both known versions decode: a
+// v1 stream simply has no JOURNAL section (ReadOracle restores an
+// empty journal).
 func (d *decoder) header() {
 	if m := d.u32frame(); d.err == nil && m != magicV1 {
 		d.fail(corruptf("bad magic %#x", m))
 	}
-	if v := d.u32frame(); d.err == nil && v != version {
-		d.fail(corruptf("unknown version %d (this build reads %d)", v, version))
+	v := d.u32frame()
+	if d.err == nil && v != versionV1 && v != versionV2 {
+		d.fail(corruptf("unknown version %d (this build reads %d..%d)", v, versionV1, versionV2))
 	}
+	d.version = v
 }
 
 func (d *decoder) u32frame() uint32 {

@@ -1,0 +1,169 @@
+package snapshot
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"testing"
+
+	"repro/internal/dynamic"
+	"repro/internal/graph"
+)
+
+// journalFixture is a structurally valid pending journal over a
+// weighted graph.
+func journalFixture() (uint64, []dynamic.Entry) {
+	return 3, []dynamic.Entry{
+		{Update: dynamic.Update{Op: dynamic.OpInsert, U: 0, V: 5, W: 7}, Gen: 4},
+		{Update: dynamic.Update{Op: dynamic.OpReweight, U: 0, V: 5, W: 2}, Gen: 5},
+		{Update: dynamic.Update{Op: dynamic.OpDelete, U: 0, V: 5}, Gen: 9},
+	}
+}
+
+// TestJournalRoundTrip: a v2 oracle snapshot carries its journal
+// bit-exactly.
+func TestJournalRoundTrip(t *testing.T) {
+	g := graph.UniformWeights(graph.Grid2D(4, 4), 9, 1)
+	o, _ := buildOracle(g, 0.3, 2)
+	o.FloorGen, o.Journal = journalFixture()
+	var buf bytes.Buffer
+	if err := WriteOracle(&buf, g, o, []byte("spec")); err != nil {
+		t.Fatal(err)
+	}
+	got, _, note, err := ReadOracle(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(note) != "spec" {
+		t.Fatalf("note = %q", note)
+	}
+	if got.FloorGen != o.FloorGen || len(got.Journal) != len(o.Journal) {
+		t.Fatalf("journal shape: floor=%d len=%d", got.FloorGen, len(got.Journal))
+	}
+	for i := range o.Journal {
+		if got.Journal[i].Gen != o.Journal[i].Gen || got.Journal[i].Update != o.Journal[i].Update {
+			t.Fatalf("entry %d: got %+v, want %+v", i, got.Journal[i], o.Journal[i])
+		}
+	}
+}
+
+// TestV1StreamLoadsUnderV2Decoder: a legacy version-1 file (no
+// JOURNAL section) must decode cleanly with an empty journal — the
+// backward-compat contract of the version bump.
+func TestV1StreamLoadsUnderV2Decoder(t *testing.T) {
+	g := graph.UniformWeights(graph.Grid2D(4, 4), 9, 1)
+	o, _ := buildOracle(g, 0.3, 2)
+	var v1 bytes.Buffer
+	if err := writeOracleVersion(&v1, g, o, []byte("spec"), versionV1); err != nil {
+		t.Fatal(err)
+	}
+	if got := binary.LittleEndian.Uint32(v1.Bytes()[4:8]); got != versionV1 {
+		t.Fatalf("fixture is version %d, not 1", got)
+	}
+	got, gg, note, err := ReadOracle(bytes.NewReader(v1.Bytes()))
+	if err != nil {
+		t.Fatalf("v1 stream rejected: %v", err)
+	}
+	if got.FloorGen != 0 || got.Journal != nil {
+		t.Fatalf("v1 stream decoded a journal: floor=%d len=%d", got.FloorGen, len(got.Journal))
+	}
+	if string(note) != "spec" || gg.NumVertices() != g.NumVertices() {
+		t.Fatal("v1 payload mangled")
+	}
+	// A v1 writer cannot carry a journal.
+	o.FloorGen, o.Journal = journalFixture()
+	if err := writeOracleVersion(&bytes.Buffer{}, g, o, nil, versionV1); err == nil {
+		t.Fatal("v1 write accepted a journal")
+	}
+}
+
+// TestUnknownVersionRejected: versions above 2 must fail, not guess.
+func TestUnknownVersionRejected(t *testing.T) {
+	g := graph.FromEdges(1, nil, false)
+	var buf bytes.Buffer
+	if err := WriteOracle(&buf, g, &Oracle{Eps: 0.5, Seed: 1, Degenerate: true}, nil); err != nil {
+		t.Fatal(err)
+	}
+	b := buf.Bytes()
+	binary.LittleEndian.PutUint32(b[4:8], 3)
+	if _, _, _, err := ReadOracle(bytes.NewReader(b)); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("version 3 error = %v", err)
+	}
+}
+
+// corruptJournalCase mutates one well-formed journal-carrying
+// snapshot and expects ErrCorrupt with no partial state.
+func corruptJournalCase(t *testing.T, name string, mutate func(floor *uint64, entries []dynamic.Entry)) {
+	t.Helper()
+	g := graph.UniformWeights(graph.Grid2D(4, 4), 9, 1)
+	o, _ := buildOracle(g, 0.3, 2)
+	o.FloorGen, o.Journal = journalFixture()
+	mutate(&o.FloorGen, o.Journal)
+	var buf bytes.Buffer
+	if err := WriteOracle(&buf, g, o, nil); err != nil {
+		t.Fatalf("%s: write: %v", name, err)
+	}
+	if _, _, _, err := ReadOracle(bytes.NewReader(buf.Bytes())); !errors.Is(err, ErrCorrupt) {
+		t.Errorf("%s: err = %v, want ErrCorrupt", name, err)
+	}
+}
+
+// TestCorruptJournalRejected: every structural journal violation is
+// ErrCorrupt — never a partially applied journal.
+func TestCorruptJournalRejected(t *testing.T) {
+	corruptJournalCase(t, "gen-not-ascending", func(floor *uint64, e []dynamic.Entry) {
+		e[2].Gen = e[1].Gen
+	})
+	corruptJournalCase(t, "gen-below-floor", func(floor *uint64, e []dynamic.Entry) {
+		*floor = e[0].Gen
+	})
+	corruptJournalCase(t, "endpoint-out-of-range", func(floor *uint64, e []dynamic.Entry) {
+		e[0].V = 99
+	})
+	corruptJournalCase(t, "self-loop", func(floor *uint64, e []dynamic.Entry) {
+		e[1].V = e[1].U
+	})
+	corruptJournalCase(t, "bad-op", func(floor *uint64, e []dynamic.Entry) {
+		e[0].Op = dynamic.Op(7)
+	})
+	corruptJournalCase(t, "non-positive-weight", func(floor *uint64, e []dynamic.Entry) {
+		e[0].W = 0
+	})
+
+	// Bit-flip inside the journal payload: CRC catches it.
+	g := graph.UniformWeights(graph.Grid2D(4, 4), 9, 1)
+	o, _ := buildOracle(g, 0.3, 2)
+	o.FloorGen, o.Journal = journalFixture()
+	var clean, dirty bytes.Buffer
+	if err := WriteOracle(&clean, g, o, nil); err != nil {
+		t.Fatal(err)
+	}
+	o.Journal = nil
+	o.FloorGen = 0
+	if err := WriteOracle(&dirty, g, o, nil); err != nil {
+		t.Fatal(err)
+	}
+	// The journal section lives between the empty-journal file's
+	// length and the trailer; flip a byte in that window.
+	b := append([]byte(nil), clean.Bytes()...)
+	b[dirty.Len()+4] ^= 0x5A
+	if _, _, _, err := ReadOracle(bytes.NewReader(b)); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("bit-flipped journal err = %v, want ErrCorrupt", err)
+	}
+}
+
+// TestWeightIntoUnweightedJournalRejected: journal weights must match
+// the embedded graph's weightedness.
+func TestWeightIntoUnweightedJournalRejected(t *testing.T) {
+	g := graph.Grid2D(4, 4)
+	o, _ := buildOracle(g, 0.3, 2)
+	o.FloorGen = 0
+	o.Journal = []dynamic.Entry{{Update: dynamic.Update{Op: dynamic.OpInsert, U: 0, V: 5, W: 9}, Gen: 1}}
+	var buf bytes.Buffer
+	if err := WriteOracle(&buf, g, o, nil); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, _, err := ReadOracle(bytes.NewReader(buf.Bytes())); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("err = %v, want ErrCorrupt", err)
+	}
+}

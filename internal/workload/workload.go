@@ -16,6 +16,7 @@ import (
 	"strconv"
 	"strings"
 
+	"repro/internal/dynamic"
 	"repro/internal/graph"
 	"repro/internal/rng"
 )
@@ -364,6 +365,168 @@ func ParseMix(name string, n graph.V, seed uint64) (Mix, error) {
 	default:
 		return Mix{}, fmt.Errorf("workload: unknown query mix %q", name)
 	}
+}
+
+// ---------------------------------------------------------------------------
+// Mutation mixes: deterministic edge-mutation streams for the dynamic
+// overlay (cmd/loadgen -mutate, the smoke test, and benchmarks).
+
+// Mutator emits a deterministic stream of VALID mutations against an
+// evolving graph: it tracks the pair state locally (seeded from the
+// base graph), so applying its updates in order through
+// DynamicOracle.ApplyUpdates (or POST /graphs/{id}/edges) never hits
+// a validation error, and a second Mutator with the same (graph, mix,
+// seed) reproduces the exact sequence — which is what lets a client
+// replay the server's mutations locally and verify answers
+// bit-for-bit. Not safe for concurrent use.
+type Mutator struct {
+	name     string
+	r        *rng.RNG
+	n        graph.V
+	weighted bool
+	maxW     graph.W
+
+	// pInsert/pDelete split the op draw; the remainder is reweight.
+	pInsert, pDelete float64
+
+	state map[[2]graph.V]graph.W // present pairs → weight
+	pairs [][2]graph.V           // present pairs, for O(1) delete sampling
+	idx   map[[2]graph.V]int     // pair → position in pairs
+}
+
+// NewMutator builds a mutation stream over g. Mixes:
+//
+//   - "churn":    1/3 insert, 1/3 delete, 1/3 reweight (insert/delete
+//     only on unweighted graphs) — steady-state read/write traffic.
+//   - "grow":     insertions only; the overlay's fast (improving) path.
+//   - "decay":    deletions only; the exact (degrading) path.
+//   - "reweight": weight changes only (weighted graphs).
+//
+// Weights for inserts/reweights are uniform in [1, maxW] (maxW ≤ 1
+// means unit weights; forced for unweighted graphs).
+func NewMutator(g *graph.Graph, mix string, maxW graph.W, seed uint64) (*Mutator, error) {
+	m := &Mutator{
+		name:     mix,
+		r:        rng.New(seed),
+		n:        g.NumVertices(),
+		weighted: g.Weighted(),
+		maxW:     maxW,
+		state:    make(map[[2]graph.V]graph.W, g.NumEdges()),
+		idx:      make(map[[2]graph.V]int, g.NumEdges()),
+	}
+	if m.n < 2 {
+		return nil, fmt.Errorf("workload: mutator needs n >= 2, got %d", m.n)
+	}
+	if !m.weighted {
+		m.maxW = 1
+	} else if m.maxW < 1 {
+		m.maxW = 1
+	}
+	switch mix {
+	case "churn":
+		if m.weighted {
+			m.pInsert, m.pDelete = 1.0/3, 1.0/3
+		} else {
+			m.pInsert, m.pDelete = 0.5, 0.5
+		}
+	case "grow":
+		m.pInsert = 1
+	case "decay":
+		m.pDelete = 1
+	case "reweight":
+		if !m.weighted {
+			return nil, fmt.Errorf("workload: reweight mix needs a weighted graph")
+		}
+	default:
+		return nil, fmt.Errorf("workload: unknown mutation mix %q", mix)
+	}
+	for _, e := range g.Edges() {
+		k := pairOf(e.U, e.V)
+		if _, dup := m.state[k]; dup {
+			continue // parallel edge: pair-level semantics keep one
+		}
+		m.state[k] = e.W
+		m.idx[k] = len(m.pairs)
+		m.pairs = append(m.pairs, k)
+	}
+	return m, nil
+}
+
+// Name returns the mix name.
+func (m *Mutator) Name() string { return m.name }
+
+func pairOf(u, v graph.V) [2]graph.V {
+	if u > v {
+		u, v = v, u
+	}
+	return [2]graph.V{u, v}
+}
+
+// Next returns the next mutation, already applied to the local state.
+// ok is false when the mix can make no further move (e.g. "decay" on
+// an empty graph, "grow" on a clique).
+func (m *Mutator) Next() (up dynamic.Update, ok bool) {
+	full := int64(len(m.pairs)) >= int64(m.n)*int64(m.n-1)/2
+	for attempt := 0; attempt < 64; attempt++ {
+		p := m.r.Float64()
+		switch {
+		case p < m.pInsert && !full:
+			// Rejection-sample an absent pair.
+			for tries := 0; tries < 64; tries++ {
+				u, v := m.r.Int31n(m.n), m.r.Int31n(m.n)
+				if u == v {
+					continue
+				}
+				k := pairOf(u, v)
+				if _, present := m.state[k]; present {
+					continue
+				}
+				w := graph.W(1)
+				if m.maxW > 1 {
+					w = graph.W(m.r.Intn(int(m.maxW)) + 1)
+				}
+				m.state[k] = w
+				m.idx[k] = len(m.pairs)
+				m.pairs = append(m.pairs, k)
+				return dynamic.Update{Op: dynamic.OpInsert, U: k[0], V: k[1], W: w}, true
+			}
+		case p < m.pInsert+m.pDelete && len(m.pairs) > 0:
+			i := m.r.Intn(len(m.pairs))
+			k := m.pairs[i]
+			last := len(m.pairs) - 1
+			m.pairs[i] = m.pairs[last]
+			m.idx[m.pairs[i]] = i
+			m.pairs = m.pairs[:last]
+			delete(m.state, k)
+			delete(m.idx, k)
+			return dynamic.Update{Op: dynamic.OpDelete, U: k[0], V: k[1]}, true
+		case p >= m.pInsert+m.pDelete && m.weighted && len(m.pairs) > 0:
+			k := m.pairs[m.r.Intn(len(m.pairs))]
+			w := graph.W(m.r.Intn(int(m.maxW)) + 1)
+			if w == m.state[k] {
+				w = w%m.maxW + 1 // force a visible change
+			}
+			if w == m.state[k] {
+				continue // maxW == 1: no distinct weight exists
+			}
+			m.state[k] = w
+			return dynamic.Update{Op: dynamic.OpReweight, U: k[0], V: k[1], W: w}, true
+		}
+	}
+	return dynamic.Update{}, false
+}
+
+// Batch returns up to size mutations (fewer if the mix runs dry).
+func (m *Mutator) Batch(size int) []dynamic.Update {
+	out := make([]dynamic.Update, 0, size)
+	for len(out) < size {
+		up, ok := m.Next()
+		if !ok {
+			break
+		}
+		out = append(out, up)
+	}
+	return out
 }
 
 // SpannerFamilies returns the Figure 1 input sweep at the given size

@@ -3,7 +3,86 @@ package workload
 import (
 	"strings"
 	"testing"
+
+	"repro/internal/dynamic"
+	"repro/internal/graph"
 )
+
+// TestMutatorValidAndDeterministic: every emitted mutation applies
+// cleanly in order, and the stream is reproducible from (graph, mix,
+// seed) — the replay contract loadgen -verify relies on.
+func TestMutatorValidAndDeterministic(t *testing.T) {
+	for _, mix := range []string{"churn", "grow", "decay", "reweight"} {
+		g := graph.UniformWeights(graph.RandomConnectedGNM(50, 120, 1), 20, 2)
+		m1, err := NewMutator(g, mix, 20, 7)
+		if err != nil {
+			t.Fatalf("%s: %v", mix, err)
+		}
+		m2, _ := NewMutator(g, mix, 20, 7)
+		ups := m1.Batch(40)
+		if len(ups) != 40 {
+			t.Fatalf("%s: got %d mutations", mix, len(ups))
+		}
+		for i, up := range m2.Batch(40) {
+			if up != ups[i] {
+				t.Fatalf("%s: stream not deterministic at %d", mix, i)
+			}
+		}
+		// Validity: the overlay accepts the whole stream (Apply never
+		// consults the base querier, only the graph).
+		d := dynamic.New(nil, g, 0)
+		if _, err := d.Apply(ups); err != nil {
+			t.Fatalf("%s: apply: %v", mix, err)
+		}
+		for _, up := range ups {
+			switch mix {
+			case "grow":
+				if up.Op != dynamic.OpInsert {
+					t.Fatalf("grow emitted %v", up.Op)
+				}
+			case "decay":
+				if up.Op != dynamic.OpDelete {
+					t.Fatalf("decay emitted %v", up.Op)
+				}
+			case "reweight":
+				if up.Op != dynamic.OpReweight {
+					t.Fatalf("reweight emitted %v", up.Op)
+				}
+			}
+		}
+	}
+}
+
+// TestMutatorEdgeCases: decay runs dry on an emptied graph; reweight
+// refuses unweighted graphs; unweighted churn stays unit-weight.
+func TestMutatorEdgeCases(t *testing.T) {
+	small := graph.Path(3) // 2 edges, unweighted
+	if _, err := NewMutator(small, "reweight", 0, 1); err == nil {
+		t.Fatal("reweight mix accepted an unweighted graph")
+	}
+	m, err := NewMutator(small, "decay", 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := m.Batch(10); len(got) != 2 {
+		t.Fatalf("decay emitted %d mutations on a 2-edge graph", len(got))
+	}
+	if _, ok := m.Next(); ok {
+		t.Fatal("decay kept emitting after the graph emptied")
+	}
+	mc, err := NewMutator(graph.Grid2D(4, 4), "churn", 99, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, up := range mc.Batch(30) {
+		if up.Op == dynamic.OpReweight {
+			t.Fatal("unweighted churn emitted a reweight")
+		}
+		if up.Op == dynamic.OpInsert && up.W != 1 {
+			t.Fatalf("unweighted insert weight %d", up.W)
+		}
+	}
+}
 
 func TestSpecsGenerate(t *testing.T) {
 	specs := []Spec{

@@ -1,11 +1,15 @@
 #!/usr/bin/env bash
-# Serving-layer smoke test: build the binaries, start spanhopd on a
-# small graph, curl /healthz and a query, then run loadgen with
-# bit-exact verification against a locally rebuilt oracle. Finally,
-# kill the daemon and restart it with the same -snapshot-dir to prove
-# the warm start: the graph is ready without a rebuild (no build-stage
-# telemetry) and answers are unchanged. CI runs this; it also works
-# standalone from the repo root.
+# Serving-layer smoke test: build the binaries (race-instrumented, so
+# the whole end-to-end flow runs under the detector), start spanhopd
+# on a small graph, curl /healthz and a query, then run loadgen with
+# bit-exact verification against a locally rebuilt oracle. Kill the
+# daemon and restart it with the same -snapshot-dir to prove the warm
+# start: the graph is ready without a rebuild (no build-stage
+# telemetry) and answers are unchanged. Then mutate the live graph
+# (insert/delete edges), assert the generation bumps and queries see
+# the change, restart once more, and verify the mutation journal
+# replays from the snapshot. CI runs this; it also works standalone
+# from the repo root.
 set -euo pipefail
 
 ADDR="127.0.0.1:${SMOKE_PORT:-8095}"
@@ -14,8 +18,8 @@ SNAPDIR="$DIR/snapshots"
 DAEMON_PID=""
 trap 'kill "$DAEMON_PID" 2>/dev/null || true; rm -rf "$DIR"' EXIT
 
-echo "== build binaries"
-go build -o "$DIR/bin/" ./cmd/...
+echo "== build binaries (-race)"
+go build -race -o "$DIR/bin/" ./cmd/...
 
 echo "== generate a small weighted grid (binary format)"
 "$DIR/bin/gengraph" -family grid -rows 15 -cols 15 -weights uniform -maxw 20 \
@@ -65,6 +69,11 @@ COLD_DIST=$(echo "$OUT" | sed -n 's/.*"dist":\([0-9]*\).*/\1/p')
 echo "== loadgen with bit-exact verification"
 "$DIR/bin/loadgen" -addr "http://$ADDR" -gen "er:n=512,d=6,w=uniform,maxw=30" \
     -mix hotspot -concurrency 8 -requests 400 -verify
+
+echo "== loadgen mutation traffic: mutate, verify overlay + rebuilt answers"
+"$DIR/bin/loadgen" -addr "http://$ADDR" -gen "er:n=512,d=6,w=uniform,maxw=30" \
+    -mix uniform -concurrency 8 -requests 200 \
+    -mutate 5 -mutate-batch 3 -mutate-mix churn -verify
 
 echo "== /stats"
 STATS=$(curl -fsS "http://$ADDR/stats")
@@ -123,8 +132,42 @@ WARM=$(curl -fsS -X POST "http://$ADDR/graphs/grid/query" -d '{"s":0,"t":224}')
 WARM_DIST=$(echo "$WARM" | sed -n 's/.*"dist":\([0-9]*\).*/\1/p')
 [ "$WARM_DIST" = "$COLD_DIST" ] || { echo "warm answer $WARM_DIST != cold answer $COLD_DIST"; exit 1; }
 
+echo "== mutate the live graph: insert a shortcut, delete an edge"
+MUT=$(curl -fsS -X POST "http://$ADDR/graphs/grid/edges" \
+    -d '{"updates":[{"op":"insert","u":0,"v":224,"w":1},{"op":"delete","u":0,"v":1}]}')
+echo "$MUT"
+echo "$MUT" | grep -q '"generation":2' || { echo "generation did not bump to 2"; exit 1; }
+
+echo "== queries see the mutation immediately"
+OUT=$(curl -fsS -X POST "http://$ADDR/graphs/grid/query" -d '{"s":0,"t":224}')
+MUT_DIST=$(echo "$OUT" | sed -n 's/.*"dist":\([0-9]*\).*/\1/p')
+[ "$MUT_DIST" = "1" ] || { echo "mutated query answered $MUT_DIST, want the inserted shortcut (1)"; exit 1; }
+
+echo "== overlay gauges in /stats and /metrics"
+curl -fsS "http://$ADDR/stats" | grep -q '"pending_updates":2' \
+    || { echo "stats missing pending_updates"; exit 1; }
+METRICS=$(curl -fsS "http://$ADDR/metrics")
+echo "$METRICS" | grep -q 'spanhop_generation{graph="grid"} 2' \
+    || { echo "metrics missing generation gauge"; exit 1; }
+echo "$METRICS" | grep -q 'spanhop_requests_total{graph="grid"}' \
+    || { echo "metrics missing request counter"; exit 1; }
+
+echo "== persist the journal, restart, and verify the replay"
+curl -fsS -X POST "http://$ADDR/graphs/grid/snapshot" >/dev/null
+kill -TERM "$DAEMON_PID"
+wait "$DAEMON_PID" || true
+start_daemon "$DIR/spanhopd3.log"
+wait_healthz "$DIR/spanhopd3.log"
+INFO=$(curl -fsS "http://$ADDR/graphs/grid")
+echo "$INFO" | grep -q '"warm_started":true' || { echo "third life not warm-started"; exit 1; }
+echo "$INFO" | grep -q '"generation":2' || { echo "journal generation lost across restart"; exit 1; }
+echo "$INFO" | grep -q '"pending_updates":2' || { echo "journal entries lost across restart"; exit 1; }
+OUT=$(curl -fsS -X POST "http://$ADDR/graphs/grid/query" -d '{"s":0,"t":224}')
+REPLAY_DIST=$(echo "$OUT" | sed -n 's/.*"dist":\([0-9]*\).*/\1/p')
+[ "$REPLAY_DIST" = "1" ] || { echo "replayed journal answered $REPLAY_DIST, want 1"; exit 1; }
+
 echo "== final shutdown"
 kill -TERM "$DAEMON_PID"
 wait "$DAEMON_PID" || true
-grep -q "bye" "$DIR/spanhopd2.log" || { echo "no clean second shutdown:"; cat "$DIR/spanhopd2.log"; exit 1; }
+grep -q "bye" "$DIR/spanhopd3.log" || { echo "no clean third shutdown:"; cat "$DIR/spanhopd3.log"; exit 1; }
 echo "smoke OK"

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"io"
 
+	"repro/internal/dynamic"
 	"repro/internal/exec"
 	"repro/internal/snapshot"
 )
@@ -27,6 +28,10 @@ func SaveOracle(w io.Writer, o *DistanceOracle) error {
 // stored alongside the oracle (the serving layer keeps the graph's
 // registration spec there). len(note) is capped at 1 MiB.
 func SaveOracleNote(w io.Writer, o *DistanceOracle, note []byte) error {
+	return saveOracleJournal(w, o, note, 0, nil)
+}
+
+func saveOracleJournal(w io.Writer, o *DistanceOracle, note []byte, floor uint64, journal []dynamic.Entry) error {
 	so := &snapshot.Oracle{
 		Eps:        o.eps,
 		Seed:       o.seed,
@@ -34,8 +39,20 @@ func SaveOracleNote(w io.Writer, o *DistanceOracle, note []byte) error {
 		Direct:     o.direct,
 		Dec:        o.dec,
 		Instances:  o.instances,
+		FloorGen:   floor,
+		Journal:    journal,
 	}
 	return snapshot.WriteOracle(w, o.g, so, note)
+}
+
+// SaveDynamicOracle persists a dynamic oracle: the current static
+// base oracle plus the pending mutation journal (and its generation
+// window), captured atomically with respect to rebuild swaps. A
+// restore via LoadDynamicOracle replays the journal, so the restored
+// oracle reports the same Generation and answers the same queries.
+func SaveDynamicOracle(w io.Writer, d *DynamicOracle, note []byte) error {
+	base, _, floor, journal := d.ov.PersistState()
+	return saveOracleJournal(w, base.(baseAdapter).o, note, floor, journal)
 }
 
 // LoadOracle restores a SaveOracle snapshot. If g is non-nil it must
@@ -55,18 +72,57 @@ func LoadOracle(r io.Reader, g *Graph, opt OracleOptions) (*DistanceOracle, erro
 }
 
 // LoadOracleNote is LoadOracle returning the annotation stored by
-// SaveOracleNote (nil when none).
+// SaveOracleNote (nil when none). A snapshot carrying a pending
+// mutation journal (SaveDynamicOracle) is refused: silently dropping
+// un-rebuilt mutations would serve a stale graph — restore those with
+// LoadDynamicOracle.
 func LoadOracleNote(r io.Reader, g *Graph, opt OracleOptions) (*DistanceOracle, []byte, error) {
-	so, embedded, note, err := snapshot.ReadOracle(r)
+	o, note, _, journal, err := loadOracle(r, g, opt)
 	if err != nil {
 		return nil, nil, err
+	}
+	if len(journal) > 0 {
+		return nil, nil, fmt.Errorf("spanhop: snapshot carries %d pending mutations; load it with LoadDynamicOracle", len(journal))
+	}
+	return o, note, nil
+}
+
+// LoadDynamicOracle restores a SaveDynamicOracle (or SaveOracle)
+// snapshot as a DynamicOracle: the base oracle is rebuilt from the
+// stream exactly as LoadOracle would, then the persisted journal is
+// replayed into the overlay, so the restored oracle reports the saved
+// Generation and answers queries with every pending mutation applied.
+// g and opt behave as in LoadOracle; pol configures the restored
+// oracle's rebuild scheduler.
+func LoadDynamicOracle(r io.Reader, g *Graph, opt OracleOptions, pol RebuildPolicy) (*DynamicOracle, []byte, error) {
+	o, note, floor, journal, err := loadOracle(r, g, opt)
+	if err != nil {
+		return nil, nil, err
+	}
+	d := newDynamicOracleAt(o, pol, floor)
+	if err := d.ov.Replay(journal); err != nil {
+		d.Close()
+		return nil, nil, fmt.Errorf("%w: journal replay: %v", snapshot.ErrCorrupt, err)
+	}
+	// A restored journal may already be past the rebuild policy; let
+	// the scheduler decide instead of waiting for the next mutation.
+	if !d.disabled && len(journal) > 0 {
+		d.sch.Notify()
+	}
+	return d, note, nil
+}
+
+func loadOracle(r io.Reader, g *Graph, opt OracleOptions) (*DistanceOracle, []byte, uint64, []dynamic.Entry, error) {
+	so, embedded, note, err := snapshot.ReadOracle(r)
+	if err != nil {
+		return nil, nil, 0, nil, err
 	}
 	base := embedded
 	if g != nil {
 		// so.Fingerprint is the META digest ReadOracle already verified
 		// the embedded graph against — no need to rehash it here.
 		if g.Fingerprint() != so.Fingerprint {
-			return nil, nil, fmt.Errorf("spanhop: snapshot was built for a different graph (fingerprint %#x, got %#x)",
+			return nil, nil, 0, nil, fmt.Errorf("spanhop: snapshot was built for a different graph (fingerprint %#x, got %#x)",
 				so.Fingerprint, g.Fingerprint())
 		}
 		base = g
@@ -97,5 +153,5 @@ func LoadOracleNote(r io.Reader, g *Graph, opt OracleOptions) (*DistanceOracle, 
 		instances:  so.Instances,
 		queryEc:    queryEc,
 	}
-	return o, note, nil
+	return o, note, so.FloorGen, so.Journal, nil
 }
