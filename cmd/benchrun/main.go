@@ -1,0 +1,151 @@
+// Command benchrun runs the canonical benchmark suite and emits a
+// schema-versioned BENCH_<n>.json trajectory point, or compares two
+// trajectory points and gates on regressions.
+//
+// Run the suite:
+//
+//	benchrun [-mode short|full] [-run regexp] [-rounds 3] [-out BENCH_6.json] [-note "..."]
+//
+// Short mode skips the large-graph stress entries (rmat scale-22,
+// DIMACS road) and is what CI runs; full mode is the checked-in
+// trajectory point. Each benchmark is sampled -rounds times and the
+// lowest-ns/op round is kept — min-of-N rejects the one-sided noise
+// (scheduler, GC) that would otherwise flap the gate. The report
+// records machine info, go version, git revision, per-benchmark
+// ns/op, B/op, allocs/op, and the extra metrics (serving QPS and
+// latency quantiles, snapshot sizes).
+//
+// Compare two reports:
+//
+//	benchrun -diff OLD.json NEW.json [-threshold 0.10]
+//
+// Exit status 1 when any cost metric of NEW is more than threshold
+// worse than OLD (strictly: exactly 10% passes a 0.10 threshold), or
+// when a benchmark disappeared; improvements and new benchmarks are
+// reported but never fatal. Reports from different machines compare
+// with a warning — absolute numbers move with hardware.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"os/exec"
+	"regexp"
+	"strings"
+	"time"
+
+	"repro/internal/bench"
+)
+
+func main() {
+	mode := flag.String("mode", "short", "suite mode: short (CI gate) or full (trajectory point with stress graphs)")
+	runFilter := flag.String("run", "", "regexp limiting which suite entries run")
+	out := flag.String("out", "", "write the report to this file (default stdout)")
+	note := flag.String("note", "", "free-form note recorded in the report")
+	rounds := flag.Int("rounds", 3, "independent samples per benchmark; the lowest-ns/op round is kept (min-of-N noise rejection; stress entries always run once)")
+	diff := flag.Bool("diff", false, "compare two reports: benchrun -diff OLD.json NEW.json")
+	threshold := flag.Float64("threshold", bench.DefaultThreshold, "relative regression gate for -diff (0.10 = 10%)")
+	list := flag.Bool("list", false, "list suite entries and exit")
+	flag.Parse()
+
+	if *diff {
+		runDiff(flag.Args(), *threshold)
+		return
+	}
+	if flag.NArg() != 0 {
+		fatal(fmt.Errorf("unexpected arguments %q (did you mean -diff?)", flag.Args()))
+	}
+
+	specs := bench.Suite()
+	if *list {
+		for _, s := range specs {
+			tag := ""
+			if s.FullOnly {
+				tag = "  (full only)"
+			}
+			fmt.Printf("%s%s\n", s.Name, tag)
+		}
+		return
+	}
+
+	var full bool
+	switch *mode {
+	case "short":
+	case "full":
+		full = true
+	default:
+		fatal(fmt.Errorf("bad -mode %q: want short or full", *mode))
+	}
+	var filter *regexp.Regexp
+	if *runFilter != "" {
+		re, err := regexp.Compile(*runFilter)
+		if err != nil {
+			fatal(fmt.Errorf("bad -run: %w", err))
+		}
+		filter = re
+	}
+
+	logf := func(format string, args ...any) {
+		fmt.Fprintf(os.Stderr, format+"\n", args...)
+	}
+	results := bench.Run(specs, bench.RunOptions{Full: full, Filter: filter, Rounds: *rounds, Logf: logf})
+	report := &bench.Report{
+		Schema:    bench.SchemaVersion,
+		Mode:      *mode,
+		CreatedAt: time.Now().UTC().Format(time.RFC3339),
+		GitRev:    gitRev(),
+		Note:      *note,
+		Machine:   bench.HostMachine(),
+		Results:   results,
+	}
+	if *out == "" {
+		if err := bench.Encode(os.Stdout, report); err != nil {
+			fatal(err)
+		}
+		return
+	}
+	if err := bench.WriteFile(*out, report); err != nil {
+		fatal(err)
+	}
+	logf("wrote %s (%d results, mode=%s)", *out, len(results), *mode)
+}
+
+func runDiff(args []string, threshold float64) {
+	if len(args) != 2 {
+		fatal(fmt.Errorf("-diff wants exactly two files: benchrun -diff OLD.json NEW.json"))
+	}
+	oldRep, err := bench.ReadFile(args[0])
+	if err != nil {
+		fatal(err)
+	}
+	newRep, err := bench.ReadFile(args[1])
+	if err != nil {
+		fatal(err)
+	}
+	d := bench.Diff(oldRep, newRep, threshold)
+	d.Print(os.Stdout, threshold)
+	if !d.OK() {
+		os.Exit(1)
+	}
+}
+
+// gitRev returns the current commit (with a -dirty suffix when the
+// tree has local modifications), best-effort: a missing git binary or
+// a non-repo checkout leaves it empty rather than failing the run.
+func gitRev() string {
+	rev, err := exec.Command("git", "rev-parse", "--short=12", "HEAD").Output()
+	if err != nil {
+		return ""
+	}
+	out := strings.TrimSpace(string(rev))
+	if status, err := exec.Command("git", "status", "--porcelain").Output(); err == nil && len(status) > 0 {
+		out += "-dirty"
+	}
+	return out
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "benchrun:", err)
+	os.Exit(2)
+}

@@ -64,7 +64,15 @@ func main() {
 	mutateMaxW := flag.Int64("mutate-maxw", 50, "max weight for inserted/reweighted edges (weighted graphs)")
 	workers := flag.Int("workers", 0, "worker cap for the local -verify rebuild; must mirror the daemon's -workers so both sides build the same oracle (0 = the sequential reference build, matching a daemon without -workers/-parallel)")
 	timeout := flag.Duration("timeout", 120*time.Second, "build-wait timeout")
+	jsonOut := flag.Bool("json", false, "emit a machine-readable JSON summary on stdout (progress moves to stderr); the shape internal/bench and scripts consume")
 	flag.Parse()
+
+	if *jsonOut {
+		// Keep stdout pure JSON: everything human-facing goes to
+		// stderr so `loadgen -json | jq` and the bench harness can
+		// parse the summary without scraping.
+		progress = os.Stderr
+	}
 
 	if (*graphID == "") == (*gen == "") {
 		fatal(fmt.Errorf("give exactly one of -graph or -gen"))
@@ -115,7 +123,7 @@ func main() {
 				id, info.Dynamic.Generation, id))
 		}
 	}
-	fmt.Printf("graph %s: n=%d m=%d weighted=%v hopset=%d instances=%d (built in %dms)\n",
+	infof("graph %s: n=%d m=%d weighted=%v hopset=%d instances=%d (built in %dms)\n",
 		id, info.N, info.M, info.Weighted, info.HopsetEdges, info.Instances, info.BuildMS)
 
 	// Generate the spec graph once: the -verify replica and the
@@ -136,7 +144,7 @@ func main() {
 	}
 	var replica *spanhop.DynamicOracle
 	if *verify {
-		fmt.Printf("verify: rebuilding oracle locally (eps=%g seed=%d workers=%d)...\n", *eps, *seed, *workers)
+		infof("verify: rebuilding oracle locally (eps=%g seed=%d workers=%d)...\n", *eps, *seed, *workers)
 		var opt spanhop.OracleOptions
 		if *workers > 0 {
 			opt.Exec = spanhop.ParallelExec(*workers)
@@ -151,14 +159,16 @@ func main() {
 		}
 	}
 
+	mutations := 0
 	if *mutate > 0 {
-		verifiable, err := runMutations(client, *addr, id, specGraph, mutationConfig{
+		verifiable, total, err := runMutations(client, *addr, id, specGraph, mutationConfig{
 			seed: *seed, batches: *mutate, batchSize: *mutateBatch,
 			mix: *mutateMix, maxW: *mutateMaxW,
 		}, replica)
 		if err != nil {
 			fatal(err)
 		}
+		mutations = total
 		if !verifiable {
 			oracle = nil
 		}
@@ -263,18 +273,19 @@ func main() {
 		return samples[i].lat
 	}
 	total := len(samples) + errCount
-	fmt.Printf("\n%d queries (%s mix, %d workers) in %s: %.0f q/s, %d errors\n",
+	infof("\n%d queries (%s mix, %d workers) in %s: %.0f q/s, %d errors\n",
 		total, *mixName, *concurrency, elapsed.Round(time.Millisecond),
 		float64(len(samples))/elapsed.Seconds(), errCount)
-	fmt.Printf("client latency: p50=%s p95=%s p99=%s max=%s\n",
+	infof("client latency: p50=%s p95=%s p99=%s max=%s\n",
 		quant(0.50).Round(time.Microsecond), quant(0.95).Round(time.Microsecond),
 		quant(0.99).Round(time.Microsecond), quant(1).Round(time.Microsecond))
 	for _, e := range firstErrs {
-		fmt.Printf("  ! %s\n", e)
+		infof("  ! %s\n", e)
 	}
 
 	// Server-side counters: did the window actually coalesce, did the
 	// cache absorb the hot set?
+	var serverStats any
 	code, body, err := doJSON(client, "GET", *addr+"/stats", nil)
 	if err == nil && code == http.StatusOK {
 		var stats struct {
@@ -292,9 +303,28 @@ func main() {
 		}
 		if json.Unmarshal(body, &stats) == nil {
 			if g, ok := stats.Graphs[id]; ok {
-				fmt.Printf("server: %d requests, %d batches (mean size %.2f), %d cache hits, %d rejects, service p99=%dµs\n",
+				infof("server: %d requests, %d batches (mean size %.2f), %d cache hits, %d rejects, service p99=%dµs\n",
 					g.Requests, g.Batches, g.MeanBatchSize, g.CacheHits, g.Rejects, g.Latency.P99US)
+				serverStats = g
 			}
+		}
+	}
+
+	if *jsonOut {
+		sum := jsonSummary{
+			Graph: id, N: info.N, M: info.M, Mix: *mixName,
+			Concurrency: *concurrency, Requests: total, Errors: errCount,
+			ElapsedMS: float64(elapsed.Microseconds()) / 1000,
+			QPS:       float64(len(samples)) / elapsed.Seconds(),
+			P50US:     quant(0.50).Microseconds(), P95US: quant(0.95).Microseconds(),
+			P99US: quant(0.99).Microseconds(), MaxUS: quant(1).Microseconds(),
+			Verified: oracle != nil && mismatch == 0, Mismatches: mismatch,
+			Mutations: mutations, Server: serverStats,
+		}
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(sum); err != nil {
+			fatal(err)
 		}
 	}
 
@@ -302,7 +332,7 @@ func main() {
 		if mismatch > 0 {
 			fatal(fmt.Errorf("%d answers differed from the serial oracle", mismatch))
 		}
-		fmt.Printf("verify: all %d answers bit-identical to serial DistanceOracle.Query\n", len(samples))
+		infof("verify: all %d answers bit-identical to serial DistanceOracle.Query\n", len(samples))
 	}
 	if errCount > 0 {
 		os.Exit(1)
@@ -330,10 +360,10 @@ type mutationConfig struct {
 // order differs across swap points), so the replica's single-shot
 // materialization is not CSR-identical and the read phase must fall
 // back to unverified measurement.
-func runMutations(client *http.Client, addr, id string, g *graph.Graph, cfg mutationConfig, replica *spanhop.DynamicOracle) (bool, error) {
+func runMutations(client *http.Client, addr, id string, g *graph.Graph, cfg mutationConfig, replica *spanhop.DynamicOracle) (verifiable bool, total int, err error) {
 	mut, err := workload.NewMutator(g, cfg.mix, cfg.maxW, cfg.seed^0xD15EA5E)
 	if err != nil {
-		return false, err
+		return false, 0, err
 	}
 	dynOf := func() (*server.DynamicInfo, error) {
 		code, body, err := doJSON(client, "GET", addr+"/graphs/"+id, nil)
@@ -354,17 +384,16 @@ func runMutations(client *http.Client, addr, id string, g *graph.Graph, cfg muta
 	}
 	dyn, err := dynOf()
 	if err != nil {
-		return false, err
+		return false, total, err
 	}
 	lastGen := dyn.Generation
 
 	url := fmt.Sprintf("%s/graphs/%s/edges", addr, id)
-	total := 0
 	start := time.Now()
 	for b := 0; b < cfg.batches; b++ {
 		ups := mut.Batch(cfg.batchSize)
 		if len(ups) == 0 {
-			fmt.Printf("mutate: %s mix ran dry after %d batches\n", cfg.mix, b)
+			infof("mutate: %s mix ran dry after %d batches\n", cfg.mix, b)
 			break
 		}
 		wire := make([]map[string]any, len(ups))
@@ -376,34 +405,34 @@ func runMutations(client *http.Client, addr, id string, g *graph.Graph, cfg muta
 		}
 		code, body, err := doJSON(client, "POST", url, map[string]any{"updates": wire})
 		if err != nil {
-			return false, err
+			return false, total, err
 		}
 		if code != http.StatusOK {
-			return false, fmt.Errorf("POST /graphs/%s/edges: %d: %s", id, code, body)
+			return false, total, fmt.Errorf("POST /graphs/%s/edges: %d: %s", id, code, body)
 		}
 		var resp struct {
 			Applied    int    `json:"applied"`
 			Generation uint64 `json:"generation"`
 		}
 		if err := json.Unmarshal(body, &resp); err != nil {
-			return false, err
+			return false, total, err
 		}
 		if resp.Applied != len(ups) || resp.Generation != lastGen+uint64(len(ups)) {
-			return false, fmt.Errorf("batch %d: applied %d at generation %d, want %d at %d",
+			return false, total, fmt.Errorf("batch %d: applied %d at generation %d, want %d at %d",
 				b, resp.Applied, resp.Generation, len(ups), lastGen+uint64(len(ups)))
 		}
 		lastGen = resp.Generation
 		total += len(ups)
 		if replica != nil {
 			if _, err := replica.ApplyUpdates(ups); err != nil {
-				return false, fmt.Errorf("local replay: %w", err)
+				return false, total, fmt.Errorf("local replay: %w", err)
 			}
 		}
 	}
-	fmt.Printf("mutate: %d mutations in %d batches (%s mix) in %s; server generation %d\n",
+	infof("mutate: %d mutations in %d batches (%s mix) in %s; server generation %d\n",
 		total, cfg.batches, cfg.mix, time.Since(start).Round(time.Millisecond), lastGen)
 	if replica == nil {
-		return true, nil
+		return true, total, nil
 	}
 
 	// Overlay-phase spot check: only sound while the server has not
@@ -411,23 +440,23 @@ func runMutations(client *http.Client, addr, id string, g *graph.Graph, cfg muta
 	// will land from here on, so rebuild state is stable once idle).
 	dyn, err = dynOf()
 	if err != nil {
-		return false, err
+		return false, total, err
 	}
 	if dyn.Rebuilds > 0 || dyn.RebuildRunning {
 		// The server's policy rebuilt mid-phase: its oracle was
 		// materialized through an intermediate swap, which the
 		// single-shot replica cannot reproduce CSR-identically.
-		fmt.Println("mutate: server auto-rebuilt mid-phase; bit-exact verification disabled for this run (raise the daemon's rebuild thresholds or lower -mutate to restore it)")
-		return false, nil
+		infof("mutate: server auto-rebuilt mid-phase; bit-exact verification disabled for this run (raise the daemon's rebuild thresholds or lower -mutate to restore it)\n")
+		return false, total, nil
 	}
 	mix := workload.UniformMix(g.NumVertices(), cfg.seed^0x0fface)
 	for i := 0; i < 25; i++ {
 		p := mix.Next()
 		if err := verifyOne(client, addr, id, replica, p); err != nil {
-			return false, fmt.Errorf("overlay verify: %w", err)
+			return false, total, fmt.Errorf("overlay verify: %w", err)
 		}
 	}
-	fmt.Println("mutate: 25 overlay answers bit-identical to the local replica")
+	infof("mutate: 25 overlay answers bit-identical to the local replica\n")
 
 	// Force both sides to the same compacted generation for the read
 	// phase: the server folds its journal synchronously, the replica
@@ -435,16 +464,16 @@ func runMutations(client *http.Client, addr, id string, g *graph.Graph, cfg muta
 	// on the identical mutated graph and seed.
 	code, body, err := doJSON(client, "POST", addr+"/graphs/"+id+"/rebuild", nil)
 	if err != nil {
-		return false, err
+		return false, total, err
 	}
 	if code != http.StatusOK {
-		return false, fmt.Errorf("POST /graphs/%s/rebuild: %d: %s", id, code, body)
+		return false, total, fmt.Errorf("POST /graphs/%s/rebuild: %d: %s", id, code, body)
 	}
 	if err := replica.ForceRebuild(context.Background()); err != nil {
-		return false, err
+		return false, total, err
 	}
-	fmt.Println("mutate: server and replica rebuilt at the same generation")
-	return true, nil
+	infof("mutate: server and replica rebuilt at the same generation\n")
+	return true, total, nil
 }
 
 // verifyOne compares one server answer against the local reference.
@@ -534,4 +563,34 @@ func waitReady(client *http.Client, addr, id string, timeout time.Duration) serv
 func fatal(err error) {
 	fmt.Fprintln(os.Stderr, "loadgen:", err)
 	os.Exit(1)
+}
+
+// progress receives all human-facing output; -json redirects it to
+// stderr so stdout stays machine-readable.
+var progress io.Writer = os.Stdout
+
+func infof(format string, args ...any) {
+	fmt.Fprintf(progress, format, args...)
+}
+
+// jsonSummary is the -json stdout shape: client-side throughput and
+// latency plus the server's own counters, one object per run.
+type jsonSummary struct {
+	Graph       string  `json:"graph"`
+	N           int32   `json:"n"`
+	M           int64   `json:"m"`
+	Mix         string  `json:"mix"`
+	Concurrency int     `json:"concurrency"`
+	Requests    int     `json:"requests"`
+	Errors      int     `json:"errors"`
+	ElapsedMS   float64 `json:"elapsed_ms"`
+	QPS         float64 `json:"qps"`
+	P50US       int64   `json:"p50_us"`
+	P95US       int64   `json:"p95_us"`
+	P99US       int64   `json:"p99_us"`
+	MaxUS       int64   `json:"max_us"`
+	Verified    bool    `json:"verified"`
+	Mismatches  int     `json:"mismatches"`
+	Mutations   int     `json:"mutations,omitempty"`
+	Server      any     `json:"server,omitempty"`
 }

@@ -1,0 +1,169 @@
+// Package bench makes the repo's performance trajectory a checked-in
+// artifact. It runs a canonical benchmark suite (oracle build, batch
+// and dynamic-overlay queries, snapshot save/load, end-to-end serving
+// QPS/latency, and large-graph stress runs) on pinned graph specs and
+// emits a schema-versioned JSON report — the BENCH_<n>.json files at
+// the repo root. A comparator diffs two reports and flags >threshold
+// regressions, which is what the CI bench-gate job enforces.
+//
+// The package deliberately reuses testing.Benchmark so every suite
+// entry is an ordinary benchmark function: the same calibration,
+// timer, and allocation accounting as `go test -bench`, without the
+// test binary.
+package bench
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"runtime"
+	"strings"
+)
+
+// SchemaVersion identifies the BENCH_*.json layout. Decode rejects
+// any other version: trajectory files are compared across PRs, so a
+// silent schema drift would corrupt the history.
+const SchemaVersion = 1
+
+// Machine describes the host a report was produced on. Reports from
+// different machines are comparable only with a warning: absolute
+// numbers move with hardware, and the comparator says so.
+type Machine struct {
+	GoVersion  string `json:"go_version"`
+	GOOS       string `json:"goos"`
+	GOARCH     string `json:"goarch"`
+	NumCPU     int    `json:"num_cpu"`
+	GOMAXPROCS int    `json:"gomaxprocs"`
+	Hostname   string `json:"hostname,omitempty"`
+	CPUModel   string `json:"cpu_model,omitempty"`
+}
+
+// Result is one benchmark's outcome. Metrics carries the extra
+// b.ReportMetric values (QPS, latency quantiles in microseconds,
+// sizes); the three canonical costs get their own fields.
+type Result struct {
+	Name        string             `json:"name"`
+	Iterations  int                `json:"iterations"`
+	NsPerOp     float64            `json:"ns_per_op"`
+	BytesPerOp  int64              `json:"b_per_op"`
+	AllocsPerOp int64              `json:"allocs_per_op"`
+	Metrics     map[string]float64 `json:"metrics,omitempty"`
+}
+
+// Report is the schema-versioned content of a BENCH_<n>.json file.
+type Report struct {
+	Schema    int      `json:"schema"`
+	Mode      string   `json:"mode"` // "short" or "full"
+	CreatedAt string   `json:"created_at,omitempty"`
+	GitRev    string   `json:"git_rev,omitempty"`
+	Note      string   `json:"note,omitempty"`
+	Machine   Machine  `json:"machine"`
+	Results   []Result `json:"results"`
+}
+
+// HostMachine collects the current host's description.
+func HostMachine() Machine {
+	m := Machine{
+		GoVersion:  runtime.Version(),
+		GOOS:       runtime.GOOS,
+		GOARCH:     runtime.GOARCH,
+		NumCPU:     runtime.NumCPU(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+	}
+	if h, err := os.Hostname(); err == nil {
+		m.Hostname = h
+	}
+	m.CPUModel = cpuModel()
+	return m
+}
+
+// cpuModel extracts the CPU model string, best-effort (linux only;
+// empty elsewhere).
+func cpuModel() string {
+	f, err := os.Open("/proc/cpuinfo")
+	if err != nil {
+		return ""
+	}
+	defer f.Close()
+	sc := bufio.NewScanner(f)
+	for sc.Scan() {
+		line := sc.Text()
+		if strings.HasPrefix(line, "model name") {
+			if _, after, ok := strings.Cut(line, ":"); ok {
+				return strings.TrimSpace(after)
+			}
+		}
+	}
+	return ""
+}
+
+// Encode writes r as indented JSON (stable field order, trailing
+// newline): the diff-friendly shape for a file that lives in git.
+func Encode(w io.Writer, r *Report) error {
+	if r.Schema != SchemaVersion {
+		return fmt.Errorf("bench: encoding schema %d, this build writes %d", r.Schema, SchemaVersion)
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}
+
+// Decode reads a report and validates its schema version and basic
+// shape. Unknown schema versions are an error, not a guess.
+func Decode(r io.Reader) (*Report, error) {
+	dec := json.NewDecoder(r)
+	var rep Report
+	if err := dec.Decode(&rep); err != nil {
+		return nil, fmt.Errorf("bench: decode: %w", err)
+	}
+	if rep.Schema != SchemaVersion {
+		return nil, fmt.Errorf("bench: unsupported schema version %d (this build reads %d)", rep.Schema, SchemaVersion)
+	}
+	seen := make(map[string]struct{}, len(rep.Results))
+	for i, res := range rep.Results {
+		if res.Name == "" {
+			return nil, fmt.Errorf("bench: result %d has no name", i)
+		}
+		if _, dup := seen[res.Name]; dup {
+			return nil, fmt.Errorf("bench: duplicate result %q", res.Name)
+		}
+		seen[res.Name] = struct{}{}
+	}
+	return &rep, nil
+}
+
+// ReadFile decodes the report at path.
+func ReadFile(path string) (*Report, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	rep, err := Decode(f)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return rep, nil
+}
+
+// WriteFile encodes the report to path atomically (tmp + rename), so
+// an interrupted run never leaves a torn trajectory file.
+func WriteFile(path string, r *Report) error {
+	tmp := path + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return err
+	}
+	if err := Encode(f, r); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	return os.Rename(tmp, path)
+}

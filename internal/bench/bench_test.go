@@ -1,0 +1,341 @@
+package bench
+
+import (
+	"bytes"
+	"regexp"
+	"strings"
+	"testing"
+	"time"
+)
+
+func sampleReport() *Report {
+	return &Report{
+		Schema:    SchemaVersion,
+		Mode:      "full",
+		CreatedAt: "2026-08-08T12:00:00Z",
+		GitRev:    "abcdef123456",
+		Note:      "trajectory point six",
+		Machine: Machine{
+			GoVersion: "go1.24.0", GOOS: "linux", GOARCH: "amd64",
+			NumCPU: 8, GOMAXPROCS: 8, Hostname: "host", CPUModel: "model",
+		},
+		Results: []Result{
+			{Name: "build/grid", Iterations: 10, NsPerOp: 1e8, BytesPerOp: 1 << 20, AllocsPerOp: 4096},
+			{Name: "serve/e2e", Iterations: 1, NsPerOp: 5e9,
+				Metrics: map[string]float64{"qps": 1000, "p50_us": 200, "p99_us": 900}},
+		},
+	}
+}
+
+func TestCodecRoundTrip(t *testing.T) {
+	rep := sampleReport()
+	var buf bytes.Buffer
+	if err := Encode(&buf, rep); err != nil {
+		t.Fatal(err)
+	}
+	back, err := Decode(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Schema != rep.Schema || back.Mode != rep.Mode || back.GitRev != rep.GitRev ||
+		back.Machine != rep.Machine || len(back.Results) != len(rep.Results) {
+		t.Fatalf("round trip changed the report: %+v", back)
+	}
+	for i := range rep.Results {
+		want, got := rep.Results[i], back.Results[i]
+		if want.Name != got.Name || want.NsPerOp != got.NsPerOp ||
+			want.BytesPerOp != got.BytesPerOp || want.AllocsPerOp != got.AllocsPerOp {
+			t.Fatalf("result %d changed: want %+v got %+v", i, want, got)
+		}
+		for k, v := range want.Metrics {
+			if got.Metrics[k] != v {
+				t.Fatalf("metric %s changed: %v -> %v", k, v, got.Metrics[k])
+			}
+		}
+	}
+}
+
+func TestDecodeRejectsWrongSchema(t *testing.T) {
+	for _, schema := range []string{"0", "2", "99"} {
+		in := `{"schema": ` + schema + `, "mode": "short", "machine": {}, "results": []}`
+		if _, err := Decode(strings.NewReader(in)); err == nil {
+			t.Fatalf("schema %s accepted, want rejection", schema)
+		} else if !strings.Contains(err.Error(), "unsupported schema") {
+			t.Fatalf("schema %s: error %q, want unsupported-schema", schema, err)
+		}
+	}
+}
+
+func TestDecodeRejectsMalformedResults(t *testing.T) {
+	cases := []struct{ name, in, wantErr string }{
+		{"garbage", "not json", "decode"},
+		{"unnamed result", `{"schema":1,"results":[{"ns_per_op":1}]}`, "no name"},
+		{"duplicate result", `{"schema":1,"results":[{"name":"a"},{"name":"a"}]}`, "duplicate result"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := Decode(strings.NewReader(tc.in))
+			if err == nil || !strings.Contains(err.Error(), tc.wantErr) {
+				t.Fatalf("error %v, want %q", err, tc.wantErr)
+			}
+		})
+	}
+}
+
+func TestEncodeRejectsForeignSchema(t *testing.T) {
+	rep := sampleReport()
+	rep.Schema = 7
+	if err := Encode(&bytes.Buffer{}, rep); err == nil {
+		t.Fatal("encoding schema 7 succeeded, want error")
+	}
+}
+
+func TestWriteReadFile(t *testing.T) {
+	path := t.TempDir() + "/BENCH_test.json"
+	if err := WriteFile(path, sampleReport()); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Note != "trajectory point six" {
+		t.Fatalf("note lost: %q", back.Note)
+	}
+}
+
+// diffReports builds an old/new pair where the new report's ns/op on
+// bench "b" is scaled by factor.
+func diffReports(factor float64) (*Report, *Report) {
+	old := &Report{Schema: SchemaVersion, Results: []Result{
+		{Name: "b", NsPerOp: 1000, BytesPerOp: 100, AllocsPerOp: 10},
+	}}
+	new := &Report{Schema: SchemaVersion, Results: []Result{
+		{Name: "b", NsPerOp: 1000 * factor, BytesPerOp: 100, AllocsPerOp: 10},
+	}}
+	return old, new
+}
+
+func TestDiffFlagsRegression(t *testing.T) {
+	old, new := diffReports(1.25)
+	d := Diff(old, new, DefaultThreshold)
+	if d.OK() || len(d.Regressions) != 1 {
+		t.Fatalf("25%% slower not flagged: %+v", d)
+	}
+	r := d.Regressions[0]
+	if r.Bench != "b" || r.Metric != "ns/op" || r.Change < 0.24 || r.Change > 0.26 {
+		t.Fatalf("bad regression record: %+v", r)
+	}
+}
+
+func TestDiffExactlyThresholdPasses(t *testing.T) {
+	// The gate is ">10%", not "≥10%": exactly 10% worse must pass.
+	old, new := diffReports(1.10)
+	if d := Diff(old, new, 0.10); !d.OK() {
+		t.Fatalf("exactly-10%% change flagged as regression: %+v", d.Regressions)
+	}
+	// And epsilon beyond must fail.
+	old, new = diffReports(1.101)
+	if d := Diff(old, new, 0.10); d.OK() {
+		t.Fatal("10.1% change passed the 10% gate")
+	}
+}
+
+func TestDiffImprovementNeverFatal(t *testing.T) {
+	old, new := diffReports(0.5)
+	d := Diff(old, new, DefaultThreshold)
+	if !d.OK() {
+		t.Fatalf("improvement failed the gate: %+v", d.Regressions)
+	}
+	if len(d.Improvements) != 1 {
+		t.Fatalf("2x speedup not reported as improvement: %+v", d)
+	}
+}
+
+func TestDiffHigherBetterMetrics(t *testing.T) {
+	old := &Report{Schema: SchemaVersion, Results: []Result{
+		{Name: "serve", Metrics: map[string]float64{"qps": 1000, "p99_us": 500}},
+	}}
+	new := &Report{Schema: SchemaVersion, Results: []Result{
+		{Name: "serve", Metrics: map[string]float64{"qps": 800, "p99_us": 500}},
+	}}
+	d := Diff(old, new, 0.10)
+	if d.OK() || len(d.Regressions) != 1 || d.Regressions[0].Metric != "qps" {
+		t.Fatalf("20%% qps drop not flagged: %+v", d)
+	}
+	// Latency quantiles are lower-better.
+	new.Results[0].Metrics = map[string]float64{"qps": 1000, "p99_us": 700}
+	d = Diff(old, new, 0.10)
+	if d.OK() || len(d.Regressions) != 1 || d.Regressions[0].Metric != "p99_us" {
+		t.Fatalf("40%% p99 growth not flagged: %+v", d)
+	}
+}
+
+func TestDiffMissingBenchmarks(t *testing.T) {
+	old := &Report{Schema: SchemaVersion, Results: []Result{
+		{Name: "kept", NsPerOp: 100}, {Name: "dropped", NsPerOp: 100},
+	}}
+	new := &Report{Schema: SchemaVersion, Results: []Result{
+		{Name: "kept", NsPerOp: 100}, {Name: "added", NsPerOp: 100},
+	}}
+	d := Diff(old, new, 0.10)
+	// A benchmark missing from the NEW report is lost coverage: fatal.
+	if d.OK() {
+		t.Fatal("dropped benchmark passed the gate")
+	}
+	if len(d.MissingInNew) != 1 || d.MissingInNew[0] != "dropped" {
+		t.Fatalf("MissingInNew = %v", d.MissingInNew)
+	}
+	// A benchmark missing from the OLD report is new coverage: fine.
+	if len(d.MissingInOld) != 1 || d.MissingInOld[0] != "added" {
+		t.Fatalf("MissingInOld = %v", d.MissingInOld)
+	}
+	if len(d.Regressions) != 0 {
+		t.Fatalf("missing baselines produced metric regressions: %+v", d.Regressions)
+	}
+}
+
+func TestDiffSkipsZeroAndUnknownMetrics(t *testing.T) {
+	old := &Report{Schema: SchemaVersion, Results: []Result{
+		// Zero alloc columns (OmitAllocs) and an unknown-direction
+		// metric must not gate.
+		{Name: "b", NsPerOp: 100, Metrics: map[string]float64{"spanner_edges": 10}},
+	}}
+	new := &Report{Schema: SchemaVersion, Results: []Result{
+		{Name: "b", NsPerOp: 100, BytesPerOp: 4096, AllocsPerOp: 100,
+			Metrics: map[string]float64{"spanner_edges": 500}},
+	}}
+	if d := Diff(old, new, 0.10); !d.OK() {
+		t.Fatalf("zero/unknown metrics gated: %+v", d.Regressions)
+	}
+}
+
+func TestDiffMachineMismatchWarns(t *testing.T) {
+	old, new := diffReports(1.0)
+	old.Machine = Machine{Hostname: "a"}
+	new.Machine = Machine{Hostname: "b"}
+	d := Diff(old, new, 0.10)
+	if !d.MachineMismatch {
+		t.Fatal("different machines not flagged")
+	}
+	if !d.OK() {
+		t.Fatal("machine mismatch alone must not fail the gate")
+	}
+	var buf bytes.Buffer
+	d.Print(&buf, 0.10)
+	if !strings.Contains(buf.String(), "different machines") {
+		t.Fatalf("Print output missing machine warning: %s", buf.String())
+	}
+}
+
+// TestSuiteShortModeRuns exercises the runner end-to-end on the two
+// cheapest suite entries so CI catches suite bit-rot without paying
+// for a full run.
+func TestSuiteShortModeRuns(t *testing.T) {
+	if testing.Short() {
+		t.Skip("suite execution is itself a benchmark run")
+	}
+	specs := Suite()
+	results := Run(specs, RunOptions{
+		Filter: regexp.MustCompile(`^dynamic/clean$|^snapshot/save`),
+		Logf:   t.Logf,
+	})
+	if len(results) != 2 {
+		t.Fatalf("got %d results, want 2", len(results))
+	}
+	for _, r := range results {
+		if r.Iterations == 0 || r.NsPerOp <= 0 {
+			t.Fatalf("result %q did not run: %+v", r.Name, r)
+		}
+	}
+	if results[1].Metrics["snapshot_bytes"] <= 0 {
+		t.Fatalf("snapshot_bytes metric missing: %+v", results[1])
+	}
+}
+
+// TestSuiteNamesUniqueAndStressMarked guards the trajectory contract:
+// names are unique (the codec rejects duplicates) and every stress
+// entry is full-only.
+func TestSuiteNamesUniqueAndStressMarked(t *testing.T) {
+	seen := map[string]bool{}
+	for _, s := range Suite() {
+		if seen[s.Name] {
+			t.Fatalf("duplicate suite name %q", s.Name)
+		}
+		seen[s.Name] = true
+		if strings.HasPrefix(s.Name, "stress/") && !s.FullOnly {
+			t.Fatalf("stress entry %q must be FullOnly", s.Name)
+		}
+		if !strings.HasPrefix(s.Name, "stress/") && s.FullOnly {
+			t.Fatalf("non-stress entry %q marked FullOnly", s.Name)
+		}
+	}
+}
+
+// TestDiffShortVsFullModeSkipsStress: CI diffs a short-mode candidate
+// against the committed full-mode trajectory point; the stress
+// entries are absent by design, not lost coverage.
+func TestDiffShortVsFullModeSkipsStress(t *testing.T) {
+	old := &Report{Schema: SchemaVersion, Mode: "full", Results: []Result{
+		{Name: "dynamic/clean", NsPerOp: 100},
+		{Name: "stress/rmat22-spanner", NsPerOp: 1e10},
+	}}
+	new := &Report{Schema: SchemaVersion, Mode: "short", Results: []Result{
+		{Name: "dynamic/clean", NsPerOp: 100},
+	}}
+	if d := Diff(old, new, 0.10); !d.OK() {
+		t.Fatalf("short-vs-full diff failed on absent stress entries: %+v", d.MissingInNew)
+	}
+	// But a genuinely dropped short-mode benchmark still fails.
+	old.Results = append(old.Results, Result{Name: "dynamic/improving-8-inserts", NsPerOp: 100})
+	if d := Diff(old, new, 0.10); d.OK() {
+		t.Fatal("dropped short-mode benchmark passed the short-vs-full gate")
+	}
+}
+
+// TestRunRoundsKeepsBestSample: with Rounds=3 the runner re-samples
+// each benchmark and keeps the lowest-ns/op round; FullOnly (stress)
+// entries run exactly once regardless.
+func TestRunRoundsKeepsBestSample(t *testing.T) {
+	// Each invocation sleeps past the 1s benchtime at N=1, so
+	// testing.Benchmark never re-calibrates: one invocation == one
+	// round, and the invocation counters count rounds exactly.
+	sleepWholeBudget := func(b *testing.B, total time.Duration) {
+		per := total / time.Duration(b.N)
+		for i := 0; i < b.N; i++ {
+			time.Sleep(per)
+		}
+	}
+	var cheapRuns, stressRuns int
+	specs := []Spec{
+		{Name: "cheap", Run: func(b *testing.B) {
+			cheapRuns++
+			// The first round is artificially slow; min-of-N must
+			// discard it.
+			if cheapRuns == 1 {
+				sleepWholeBudget(b, 1600*time.Millisecond)
+			} else {
+				sleepWholeBudget(b, 1050*time.Millisecond)
+			}
+		}},
+		{Name: "stress/only-once", FullOnly: true, Run: func(b *testing.B) {
+			stressRuns++
+			sleepWholeBudget(b, 1050*time.Millisecond)
+		}},
+	}
+	results := Run(specs, RunOptions{Full: true, Rounds: 3})
+	if cheapRuns != 3 {
+		t.Fatalf("cheap benchmark sampled %d times, want 3", cheapRuns)
+	}
+	if stressRuns != 1 {
+		t.Fatalf("stress benchmark sampled %d times, want 1", stressRuns)
+	}
+	if len(results) != 2 {
+		t.Fatalf("got %d results, want 2", len(results))
+	}
+	// A 1.6s first round vs 1.05s later rounds: the kept sample must
+	// come from a fast round.
+	if results[0].NsPerOp >= float64(1400*time.Millisecond) {
+		t.Fatalf("kept the slow round: %.0f ns/op", results[0].NsPerOp)
+	}
+}

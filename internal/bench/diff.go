@@ -1,0 +1,177 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+// DefaultThreshold is the relative change above which a cost metric
+// counts as a regression: the CI gate's 10%.
+const DefaultThreshold = 0.10
+
+// Regression is one metric of one benchmark that got worse by more
+// than the threshold.
+type Regression struct {
+	Bench  string  `json:"bench"`
+	Metric string  `json:"metric"`
+	Old    float64 `json:"old"`
+	New    float64 `json:"new"`
+	// Change is the relative change in the "badness" direction:
+	// +0.25 means 25% worse, regardless of whether the metric is
+	// lower-better (ns/op) or higher-better (qps).
+	Change float64 `json:"change"`
+}
+
+// DiffResult is the full comparison of two reports.
+type DiffResult struct {
+	Regressions []Regression
+	// Improvements lists metrics that got better by more than the
+	// threshold — informational, never fatal.
+	Improvements []Regression
+	// MissingInOld names benchmarks present only in the new report
+	// (new coverage: informational).
+	MissingInOld []string
+	// MissingInNew names benchmarks present only in the old report
+	// (lost coverage: a regression of the suite itself).
+	MissingInNew []string
+	// MachineMismatch is set when the two reports come from different
+	// hosts; absolute comparisons are then only indicative.
+	MachineMismatch bool
+}
+
+// OK reports whether the gate passes: no metric regressions and no
+// lost benchmarks.
+func (d *DiffResult) OK() bool {
+	return len(d.Regressions) == 0 && len(d.MissingInNew) == 0
+}
+
+// higherBetter classifies a metric's direction. The canonical costs
+// (ns/op, B/op, allocs/op) and latency quantiles are lower-better;
+// throughput is higher-better. Metrics with no known direction
+// (experiment sizes, work/depth counters) are not gated — they
+// describe the workload, not its cost.
+func higherBetter(metric string) (dir int) {
+	switch {
+	case metric == "qps" || strings.HasSuffix(metric, "_per_sec"):
+		return +1
+	case metric == "ns/op" || metric == "b/op" || metric == "allocs/op":
+		return -1
+	case strings.HasSuffix(metric, "_us") || strings.HasSuffix(metric, "_ns") || strings.HasSuffix(metric, "_ms"):
+		return -1
+	default:
+		return 0
+	}
+}
+
+// Diff compares two reports. A cost metric regresses when it is
+// strictly more than threshold worse than the old value (exactly
+// threshold is allowed: the gate is ">10%", not "≥10%").
+func Diff(old, new *Report, threshold float64) *DiffResult {
+	d := &DiffResult{}
+	if old.Machine != new.Machine {
+		d.MachineMismatch = true
+	}
+	oldBy := make(map[string]Result, len(old.Results))
+	for _, r := range old.Results {
+		oldBy[r.Name] = r
+	}
+	newNames := make(map[string]struct{}, len(new.Results))
+
+	for _, nr := range new.Results {
+		newNames[nr.Name] = struct{}{}
+		or, ok := oldBy[nr.Name]
+		if !ok {
+			d.MissingInOld = append(d.MissingInOld, nr.Name)
+			continue
+		}
+		compare := func(metric string, ov, nv float64, dir int) {
+			if dir == 0 || ov == 0 || nv == 0 {
+				// Unknown direction, or one side never measured the
+				// metric (e.g. allocs omitted): nothing to gate.
+				return
+			}
+			var change float64
+			if dir < 0 {
+				change = nv/ov - 1 // lower-better: growth is bad
+			} else {
+				change = ov/nv - 1 // higher-better: shrinkage is bad
+			}
+			// A hair of float slack so a change of exactly the
+			// threshold (10% = 1100/1000-1, which rounds to just above
+			// 0.10 in binary) stays on the passing side of ">10%".
+			const slack = 1e-9
+			reg := Regression{Bench: nr.Name, Metric: metric, Old: ov, New: nv, Change: change}
+			if change > threshold+slack {
+				d.Regressions = append(d.Regressions, reg)
+			} else if change < -threshold-slack {
+				d.Improvements = append(d.Improvements, reg)
+			}
+		}
+		compare("ns/op", or.NsPerOp, nr.NsPerOp, -1)
+		compare("b/op", float64(or.BytesPerOp), float64(nr.BytesPerOp), -1)
+		compare("allocs/op", float64(or.AllocsPerOp), float64(nr.AllocsPerOp), -1)
+		for _, k := range sortedKeys(nr.Metrics) {
+			ov, ok := or.Metrics[k]
+			if !ok {
+				continue
+			}
+			compare(k, ov, nr.Metrics[k], higherBetter(k))
+		}
+	}
+	// A benchmark present in old but not new is lost coverage — except
+	// when the old report is a full-mode trajectory point and the new
+	// one is a short-mode CI run: the stress entries are then absent
+	// by design, not dropped.
+	var fullOnly map[string]bool
+	if old.Mode == "full" && new.Mode == "short" {
+		fullOnly = make(map[string]bool)
+		for _, s := range Suite() {
+			if s.FullOnly {
+				fullOnly[s.Name] = true
+			}
+		}
+	}
+	for _, or := range old.Results {
+		if _, ok := newNames[or.Name]; !ok && !fullOnly[or.Name] {
+			d.MissingInNew = append(d.MissingInNew, or.Name)
+		}
+	}
+	sort.Slice(d.Regressions, func(i, j int) bool { return d.Regressions[i].Change > d.Regressions[j].Change })
+	sort.Slice(d.Improvements, func(i, j int) bool { return d.Improvements[i].Change < d.Improvements[j].Change })
+	return d
+}
+
+// Print renders the diff in a human-readable form.
+func (d *DiffResult) Print(w io.Writer, threshold float64) {
+	if d.MachineMismatch {
+		fmt.Fprintf(w, "WARNING: reports come from different machines; absolute comparisons are indicative only\n")
+	}
+	for _, name := range d.MissingInNew {
+		fmt.Fprintf(w, "MISSING  %s: benchmark disappeared from the new report\n", name)
+	}
+	for _, r := range d.Regressions {
+		fmt.Fprintf(w, "WORSE    %s %s: %.4g -> %.4g (%+.1f%%, threshold %.0f%%)\n",
+			r.Bench, r.Metric, r.Old, r.New, 100*r.Change, 100*threshold)
+	}
+	for _, r := range d.Improvements {
+		fmt.Fprintf(w, "BETTER   %s %s: %.4g -> %.4g (%.1f%%)\n",
+			r.Bench, r.Metric, r.Old, r.New, 100*r.Change)
+	}
+	for _, name := range d.MissingInOld {
+		fmt.Fprintf(w, "NEW      %s: no baseline in the old report\n", name)
+	}
+	if d.OK() {
+		fmt.Fprintf(w, "OK: no metric worse than %.0f%%\n", 100*threshold)
+	}
+}
+
+func sortedKeys(m map[string]float64) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}

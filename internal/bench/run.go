@@ -1,0 +1,120 @@
+package bench
+
+import (
+	"fmt"
+	"regexp"
+	"testing"
+	"time"
+)
+
+// Spec is one entry of the canonical suite: a named benchmark
+// function in the standard testing.B shape.
+type Spec struct {
+	Name string
+	// FullOnly marks the large-graph stress entries that short mode
+	// (CI) skips.
+	FullOnly bool
+	// OmitAllocs zeroes the allocation columns in the emitted result.
+	// The end-to-end serving benchmarks allocate in the kernel's and
+	// net/http's buffers, which jitter run-to-run; gating on them
+	// would make the CI comparator flap without measuring anything
+	// the repo controls.
+	OmitAllocs bool
+	Run        func(b *testing.B)
+}
+
+// RunOptions configures a suite run.
+type RunOptions struct {
+	// Full includes the FullOnly stress entries.
+	Full bool
+	// Filter, when non-nil, limits the run to matching spec names.
+	Filter *regexp.Regexp
+	// Rounds is the number of independent samples per benchmark; the
+	// emitted result is the round with the lowest ns/op (min-of-N, the
+	// usual anti-noise statistic for regression gates: scheduler and GC
+	// interference only ever adds time, so the minimum is the best
+	// estimate of the code's true cost). 0 or 1 = a single sample. The
+	// FullOnly stress entries always run a single round — they are
+	// multi-second per op and absent from the CI gate's short mode.
+	Rounds int
+	// Logf receives progress lines (nil = silent).
+	Logf func(format string, args ...any)
+}
+
+// Run executes the specs and returns their results in suite order.
+func Run(specs []Spec, opt RunOptions) []Result {
+	logf := opt.Logf
+	if logf == nil {
+		logf = func(string, ...any) {}
+	}
+	var out []Result
+	for _, s := range specs {
+		if s.FullOnly && !opt.Full {
+			continue
+		}
+		if opt.Filter != nil && !opt.Filter.MatchString(s.Name) {
+			continue
+		}
+		rounds := opt.Rounds
+		if rounds < 1 || s.FullOnly {
+			rounds = 1
+		}
+		logf("running %s ...", s.Name)
+		br := testing.Benchmark(s.Run)
+		for r := 1; r < rounds; r++ {
+			if next := testing.Benchmark(s.Run); betterSample(next, br) {
+				br = next
+			}
+		}
+		if br.N == 0 {
+			// testing.Benchmark returns a zero result if the function
+			// failed (b.Fatal/b.Error) — surface it instead of writing
+			// a zero row that would read as "infinitely fast".
+			logf("  %s FAILED (benchmark aborted)", s.Name)
+			out = append(out, Result{Name: s.Name})
+			continue
+		}
+		res := Result{
+			Name:        s.Name,
+			Iterations:  br.N,
+			NsPerOp:     float64(br.T.Nanoseconds()) / float64(br.N),
+			BytesPerOp:  br.AllocedBytesPerOp(),
+			AllocsPerOp: br.AllocsPerOp(),
+		}
+		if len(br.Extra) > 0 {
+			res.Metrics = make(map[string]float64, len(br.Extra))
+			for k, v := range br.Extra {
+				res.Metrics[k] = v
+			}
+		}
+		if s.OmitAllocs {
+			res.BytesPerOp, res.AllocsPerOp = 0, 0
+		}
+		logf("  %s: n=%d %s/op%s", s.Name, res.Iterations,
+			time.Duration(res.NsPerOp).Round(time.Microsecond), metricSummary(res.Metrics))
+		out = append(out, res)
+	}
+	return out
+}
+
+// betterSample reports whether a is a lower-ns/op sample than b. The
+// whole winning round is kept as one coherent row (its alloc columns
+// and reported metrics belong to the same execution), so a round that
+// aborted (N == 0) never wins over one that ran.
+func betterSample(a, b testing.BenchmarkResult) bool {
+	if a.N == 0 || b.N == 0 {
+		return b.N == 0 && a.N > 0
+	}
+	return a.NsPerOp() < b.NsPerOp()
+}
+
+func metricSummary(m map[string]float64) string {
+	if len(m) == 0 {
+		return ""
+	}
+	s := ""
+	for _, k := range sortedKeys(m) {
+		s += fmt.Sprintf(" %s=%.4g", k, m[k])
+	}
+	return s
+}

@@ -156,9 +156,9 @@ func WriteBinary(w io.Writer, g *Graph) error {
 	return bw.Flush()
 }
 
-// ReadAuto sniffs the format (binary magic vs. text header) and
-// dispatches to ReadBinary or ReadText, so every tool accepts either
-// interchange format from one flag.
+// ReadAuto sniffs the format (binary magic, text header, or DIMACS
+// line types) and dispatches to ReadBinary, ReadText, or ReadDIMACS,
+// so every tool accepts any interchange format from one flag.
 func ReadAuto(r io.Reader) (*Graph, error) {
 	br := bufio.NewReader(r)
 	head, err := br.Peek(4)
@@ -169,6 +169,12 @@ func ReadAuto(r io.Reader) (*Graph, error) {
 	}
 	if binary.LittleEndian.Uint32(head) == binaryMagic {
 		return ReadBinary(br)
+	}
+	// DIMACS .gr files open with a comment ("c ...") or the problem
+	// line ("p sp ..."); the text format's first byte is the 's' of
+	// its magic and the binary magic was ruled out above.
+	if len(head) >= 2 && (head[0] == 'c' || head[0] == 'p') && (head[1] == ' ' || head[1] == '\n' || head[1] == '\r' || head[1] == '\t') {
+		return ReadDIMACS(br)
 	}
 	return ReadText(br)
 }

@@ -1,0 +1,50 @@
+#!/usr/bin/env bash
+# Produce the next BENCH_<n>.json trajectory point: run the canonical
+# benchmark suite (full mode by default, including the rmat scale-22
+# and DIMACS road stress graphs) and write the report next to the
+# previous ones at the repo root, then diff against the latest
+# committed point so a regression is visible at creation time (the
+# diff is informational here; CI's bench-gate is what enforces it).
+#
+# Usage:
+#	scripts/bench.sh                 # full suite -> BENCH_<n+1>.json
+#	BENCH_MODE=short scripts/bench.sh  # CI-shaped quick run
+#	BENCH_RUN='^build/' scripts/bench.sh  # subset (still writes a file)
+#	BENCH_ROUNDS=1 scripts/bench.sh  # single-sample (default: min of 3)
+set -Eeuo pipefail
+
+STAGE="startup"
+stage() { STAGE="$*"; echo "== $STAGE"; }
+trap 'code=$?; echo "bench.sh: FAILED during stage \"$STAGE\" (exit $code)" >&2' ERR
+
+cd "$(dirname "$0")/.."
+MODE="${BENCH_MODE:-full}"
+RUN="${BENCH_RUN:-}"
+ROUNDS="${BENCH_ROUNDS:-3}"
+
+stage "pick the next trajectory number"
+# The ls fails (under pipefail) when no point exists yet: that is the
+# n=0 case, not an error.
+LAST=$( { ls BENCH_*.json 2>/dev/null || true; } | sed -n 's/^BENCH_\([0-9]*\)\.json$/\1/p' | sort -n | tail -1)
+NEXT=$(( ${LAST:-0} + 1 ))
+OUT="BENCH_${NEXT}.json"
+echo "previous point: ${LAST:-none}; writing $OUT (mode=$MODE)"
+
+stage "build benchrun"
+DIR="$(mktemp -d)"
+trap 'rm -rf "$DIR"' EXIT
+go build -o "$DIR/benchrun" ./cmd/benchrun
+
+stage "run the $MODE suite"
+ARGS=(-mode "$MODE" -rounds "$ROUNDS" -out "$OUT")
+if [ -n "$RUN" ]; then ARGS+=(-run "$RUN"); fi
+"$DIR/benchrun" "${ARGS[@]}"
+
+if [ -n "$LAST" ]; then
+    stage "diff against BENCH_${LAST}.json (informational)"
+    "$DIR/benchrun" -diff "BENCH_${LAST}.json" "$OUT" || \
+        echo "bench.sh: NOTE: regressions against BENCH_${LAST}.json — see above"
+fi
+
+stage "done"
+echo "wrote $OUT"

@@ -10,7 +10,9 @@
 # the change, restart once more, and verify the mutation journal
 # replays from the snapshot. CI runs this; it also works standalone
 # from the repo root.
-set -euo pipefail
+# -E so the ERR trap fires inside functions too; pipefail so a
+# failing benchmark/loadgen stage is not masked by the pipe it feeds.
+set -Eeuo pipefail
 
 ADDR="127.0.0.1:${SMOKE_PORT:-8095}"
 DIR="$(mktemp -d)"
@@ -18,10 +20,17 @@ SNAPDIR="$DIR/snapshots"
 DAEMON_PID=""
 trap 'kill "$DAEMON_PID" 2>/dev/null || true; rm -rf "$DIR"' EXIT
 
-echo "== build binaries (-race)"
+# Stage tracking: every phase announces itself through stage(), and
+# the ERR trap names the phase that failed so a red CI run is
+# attributable from the last log line alone.
+STAGE="startup"
+stage() { STAGE="$*"; echo "== $STAGE"; }
+trap 'code=$?; echo "smoke.sh: FAILED during stage \"$STAGE\" (exit $code)" >&2' ERR
+
+stage "build binaries (-race)"
 go build -race -o "$DIR/bin/" ./cmd/...
 
-echo "== generate a small weighted grid (binary format)"
+stage "generate a small weighted grid (binary format)"
 "$DIR/bin/gengraph" -family grid -rows 15 -cols 15 -weights uniform -maxw 20 \
     -format binary -out "$DIR/grid.bin"
 
@@ -42,14 +51,14 @@ wait_healthz() {
     echo "spanhopd never became healthy"; exit 1
 }
 
-echo "== start spanhopd (snapshot persistence on)"
+stage "start spanhopd (snapshot persistence on)"
 start_daemon "$DIR/spanhopd.log"
 
-echo "== wait for /healthz"
+stage "wait for /healthz"
 wait_healthz "$DIR/spanhopd.log"
 curl -fsS "http://$ADDR/healthz"; echo
 
-echo "== wait for the preloaded graph build"
+stage "wait for the preloaded graph build"
 for i in $(seq 1 150); do
     STATE=$(curl -fsS "http://$ADDR/graphs/grid" | sed -n 's/.*"state":"\([a-z]*\)".*/\1/p')
     [ "$STATE" = "ready" ] && break
@@ -60,38 +69,38 @@ for i in $(seq 1 150); do
 done
 [ "$STATE" = "ready" ] || { echo "graph never became ready"; exit 1; }
 
-echo "== single query via curl"
+stage "single query via curl"
 OUT=$(curl -fsS -X POST "http://$ADDR/graphs/grid/query" -d '{"s":0,"t":224}')
 echo "$OUT"
 echo "$OUT" | grep -q '"dist":' || { echo "query response missing dist"; exit 1; }
 COLD_DIST=$(echo "$OUT" | sed -n 's/.*"dist":\([0-9]*\).*/\1/p')
 
-echo "== loadgen with bit-exact verification"
+stage "loadgen with bit-exact verification"
 "$DIR/bin/loadgen" -addr "http://$ADDR" -gen "er:n=512,d=6,w=uniform,maxw=30" \
     -mix hotspot -concurrency 8 -requests 400 -verify
 
-echo "== loadgen mutation traffic: mutate, verify overlay + rebuilt answers"
+stage "loadgen mutation traffic: mutate, verify overlay + rebuilt answers"
 "$DIR/bin/loadgen" -addr "http://$ADDR" -gen "er:n=512,d=6,w=uniform,maxw=30" \
     -mix uniform -concurrency 8 -requests 200 \
     -mutate 5 -mutate-batch 3 -mutate-mix churn -verify
 
-echo "== /stats"
+stage "/stats"
 STATS=$(curl -fsS "http://$ADDR/stats")
 echo "$STATS"
 echo "$STATS" | grep -q '"build_stages"' || { echo "stats missing build_stages telemetry"; exit 1; }
 
-echo "== wait for the background snapshot write"
+stage "wait for the background snapshot write"
 for i in $(seq 1 100); do
     [ -f "$SNAPDIR/grid.snap" ] && break
     sleep 0.2
 done
 [ -f "$SNAPDIR/grid.snap" ] || { echo "grid snapshot never written"; exit 1; }
 
-echo "== forced snapshot write via the admin API"
+stage "forced snapshot write via the admin API"
 curl -fsS -X POST "http://$ADDR/graphs/grid/snapshot" | grep -q '"size_bytes"' \
     || { echo "forced snapshot failed"; exit 1; }
 
-echo "== DELETE a building graph (abort the in-flight build)"
+stage "DELETE a building graph (abort the in-flight build)"
 curl -fsS -X POST "http://$ADDR/graphs" \
     -d '{"name":"doomed","gen":"er:n=16384,d=8,w=uniform,maxw=64","seed":9}' >/dev/null
 curl -fsS -X DELETE "http://$ADDR/graphs/doomed" | grep -q '"deleted":true' \
@@ -99,7 +108,7 @@ curl -fsS -X DELETE "http://$ADDR/graphs/doomed" | grep -q '"deleted":true' \
 CODE=$(curl -s -o /dev/null -w "%{http_code}" "http://$ADDR/graphs/doomed")
 [ "$CODE" = "404" ] || { echo "deleted building graph still visible ($CODE)"; exit 1; }
 
-echo "== DELETE the ready graph (snapshot file must go with it)"
+stage "DELETE the ready graph (snapshot file must go with it)"
 curl -fsS -X DELETE "http://$ADDR/graphs/loadgen" | grep -q '"deleted":true' \
     || { echo "DELETE response missing deleted flag"; exit 1; }
 CODE=$(curl -s -o /dev/null -w "%{http_code}" "http://$ADDR/graphs/loadgen")
@@ -111,12 +120,12 @@ CODE=$(curl -s -o /dev/null -w "%{http_code}" -X POST "http://$ADDR/graphs/loadg
 curl -fsS -X POST "http://$ADDR/graphs/grid/query" -d '{"s":0,"t":224}' | grep -q '"dist":' \
     || { echo "grid graph broken after deletes"; exit 1; }
 
-echo "== graceful shutdown"
+stage "graceful shutdown"
 kill -TERM "$DAEMON_PID"
 wait "$DAEMON_PID" || true
 grep -q "bye" "$DIR/spanhopd.log" || { echo "no clean shutdown:"; cat "$DIR/spanhopd.log"; exit 1; }
 
-echo "== restart: warm-start from the snapshot dir, no rebuild"
+stage "restart: warm-start from the snapshot dir, no rebuild"
 start_daemon "$DIR/spanhopd2.log"
 wait_healthz "$DIR/spanhopd2.log"
 INFO=$(curl -fsS "http://$ADDR/graphs/grid")
@@ -127,23 +136,23 @@ echo "$INFO" | grep -q '"build_stages"' && { echo "warm start recorded build sta
 grep -q "warm-started 1 graph" "$DIR/spanhopd2.log" || { echo "no warm-start log line"; exit 1; }
 grep -q "skipping -load grid" "$DIR/spanhopd2.log" || { echo "preload not skipped after warm start"; exit 1; }
 
-echo "== warm-started answers match the first life"
+stage "warm-started answers match the first life"
 WARM=$(curl -fsS -X POST "http://$ADDR/graphs/grid/query" -d '{"s":0,"t":224}')
 WARM_DIST=$(echo "$WARM" | sed -n 's/.*"dist":\([0-9]*\).*/\1/p')
 [ "$WARM_DIST" = "$COLD_DIST" ] || { echo "warm answer $WARM_DIST != cold answer $COLD_DIST"; exit 1; }
 
-echo "== mutate the live graph: insert a shortcut, delete an edge"
+stage "mutate the live graph: insert a shortcut, delete an edge"
 MUT=$(curl -fsS -X POST "http://$ADDR/graphs/grid/edges" \
     -d '{"updates":[{"op":"insert","u":0,"v":224,"w":1},{"op":"delete","u":0,"v":1}]}')
 echo "$MUT"
 echo "$MUT" | grep -q '"generation":2' || { echo "generation did not bump to 2"; exit 1; }
 
-echo "== queries see the mutation immediately"
+stage "queries see the mutation immediately"
 OUT=$(curl -fsS -X POST "http://$ADDR/graphs/grid/query" -d '{"s":0,"t":224}')
 MUT_DIST=$(echo "$OUT" | sed -n 's/.*"dist":\([0-9]*\).*/\1/p')
 [ "$MUT_DIST" = "1" ] || { echo "mutated query answered $MUT_DIST, want the inserted shortcut (1)"; exit 1; }
 
-echo "== overlay gauges in /stats and /metrics"
+stage "overlay gauges in /stats and /metrics"
 curl -fsS "http://$ADDR/stats" | grep -q '"pending_updates":2' \
     || { echo "stats missing pending_updates"; exit 1; }
 METRICS=$(curl -fsS "http://$ADDR/metrics")
@@ -152,7 +161,7 @@ echo "$METRICS" | grep -q 'spanhop_generation{graph="grid"} 2' \
 echo "$METRICS" | grep -q 'spanhop_requests_total{graph="grid"}' \
     || { echo "metrics missing request counter"; exit 1; }
 
-echo "== persist the journal, restart, and verify the replay"
+stage "persist the journal, restart, and verify the replay"
 curl -fsS -X POST "http://$ADDR/graphs/grid/snapshot" >/dev/null
 kill -TERM "$DAEMON_PID"
 wait "$DAEMON_PID" || true
@@ -166,7 +175,7 @@ OUT=$(curl -fsS -X POST "http://$ADDR/graphs/grid/query" -d '{"s":0,"t":224}')
 REPLAY_DIST=$(echo "$OUT" | sed -n 's/.*"dist":\([0-9]*\).*/\1/p')
 [ "$REPLAY_DIST" = "1" ] || { echo "replayed journal answered $REPLAY_DIST, want 1"; exit 1; }
 
-echo "== final shutdown"
+stage "final shutdown"
 kill -TERM "$DAEMON_PID"
 wait "$DAEMON_PID" || true
 grep -q "bye" "$DIR/spanhopd3.log" || { echo "no clean third shutdown:"; cat "$DIR/spanhopd3.log"; exit 1; }
