@@ -9,7 +9,7 @@
 //	    [-graph id | -gen "er:n=4096,d=8,w=uniform"] \
 //	    [-mix uniform|hotspot|repeat] [-concurrency 16] [-requests 2000] \
 //	    [-mutate N] [-mutate-batch 4] [-mutate-mix churn] \
-//	    [-eps 0.25] [-seed 1] [-verify] [-workers N]
+//	    [-eps 0.25] [-seed 1] [-verify] [-workers N] [-trace-sample N]
 //
 // With -gen, loadgen registers the graph itself (id "loadgen") and
 // waits for the build. With -verify (requires -gen), it rebuilds the
@@ -27,6 +27,13 @@
 // (POST /graphs/{id}/rebuild and a local ForceRebuild) so the
 // concurrent read phase verifies bit-identical against the same
 // compacted generation.
+//
+// With -trace-sample N, every Nth query carries the X-Spanhop-Trace
+// header, so the server traces it and echoes the span breakdown back
+// in the response header; loadgen keeps the slowest traced request
+// and prints its server-side spans (decode / queue-wait / exec, plus
+// cache/batch/regime annotations) against the client-observed
+// latency — where a slow request actually spent its time.
 package main
 
 import (
@@ -40,10 +47,12 @@ import (
 	"os"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	spanhop "repro"
 	"repro/internal/graph"
+	"repro/internal/obs"
 	"repro/internal/server"
 	"repro/internal/workload"
 )
@@ -63,6 +72,7 @@ func main() {
 	mutateMix := flag.String("mutate-mix", "churn", "mutation mix: churn, grow, decay, reweight")
 	mutateMaxW := flag.Int64("mutate-maxw", 50, "max weight for inserted/reweighted edges (weighted graphs)")
 	workers := flag.Int("workers", 0, "worker cap for the local -verify rebuild; must mirror the daemon's -workers so both sides build the same oracle (0 = the sequential reference build, matching a daemon without -workers/-parallel)")
+	traceSample := flag.Int("trace-sample", 0, "request a server-side trace for every Nth query and print the slowest traced request's span breakdown (0 disables)")
 	timeout := flag.Duration("timeout", 120*time.Second, "build-wait timeout")
 	jsonOut := flag.Bool("json", false, "emit a machine-readable JSON summary on stdout (progress moves to stderr); the shape internal/bench and scripts consume")
 	flag.Parse()
@@ -183,6 +193,14 @@ func main() {
 		errCount  int
 		mismatch  int
 		firstErrs []string
+
+		// -trace-sample bookkeeping: a global counter picks every Nth
+		// request across all workers; the slowest traced request's
+		// server-side span breakdown is kept for the report.
+		traceSeq    atomic.Uint64
+		tracedCount int
+		slowestLat  time.Duration
+		slowest     obs.TraceData
 	)
 	if *concurrency < 1 {
 		*concurrency = 1
@@ -209,10 +227,28 @@ func main() {
 			url := fmt.Sprintf("%s/graphs/%s/query", *addr, id)
 			for i := 0; i < perWorker; i++ {
 				p := mix.Next()
+				var reqHdr map[string]string
+				traced := *traceSample > 0 && traceSeq.Add(1)%uint64(*traceSample) == 0
+				if traced {
+					reqHdr = map[string]string{server.TraceHeader: "1"}
+				}
 				q0 := time.Now()
-				code, body, err := doJSON(client, "POST", url,
-					map[string]any{"s": p[0], "t": p[1]})
+				code, body, respHdr, err := doJSONHdr(client, "POST", url,
+					map[string]any{"s": p[0], "t": p[1]}, reqHdr)
 				lat := time.Since(q0)
+				if traced && err == nil && code == http.StatusOK {
+					if raw := respHdr.Get(server.TraceHeader); raw != "" {
+						var td obs.TraceData
+						if json.Unmarshal([]byte(raw), &td) == nil {
+							mu.Lock()
+							tracedCount++
+							if lat > slowestLat {
+								slowestLat, slowest = lat, td
+							}
+							mu.Unlock()
+						}
+					}
+				}
 				mu.Lock()
 				if err != nil || code != http.StatusOK {
 					errCount++
@@ -283,6 +319,43 @@ func main() {
 		infof("  ! %s\n", e)
 	}
 
+	// Slowest traced request: where did the time go, server-side?
+	var slowestTrace *obs.TraceData
+	if *traceSample > 0 {
+		if tracedCount == 0 {
+			infof("trace: no traced responses (is the daemon running this build?)\n")
+		} else {
+			slowestTrace = &slowest
+			var spanSum float64
+			for _, sp := range slowest.Spans {
+				spanSum += sp.DurUS
+			}
+			clientUS := float64(slowestLat) / float64(time.Microsecond)
+			infof("trace: %d traced; slowest %s: client=%s server=%s spans[%s]\n",
+				tracedCount, slowest.ID,
+				slowestLat.Round(time.Microsecond),
+				time.Duration(slowest.TotalUS*float64(time.Microsecond)).Round(time.Microsecond),
+				slowest.SpanSummary())
+			infof("trace: spans cover %.1f%% of server time, %.1f%% of client latency",
+				100*spanSum/slowest.TotalUS, 100*spanSum/clientUS)
+			if len(slowest.Attrs) > 0 {
+				keys := make([]string, 0, len(slowest.Attrs))
+				for k := range slowest.Attrs {
+					keys = append(keys, k)
+				}
+				sort.Strings(keys)
+				infof("; ")
+				for i, k := range keys {
+					if i > 0 {
+						infof(" ")
+					}
+					infof("%s=%v", k, slowest.Attrs[k])
+				}
+			}
+			infof("\n")
+		}
+	}
+
 	// Server-side counters: did the window actually coalesce, did the
 	// cache absorb the hot set?
 	var serverStats any
@@ -320,6 +393,7 @@ func main() {
 			P99US: quant(0.99).Microseconds(), MaxUS: quant(1).Microseconds(),
 			Verified: oracle != nil && mismatch == 0, Mismatches: mismatch,
 			Mutations: mutations, Server: serverStats,
+			SlowestTrace: slowestTrace,
 		}
 		enc := json.NewEncoder(os.Stdout)
 		enc.SetIndent("", "  ")
@@ -512,24 +586,35 @@ func verifyOne(client *http.Client, addr, id string, oracle interface {
 
 // doJSON sends one JSON request and returns (status, body, error).
 func doJSON(client *http.Client, method, url string, payload any) (int, []byte, error) {
+	code, body, _, err := doJSONHdr(client, method, url, payload, nil)
+	return code, body, err
+}
+
+// doJSONHdr is doJSON with extra request headers and the response
+// headers returned — the -trace-sample path needs both sides of the
+// X-Spanhop-Trace exchange.
+func doJSONHdr(client *http.Client, method, url string, payload any, hdr map[string]string) (int, []byte, http.Header, error) {
 	var buf bytes.Buffer
 	if payload != nil {
 		if err := json.NewEncoder(&buf).Encode(payload); err != nil {
-			return 0, nil, err
+			return 0, nil, nil, err
 		}
 	}
 	req, err := http.NewRequest(method, url, &buf)
 	if err != nil {
-		return 0, nil, err
+		return 0, nil, nil, err
 	}
 	req.Header.Set("Content-Type", "application/json")
+	for k, v := range hdr {
+		req.Header.Set(k, v)
+	}
 	resp, err := client.Do(req)
 	if err != nil {
-		return 0, nil, err
+		return 0, nil, nil, err
 	}
 	defer resp.Body.Close()
 	body, err := io.ReadAll(resp.Body)
-	return resp.StatusCode, body, err
+	return resp.StatusCode, body, resp.Header, err
 }
 
 // waitReady polls the graph until its build finishes.
@@ -593,4 +678,7 @@ type jsonSummary struct {
 	Mismatches  int     `json:"mismatches"`
 	Mutations   int     `json:"mutations,omitempty"`
 	Server      any     `json:"server,omitempty"`
+	// SlowestTrace is the server-side span breakdown of the slowest
+	// traced request (with -trace-sample).
+	SlowestTrace *obs.TraceData `json:"slowest_trace,omitempty"`
 }

@@ -11,7 +11,10 @@
 //	    [-query-workers N] [-query-queue 1024] [-cache 4096] \
 //	    [-snapshot-dir DIR] \
 //	    [-rebuild-max-journal N] [-rebuild-max-patch-frac F] \
-//	    [-rebuild-max-staleness D]
+//	    [-rebuild-max-staleness D] \
+//	    [-log-format text|json] [-log-level LEVEL] \
+//	    [-trace-sample N] [-trace-ring N] \
+//	    [-slow-query D] [-slow-query-per-min N]
 //
 // Served graphs accept live edge mutations (POST /graphs/{id}/edges:
 // insert/delete/reweight, each stamped with a generation); queries
@@ -35,6 +38,14 @@
 // build-stage telemetry. A -load/-gen preload whose name was already
 // warm-started is skipped, so restarting with identical flags is
 // idempotent and cheap.
+//
+// Observability: every request gets an edge-minted ID (echoed in
+// X-Spanhop-Request); lifecycle events log structurally (text or JSON
+// per -log-format) and count into /metrics; queries traced by client
+// request (X-Spanhop-Trace header) or by -trace-sample land in the
+// /debug/traces ring with a per-stage span breakdown; -slow-query
+// logs queries over the threshold (rate-limited); pprof is live under
+// /debug/pprof/.
 package main
 
 import (
@@ -42,7 +53,7 @@ import (
 	"errors"
 	"flag"
 	"fmt"
-	"log"
+	"log/slog"
 	"net/http"
 	"os"
 	"os/signal"
@@ -50,6 +61,7 @@ import (
 	"syscall"
 	"time"
 
+	"repro/internal/obs"
 	"repro/internal/server"
 )
 
@@ -70,6 +82,12 @@ func main() {
 	rebuildJournal := flag.Int("rebuild-max-journal", 0, "rebuild a graph's oracle once this many mutations are pending (0 = default 256, negative disables)")
 	rebuildPatchFrac := flag.Float64("rebuild-max-patch-frac", 0, "rebuild once the mutation overlay exceeds this fraction of base edges (0 = default 0.10, negative disables)")
 	rebuildStaleness := flag.Duration("rebuild-max-staleness", 0, "rebuild once the oldest pending mutation is this old (0 disables)")
+	logFormat := flag.String("log-format", "text", "structured log format: text or json")
+	logLevel := flag.String("log-level", "info", "log level: debug, info, warn, error")
+	traceSample := flag.Int("trace-sample", 0, "server-side trace sampling: trace every Nth query (0 disables; header-requested traces always work)")
+	traceRing := flag.Int("trace-ring", 0, "recent traces kept for GET /debug/traces (0 = default 256, negative disables)")
+	slowQuery := flag.Duration("slow-query", 0, "log queries slower than this (0 disables)")
+	slowQueryPerMin := flag.Int("slow-query-per-min", 0, "rate limit for the slow-query log (0 = default 60/min)")
 	var loads, gens []string
 	flag.Func("load", "preload a graph file as name=path (repeatable)", func(v string) error {
 		loads = append(loads, v)
@@ -81,11 +99,29 @@ func main() {
 	})
 	flag.Parse()
 
+	logger, err := obs.NewLogger(os.Stderr, *logFormat, *logLevel)
+	if err != nil {
+		// The logger itself failed to configure; stderr is all we have.
+		slog.New(slog.NewTextHandler(os.Stderr, nil)).Error("spanhopd: bad logging flags", "err", err)
+		os.Exit(2)
+	}
+	fatal := func(msg string, args ...any) {
+		logger.Error(msg, args...)
+		os.Exit(1)
+	}
+
 	if *snapshotDir != "" {
 		if err := os.MkdirAll(*snapshotDir, 0o755); err != nil {
-			log.Fatalf("spanhopd: -snapshot-dir: %v", err)
+			fatal("spanhopd: -snapshot-dir", "err", err)
 		}
 	}
+	observer := obs.New(obs.Options{
+		Logger:             logger,
+		TraceRing:          *traceRing,
+		SampleEvery:        *traceSample,
+		SlowQuery:          *slowQuery,
+		SlowQueryPerMinute: *slowQueryPerMin,
+	})
 	srv := server.New(server.Config{
 		BuildWorkers: *buildWorkers,
 		BuildQueue:   *buildQueue,
@@ -101,14 +137,20 @@ func main() {
 		RebuildMaxJournal:       *rebuildJournal,
 		RebuildMaxPatchFraction: *rebuildPatchFrac,
 		RebuildMaxStaleness:     *rebuildStaleness,
+
+		Obs: observer,
 	})
 	if *snapshotDir != "" {
 		loaded, errs := srv.Registry().WarmStart()
-		for _, err := range errs {
-			log.Printf("spanhopd: warm-start: skipping %v", err)
+		for _, we := range errs {
+			// The structured record names the file AND the graph id, so
+			// an operator can tell which snapshot to inspect or delete.
+			logger.Warn("spanhopd: warm-start: skipping snapshot",
+				"file", we.File, "graph", we.ID, "err", we.Err)
 		}
 		if loaded > 0 {
-			log.Printf("warm-started %d graph(s) from %s", loaded, *snapshotDir)
+			logger.Info(fmt.Sprintf("spanhopd: warm-started %d graph(s)", loaded),
+				"loaded", loaded, "dir", *snapshotDir)
 		}
 	}
 
@@ -116,7 +158,7 @@ func main() {
 		for _, a := range args {
 			name, v, ok := strings.Cut(a, "=")
 			if !ok || name == "" || v == "" {
-				log.Fatalf("spanhopd: -%s %q: want name=%s", kind, a, kind)
+				fatal("spanhopd: bad preload flag", "flag", "-"+kind, "value", a, "want", "name="+kind)
 			}
 			want := mk(name, v)
 			if e, ok := srv.Registry().Get(name); ok {
@@ -128,19 +170,21 @@ func main() {
 				got := e.Info().Spec
 				if got.File == want.File && got.Gen == want.Gen &&
 					got.Eps == want.Eps && got.Seed == want.Seed {
-					log.Printf("skipping -%s %s: already warm-started", kind, name)
+					logger.Info(fmt.Sprintf("spanhopd: skipping -%s %s: already warm-started", kind, name),
+						"flag", "-"+kind, "graph", name)
 					continue
 				}
-				log.Printf("-%s %s: spec changed since the snapshot; rebuilding", kind, name)
+				logger.Info("spanhopd: preload spec changed since the snapshot; rebuilding",
+					"flag", "-"+kind, "graph", name)
 				if _, err := srv.Registry().Delete(name); err != nil {
-					log.Fatalf("spanhopd: -%s %s: evict stale snapshot: %v", kind, name, err)
+					fatal("spanhopd: evict stale snapshot", "flag", "-"+kind, "graph", name, "err", err)
 				}
 			}
 			e, err := srv.Registry().Add(want)
 			if err != nil {
-				log.Fatalf("spanhopd: -%s %s: %v", kind, name, err)
+				fatal("spanhopd: preload failed", "flag", "-"+kind, "graph", name, "err", err)
 			}
-			log.Printf("queued build of %s (%s=%s)", e.Info().ID, kind, v)
+			logger.Info("spanhopd: queued preload build", "graph", e.Info().ID, "kind", kind, "spec", v)
 		}
 	}
 	preload("load", loads, func(name, v string) server.GraphSpec {
@@ -156,21 +200,22 @@ func main() {
 
 	errc := make(chan error, 1)
 	go func() { errc <- hs.ListenAndServe() }()
-	log.Printf("spanhopd listening on %s (batch window %s, max batch %d)",
-		*addr, *batchWindow, *maxBatch)
+	logger.Info("spanhopd: listening", "addr", *addr,
+		"batch_window", batchWindow.String(), "max_batch", *maxBatch,
+		"log_format", *logFormat, "trace_sample", *traceSample)
 
 	select {
 	case err := <-errc:
 		// Listener died before a signal: config error, not shutdown.
-		log.Fatalf("spanhopd: %v", err)
+		fatal("spanhopd: listener failed", "err", err)
 	case <-ctx.Done():
 	}
-	log.Print("spanhopd: draining...")
+	logger.Info("spanhopd: draining")
 	sctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 	defer cancel()
 	if err := hs.Shutdown(sctx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
-		fmt.Fprintf(os.Stderr, "spanhopd: shutdown: %v\n", err)
+		logger.Error("spanhopd: shutdown", "err", err)
 	}
 	srv.Close()
-	log.Print("spanhopd: bye")
+	logger.Info("spanhopd: bye")
 }

@@ -202,6 +202,22 @@ func (d *DynamicOracle) Journal() []dynamic.Entry { return d.ov.Journal() }
 // RebuildStats reports the scheduler's counters.
 func (d *DynamicOracle) RebuildStats() dynamic.Stats { return d.sch.Snapshot() }
 
+// RebuildEvent is one scheduler lifecycle notification (rebuild
+// start / swap / fail); see SetRebuildObserver.
+type RebuildEvent = dynamic.Event
+
+// SetRebuildObserver registers a hook receiving every rebuild
+// lifecycle event — the serving layer's observability turns these
+// into structured log records and event counters. The hook runs on
+// the rebuild goroutine and must be cheap and thread-safe.
+func (d *DynamicOracle) SetRebuildObserver(f func(RebuildEvent)) { d.sch.SetOnEvent(f) }
+
+// TraceInfo reports the overlay regime ("clean", "improving",
+// "degrading") and the latest applied generation — the two facts a
+// request trace pins so a slow query can be attributed to the overlay
+// state it actually ran under.
+func (d *DynamicOracle) TraceInfo() (regime string, gen uint64) { return d.ov.Regime() }
+
 // ApplyUpdates applies a batch of mutations atomically (all or none),
 // returning the generation of the last one. Each update is stamped
 // with its own generation; the scheduler re-evaluates its policy

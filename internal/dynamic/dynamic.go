@@ -286,6 +286,28 @@ func (d *Oracle) Gauges() Gauges {
 	return g
 }
 
+// Regime classifies the query path the latest generation dispatches
+// to — the label request traces carry: "clean" (no divergence from
+// the base, queries hit the base oracle directly), "improving"
+// (insert-only overlay, sketch Dijkstra over base estimates), or
+// "degrading" (deletes present, exact bidirectional search). Returns
+// the latest applied generation alongside. Mirrors queryRLocked's
+// dispatch exactly.
+func (d *Oracle) Regime() (string, uint64) {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	switch {
+	case len(d.patch) == 0:
+		return "clean", d.curGen
+	case d.curBlocked:
+		return "degrading", d.curGen
+	case len(d.curArcs) == 0:
+		return "clean", d.curGen
+	default:
+		return "improving", d.curGen
+	}
+}
+
 // OldestPending returns the apply time of the oldest journal entry
 // (zero time when the journal is empty) — the staleness clock.
 func (d *Oracle) OldestPending() time.Time {

@@ -90,7 +90,47 @@ type Scheduler struct {
 	lastMS    int64
 	lastCause string
 	onSwap    func()
+	onEvent   func(Event)
 	wg        sync.WaitGroup
+}
+
+// Event is one scheduler lifecycle notification, delivered to the
+// SetOnEvent hook so the serving layer can log and count rebuild
+// activity without polling Snapshot.
+type Event struct {
+	// Kind is "start" (rebuild launched), "swap" (new base installed,
+	// journal prefix compacted), or "fail" (build errored or canceled).
+	Kind string
+	// Cause is the policy trigger: "journal", "patch-fraction",
+	// "staleness", or "forced".
+	Cause string
+	// Gen is the generation the rebuild pinned.
+	Gen uint64
+	// Compacted counts the journal entries the swap folded into the
+	// new base (Kind "swap" only).
+	Compacted int
+	// Dur is the rebuild wall time (Kinds "swap" and "fail").
+	Dur time.Duration
+	// Err is the failure cause (Kind "fail" only).
+	Err error
+}
+
+// SetOnEvent registers a hook receiving every scheduler lifecycle
+// Event. The hook runs on the rebuild goroutine (or the Force caller)
+// and must be cheap and thread-safe.
+func (s *Scheduler) SetOnEvent(f func(Event)) {
+	s.mu.Lock()
+	s.onEvent = f
+	s.mu.Unlock()
+}
+
+func (s *Scheduler) emit(ev Event) {
+	s.mu.Lock()
+	f := s.onEvent
+	s.mu.Unlock()
+	if f != nil {
+		f(ev)
+	}
 }
 
 // SetOnSwap registers a hook that runs after every completed rebuild
@@ -263,25 +303,35 @@ func (s *Scheduler) Force(ctx context.Context) error {
 func (s *Scheduler) rebuildOnce(ctx context.Context, cause string) error {
 	start := time.Now()
 	gen := s.o.Generation()
+	// Pending entries at this instant all carry gen ≤ the pinned
+	// generation, so the swap compacts exactly this many; entries
+	// applied while the build runs are stamped later and survive.
+	pending := s.o.Pending()
+	s.emit(Event{Kind: "start", Cause: cause, Gen: gen})
+	fail := func(err error) error {
+		s.emit(Event{Kind: "fail", Cause: cause, Gen: gen, Dur: time.Since(start), Err: err})
+		return err
+	}
 	g, err := s.o.MutatedGraphAt(gen)
 	if err != nil {
-		return err
+		return fail(err)
 	}
 	base, err := s.build(ctx, g)
 	if err != nil {
-		return fmt.Errorf("dynamic: rebuild (%s) at gen %d: %w", cause, gen, err)
+		return fail(fmt.Errorf("dynamic: rebuild (%s) at gen %d: %w", cause, gen, err))
 	}
 	if err := ctx.Err(); err != nil {
-		return err
+		return fail(err)
 	}
 	if err := s.o.Swap(base, g, gen); err != nil {
-		return err
+		return fail(err)
 	}
 	s.mu.Lock()
 	s.rebuilds++
 	s.lastMS = time.Since(start).Milliseconds()
 	hook := s.onSwap
 	s.mu.Unlock()
+	s.emit(Event{Kind: "swap", Cause: cause, Gen: gen, Compacted: pending, Dur: time.Since(start)})
 	if hook != nil {
 		hook()
 	}

@@ -56,6 +56,13 @@ type Options struct {
 	// Telemetry, when non-nil, accumulates per-stage build statistics
 	// (see Ctx.Stage).
 	Telemetry *Telemetry
+	// OnStage, when non-nil, additionally receives every closed stage
+	// record as it completes — the observability layer turns build
+	// stages into trace spans without exec importing it. Called from
+	// whichever goroutine closes the stage; must be cheap and
+	// thread-safe. Only fires when Telemetry is also set (stages are
+	// not measured otherwise).
+	OnStage func(StageStats)
 }
 
 // Ctx is one execution context. The zero value is not useful; build
@@ -67,6 +74,7 @@ type Ctx struct {
 	workers  int
 	limiter  *par.Limiter
 	tel      *Telemetry
+	onStage  func(StageStats)
 	canceled atomic.Bool
 	rounds   atomic.Int64
 	arenaOn  bool
@@ -78,7 +86,7 @@ type Ctx struct {
 // not merely per call, so `-workers 2` really means at most two
 // goroutines of that build in flight however the recursion nests.
 func New(opt Options) *Ctx {
-	e := &Ctx{workers: opt.Workers, tel: opt.Telemetry, arenaOn: true}
+	e := &Ctx{workers: opt.Workers, tel: opt.Telemetry, onStage: opt.OnStage, arenaOn: true}
 	if opt.Workers < 0 {
 		e.workers = 0
 	}
@@ -211,13 +219,17 @@ func (e *Ctx) Stage(name string, cost *par.Cost) func() {
 	t0 := time.Now()
 	return func() {
 		w1, d1 := cost.Snapshot()
-		e.tel.record(StageStats{
+		st := StageStats{
 			Name:   name,
 			Work:   w1 - w0,
 			Depth:  d1 - d0,
 			Rounds: e.rounds.Load() - r0,
 			WallMS: float64(time.Since(t0).Microseconds()) / 1000,
-		})
+		}
+		e.tel.record(st)
+		if e.onStage != nil {
+			e.onStage(st)
+		}
 	}
 }
 

@@ -1,0 +1,60 @@
+package obs
+
+import (
+	"sort"
+	"sync"
+)
+
+// Events counts lifecycle events (build_ready, snapshot_written,
+// rebuild_swapped, ...) by name for the /metrics exposition. The set
+// of names is small and stable, so a mutex-guarded map beats the
+// ceremony of pre-registered counters.
+type Events struct {
+	mu sync.Mutex
+	m  map[string]int64
+}
+
+// EventCount is one (name, count) pair of the snapshot.
+type EventCount struct {
+	Name  string
+	Count int64
+}
+
+// NewEvents allocates an empty counter set.
+func NewEvents() *Events { return &Events{m: make(map[string]int64)} }
+
+// Count increments the named event. No-op on nil.
+func (e *Events) Count(name string) {
+	if e == nil {
+		return
+	}
+	e.mu.Lock()
+	e.m[name]++
+	e.mu.Unlock()
+}
+
+// Get returns one counter's current value (0 when never counted).
+func (e *Events) Get(name string) int64 {
+	if e == nil {
+		return 0
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.m[name]
+}
+
+// Snapshot returns all counters sorted by name, so the /metrics
+// exposition is deterministic scrape to scrape.
+func (e *Events) Snapshot() []EventCount {
+	if e == nil {
+		return nil
+	}
+	e.mu.Lock()
+	out := make([]EventCount, 0, len(e.m))
+	for k, v := range e.m {
+		out = append(out, EventCount{Name: k, Count: v})
+	}
+	e.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}

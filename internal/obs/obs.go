@@ -1,0 +1,285 @@
+// Package obs is the observability layer for the serving stack:
+// structured logging (stdlib log/slog only — no new dependencies),
+// request-scoped traces carried through context.Context, lifecycle
+// event counters that feed /metrics, a bounded ring of recent traces
+// behind GET /debug/traces, and a rate-limited slow-query log.
+//
+// Everything here is designed to cost nothing when nobody is looking:
+// the *Trace carried in a context is nil for untraced requests and
+// every method on it is nil-safe, so the hot path pays one pointer
+// check per annotation instead of a branch per subsystem. The
+// Observer itself is likewise nil-safe so library users of
+// internal/server need no wiring at all.
+package obs
+
+import (
+	"context"
+	"crypto/rand"
+	"encoding/hex"
+	"fmt"
+	"io"
+	"log/slog"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// ridPrefix makes request IDs unique across daemon restarts so traces
+// from two lives of the same process never collide in downstream log
+// storage. The counter alone is unique within a life.
+var (
+	ridPrefix  = func() string { var b [4]byte; _, _ = rand.Read(b[:]); return hex.EncodeToString(b[:]) }()
+	ridCounter atomic.Uint64
+)
+
+// NextRequestID mints a process-unique request ID. IDs are short
+// (hex prefix + decimal counter) because they ride on every response
+// header and every log record.
+func NextRequestID() string {
+	return fmt.Sprintf("%s-%d", ridPrefix, ridCounter.Add(1))
+}
+
+type ridKey struct{}
+
+// WithRequestID stamps the request ID into the context at the HTTP
+// edge; every layer below reads it back with RequestID.
+func WithRequestID(ctx context.Context, id string) context.Context {
+	return context.WithValue(ctx, ridKey{}, id)
+}
+
+// RequestID returns the request ID minted at the edge, or "" when the
+// context never passed through the edge middleware (library callers,
+// tests).
+func RequestID(ctx context.Context) string {
+	id, _ := ctx.Value(ridKey{}).(string)
+	return id
+}
+
+// Options configures an Observer. The zero value is a quiet default:
+// logs are discarded, the trace ring holds DefaultRingSize entries,
+// server-side sampling is off, and the slow-query log is off.
+type Options struct {
+	// Logger receives event and slow-query records; nil discards.
+	Logger *slog.Logger
+	// TraceRing is the capacity of the recent-trace ring; 0 means
+	// DefaultRingSize, negative disables the ring.
+	TraceRing int
+	// SampleEvery enables server-side trace sampling: every Nth
+	// query is traced even when the client did not ask. 0 disables.
+	SampleEvery int
+	// SlowQuery is the latency threshold above which a query is
+	// logged as slow; 0 disables the slow-query log.
+	SlowQuery time.Duration
+	// SlowQueryPerMinute rate-limits the slow-query log; 0 means
+	// DefaultSlowPerMinute.
+	SlowQueryPerMinute int
+}
+
+// DefaultRingSize is the recent-trace ring capacity when Options
+// leaves it unset.
+const DefaultRingSize = 256
+
+// DefaultSlowPerMinute bounds slow-query log volume when Options
+// leaves the rate unset.
+const DefaultSlowPerMinute = 60
+
+// Observer bundles the observability sinks one server instance shares
+// across its registry, executors, and HTTP handlers. A nil *Observer
+// is valid and inert.
+type Observer struct {
+	log     *slog.Logger
+	events  *Events
+	traces  *Ring
+	sampler *sampler
+	slow    time.Duration
+	slowLim *limiter
+}
+
+// New builds an Observer from Options (see the Options field docs for
+// zero-value behavior).
+func New(opt Options) *Observer {
+	o := &Observer{
+		log:    opt.Logger,
+		events: NewEvents(),
+		slow:   opt.SlowQuery,
+	}
+	if o.log == nil {
+		o.log = slog.New(discardHandler{})
+	}
+	ring := opt.TraceRing
+	if ring == 0 {
+		ring = DefaultRingSize
+	}
+	if ring > 0 {
+		o.traces = NewRing(ring)
+	}
+	if opt.SampleEvery > 0 {
+		o.sampler = &sampler{n: uint64(opt.SampleEvery)}
+	}
+	if o.slow > 0 {
+		perMin := opt.SlowQueryPerMinute
+		if perMin <= 0 {
+			perMin = DefaultSlowPerMinute
+		}
+		o.slowLim = newLimiter(perMin)
+	}
+	return o
+}
+
+// Log returns the structured logger; never nil, even on a nil
+// Observer (it degrades to a discard logger).
+func (o *Observer) Log() *slog.Logger {
+	if o == nil || o.log == nil {
+		return slog.New(discardHandler{})
+	}
+	return o.log
+}
+
+// Events returns the lifecycle event counters, or nil on a nil
+// Observer (Events methods are themselves nil-safe).
+func (o *Observer) Events() *Events {
+	if o == nil {
+		return nil
+	}
+	return o.events
+}
+
+// Traces returns the recent-trace ring, or nil when disabled (Ring
+// methods are nil-safe).
+func (o *Observer) Traces() *Ring {
+	if o == nil {
+		return nil
+	}
+	return o.traces
+}
+
+// Sample reports whether server-side sampling elects the current
+// query for tracing. False when sampling is off.
+func (o *Observer) Sample() bool {
+	if o == nil || o.sampler == nil {
+		return false
+	}
+	return o.sampler.hit()
+}
+
+// SlowQuery reports whether a query of the given latency should be
+// logged as slow: above the configured threshold and within the
+// per-minute rate limit. The rate limit only spends a token when the
+// threshold is crossed, so fast queries never touch the limiter.
+func (o *Observer) SlowQuery(d time.Duration) bool {
+	if o == nil || o.slow <= 0 || d < o.slow {
+		return false
+	}
+	return o.slowLim.allow()
+}
+
+// Event counts a lifecycle event into /metrics and logs it at Info
+// with the given attributes.
+func (o *Observer) Event(name string, args ...any) {
+	if o == nil {
+		return
+	}
+	o.events.Count(name)
+	o.log.Info(name, args...)
+}
+
+// EventError counts a failure event and logs it at Error with the
+// underlying cause attached.
+func (o *Observer) EventError(name string, err error, args ...any) {
+	if o == nil {
+		return
+	}
+	o.events.Count(name)
+	o.log.Error(name, append(args, slog.Any("err", err))...)
+}
+
+// Publish finishes nothing — the caller owns Finish — but files a
+// completed trace into the recent-trace ring.
+func (o *Observer) Publish(td TraceData) {
+	if o == nil {
+		return
+	}
+	o.traces.Add(td)
+}
+
+// sampler elects every nth call. A plain atomic counter: cheap enough
+// to sit on the query hot path.
+type sampler struct {
+	n uint64
+	c atomic.Uint64
+}
+
+func (s *sampler) hit() bool { return s.c.Add(1)%s.n == 0 }
+
+// limiter is a token bucket refilled at perMinute tokens/minute with
+// burst capacity equal to one minute's allowance.
+type limiter struct {
+	mu     sync.Mutex
+	tokens float64
+	max    float64
+	rate   float64 // tokens per second
+	last   time.Time
+}
+
+func newLimiter(perMinute int) *limiter {
+	m := float64(perMinute)
+	return &limiter{tokens: m, max: m, rate: m / 60, last: time.Now()}
+}
+
+func (l *limiter) allow() bool {
+	if l == nil {
+		return false
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	now := time.Now()
+	l.tokens += now.Sub(l.last).Seconds() * l.rate
+	l.last = now
+	if l.tokens > l.max {
+		l.tokens = l.max
+	}
+	if l.tokens < 1 {
+		return false
+	}
+	l.tokens--
+	return true
+}
+
+// NewLogger builds a slog.Logger writing to w in the given format
+// ("text" or "json") at the given level ("debug", "info", "warn",
+// "error"). These are the -log-format / -log-level flag values.
+func NewLogger(w io.Writer, format, level string) (*slog.Logger, error) {
+	var lvl slog.Level
+	switch strings.ToLower(level) {
+	case "", "info":
+		lvl = slog.LevelInfo
+	case "debug":
+		lvl = slog.LevelDebug
+	case "warn", "warning":
+		lvl = slog.LevelWarn
+	case "error":
+		lvl = slog.LevelError
+	default:
+		return nil, fmt.Errorf("unknown log level %q (want debug|info|warn|error)", level)
+	}
+	opts := &slog.HandlerOptions{Level: lvl}
+	switch strings.ToLower(format) {
+	case "", "text":
+		return slog.New(slog.NewTextHandler(w, opts)), nil
+	case "json":
+		return slog.New(slog.NewJSONHandler(w, opts)), nil
+	default:
+		return nil, fmt.Errorf("unknown log format %q (want text|json)", format)
+	}
+}
+
+// discardHandler drops every record without formatting it. slog's
+// built-in handlers still pay for attribute resolution even below
+// their level, so the quiet default uses this instead.
+type discardHandler struct{}
+
+func (discardHandler) Enabled(context.Context, slog.Level) bool  { return false }
+func (discardHandler) Handle(context.Context, slog.Record) error { return nil }
+func (discardHandler) WithAttrs([]slog.Attr) slog.Handler        { return discardHandler{} }
+func (discardHandler) WithGroup(string) slog.Handler             { return discardHandler{} }

@@ -1,0 +1,61 @@
+package obs
+
+import "sync"
+
+// Ring is a bounded, mutex-guarded buffer of the most recent finished
+// traces — the storage behind GET /debug/traces. Old entries are
+// overwritten in place; memory is bounded by capacity regardless of
+// query volume.
+type Ring struct {
+	mu   sync.Mutex
+	buf  []TraceData
+	next int // index of the slot the next Add writes
+	n    int // number of live entries (≤ len(buf))
+}
+
+// NewRing allocates a ring holding up to capacity traces.
+func NewRing(capacity int) *Ring {
+	if capacity <= 0 {
+		capacity = DefaultRingSize
+	}
+	return &Ring{buf: make([]TraceData, capacity)}
+}
+
+// Add files a finished trace, evicting the oldest when full. No-op on
+// a nil ring.
+func (r *Ring) Add(td TraceData) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	r.buf[r.next] = td
+	r.next = (r.next + 1) % len(r.buf)
+	if r.n < len(r.buf) {
+		r.n++
+	}
+	r.mu.Unlock()
+}
+
+// Snapshot returns the buffered traces newest-first.
+func (r *Ring) Snapshot() []TraceData {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]TraceData, 0, r.n)
+	for i := 1; i <= r.n; i++ {
+		out = append(out, r.buf[(r.next-i+len(r.buf))%len(r.buf)])
+	}
+	return out
+}
+
+// Len reports the number of buffered traces.
+func (r *Ring) Len() int {
+	if r == nil {
+		return 0
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.n
+}

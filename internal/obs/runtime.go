@@ -1,0 +1,112 @@
+package obs
+
+import (
+	"runtime"
+	"runtime/debug"
+	"runtime/metrics"
+	"sync"
+)
+
+// RuntimeStats is one sample of the Go runtime's health, taken per
+// /metrics scrape: heap footprint, GC activity, goroutine count, and
+// scheduler latency quantiles (how long runnable goroutines waited
+// for a thread — the first thing to blow up when the build pool
+// starves the query path).
+type RuntimeStats struct {
+	Goroutines   int64
+	HeapAlloc    uint64  // bytes in live heap objects
+	HeapSys      uint64  // bytes obtained from the OS for the heap
+	GCCycles     uint64  // completed GC cycles
+	GCPauseTotal float64 // seconds, cumulative stop-the-world
+	SchedLatP50  float64 // seconds
+	SchedLatP90  float64
+	SchedLatP99  float64
+}
+
+// ReadRuntime samples the runtime. Scheduler latency comes from
+// runtime/metrics (the only source); heap and GC pause totals come
+// from ReadMemStats, which is exact and cheap at scrape frequency.
+func ReadRuntime() RuntimeStats {
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	rs := RuntimeStats{
+		Goroutines:   int64(runtime.NumGoroutine()),
+		HeapAlloc:    ms.HeapAlloc,
+		HeapSys:      ms.HeapSys,
+		GCCycles:     uint64(ms.NumGC),
+		GCPauseTotal: float64(ms.PauseTotalNs) / 1e9,
+	}
+	samples := []metrics.Sample{{Name: "/sched/latencies:seconds"}}
+	metrics.Read(samples)
+	if samples[0].Value.Kind() == metrics.KindFloat64Histogram {
+		if h := samples[0].Value.Float64Histogram(); h != nil {
+			rs.SchedLatP50 = histQuantile(h, 0.50)
+			rs.SchedLatP90 = histQuantile(h, 0.90)
+			rs.SchedLatP99 = histQuantile(h, 0.99)
+		}
+	}
+	return rs
+}
+
+// histQuantile estimates a quantile from a runtime/metrics histogram
+// by walking cumulative bucket counts and reporting the bucket's
+// upper boundary (lower for the open-ended last bucket).
+func histQuantile(h *metrics.Float64Histogram, q float64) float64 {
+	var total uint64
+	for _, c := range h.Counts {
+		total += c
+	}
+	if total == 0 {
+		return 0
+	}
+	target := uint64(q * float64(total))
+	var cum uint64
+	for i, c := range h.Counts {
+		cum += c
+		if cum > target {
+			// Buckets[i+1] is the bucket's upper bound; the
+			// final bucket is open-ended, so fall back to its
+			// lower bound.
+			if i+1 < len(h.Buckets) && !isInf(h.Buckets[i+1]) {
+				return h.Buckets[i+1]
+			}
+			return h.Buckets[i]
+		}
+	}
+	return h.Buckets[len(h.Buckets)-1]
+}
+
+func isInf(f float64) bool { return f > 1e308 || f < -1e308 }
+
+// BuildInfo identifies the running binary for the
+// spanhop_build_info{go_version,revision} gauge.
+type BuildInfo struct {
+	GoVersion string
+	Revision  string
+}
+
+var (
+	buildOnce sync.Once
+	buildInfo BuildInfo
+)
+
+// Build returns the binary's Go version and VCS revision (or
+// "unknown" outside a VCS-stamped build — `go test` binaries,
+// plain `go build` of a dirty tree). Cached after the first call.
+func Build() BuildInfo {
+	buildOnce.Do(func() {
+		buildInfo = BuildInfo{GoVersion: runtime.Version(), Revision: "unknown"}
+		if bi, ok := debug.ReadBuildInfo(); ok {
+			for _, s := range bi.Settings {
+				if s.Key == "vcs.revision" {
+					rev := s.Value
+					if len(rev) > 12 {
+						rev = rev[:12]
+					}
+					buildInfo.Revision = rev
+				}
+			}
+		}
+	})
+	return buildInfo
+}

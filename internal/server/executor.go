@@ -11,6 +11,7 @@ import (
 
 	spanhop "repro"
 	"repro/internal/graph"
+	"repro/internal/obs"
 )
 
 // Typed executor errors; the HTTP layer maps ErrOverloaded to 503.
@@ -35,6 +36,17 @@ type request struct {
 	s, t graph.V
 	ch   chan response
 	enq  time.Time
+	// tr is the request's trace, nil on the untraced hot path — the
+	// dispatch loop checks the pointer once per request and otherwise
+	// touches nothing.
+	tr *obs.Trace
+}
+
+// traceInfoer is the optional oracle surface traces read for overlay
+// attribution. The dynamic facade implements it; bare static oracles
+// (reference tests) need not.
+type traceInfoer interface {
+	TraceInfo() (regime string, gen uint64)
 }
 
 type response struct {
@@ -123,13 +135,17 @@ func (x *Executor) Query(ctx context.Context, s, t graph.V) (spanhop.QueryStats,
 		return spanhop.QueryStats{}, ErrClosed
 	default:
 	}
+	tr := obs.FromContext(ctx)
 	start := time.Now()
 	if st, ok := x.cache.get([2]graph.V{s, t}); ok {
 		x.stats.cacheHits.Add(1)
 		x.stats.lat.Record(time.Since(start))
+		tr.SpanSince("cache", start)
+		tr.Annotate("cache", "hit")
 		return st, nil
 	}
-	r := request{s: s, t: t, ch: make(chan response, 1), enq: start}
+	tr.Annotate("cache", "miss")
+	r := request{s: s, t: t, ch: make(chan response, 1), enq: start, tr: tr}
 	select {
 	case x.reqs <- r:
 	default:
@@ -146,7 +162,14 @@ func (x *Executor) Query(ctx context.Context, s, t graph.V) (spanhop.QueryStats,
 		return resp.st, nil
 	case <-ctx.Done():
 		// The response channel is buffered, so the batch worker that
-		// eventually answers doesn't leak; the result is dropped.
+		// eventually answers doesn't leak; the result is dropped. The
+		// queue-wait span is recorded at dispatch, so its absence means
+		// the request died still coalescing.
+		if tr.HasSpan("queue-wait") {
+			tr.Annotate("cancel_stage", "exec")
+		} else {
+			tr.Annotate("cancel_stage", "queue-wait")
+		}
 		return spanhop.QueryStats{}, ctx.Err()
 	case <-x.done:
 		// Collector exited; a response may still have raced in (or may
@@ -178,14 +201,20 @@ func (x *Executor) Batch(ctx context.Context, pairs [][2]graph.V) ([]spanhop.Que
 		return nil, ErrOverloaded
 	}
 	defer x.batchWaiters.Add(-1)
+	tr := obs.FromContext(ctx)
+	enq := time.Now()
 	select {
 	case <-x.quit:
 		return nil, ErrClosed
 	case <-ctx.Done():
+		tr.Annotate("cancel_stage", "queue-wait")
 		return nil, ctx.Err()
 	case x.sem <- struct{}{}:
 	}
 	defer func() { <-x.sem }()
+	tr.SpanSince("queue-wait", enq)
+	tr.Annotate("batch_size", len(pairs))
+	x.annotateOracle(tr)
 	start := time.Now()
 	x.stats.batchCalls.Add(1)
 	x.stats.batchQueries.Add(int64(len(pairs)))
@@ -194,6 +223,7 @@ func (x *Executor) Batch(ctx context.Context, pairs [][2]graph.V) ([]spanhop.Que
 	// belong to the old generation and must not be re-cached.
 	epoch := x.cache.epoch()
 	res, err := x.oracle.QueryBatch(pairs)
+	tr.SpanSince("exec", start)
 	if err != nil {
 		x.stats.failures.Add(1)
 		return nil, err
@@ -270,14 +300,38 @@ func (x *Executor) dispatch(batch []request) {
 			x.wg.Done()
 		}()
 		pairs := make([][2]graph.V, len(batch))
+		traced := false
 		for i, r := range batch {
 			pairs[i] = [2]graph.V{r.s, r.t}
+			traced = traced || r.tr != nil
+		}
+		if traced {
+			now := time.Now()
+			for _, r := range batch {
+				if r.tr == nil {
+					continue
+				}
+				r.tr.SpanDur("queue-wait", r.enq, now.Sub(r.enq))
+				r.tr.Annotate("batch_size", len(batch))
+				x.annotateOracle(r.tr)
+			}
 		}
 		x.stats.coalesced.Add(1)
 		x.stats.coalescedQueries.Add(int64(len(batch)))
 		epoch := x.cache.epoch()
+		t0 := time.Time{}
+		if traced {
+			t0 = time.Now()
+		}
 		res, err := x.oracle.QueryBatch(pairs)
+		var dur time.Duration
+		if traced {
+			dur = time.Since(t0)
+		}
 		for i, r := range batch {
+			if r.tr != nil {
+				r.tr.SpanDur("exec", t0, dur)
+			}
 			if err != nil {
 				r.ch <- response{err: err}
 				continue
@@ -286,6 +340,20 @@ func (x *Executor) dispatch(batch []request) {
 			r.ch <- response{st: res[i]}
 		}
 	}()
+}
+
+// annotateOracle pins the overlay regime and generation onto a trace
+// when the serving oracle exposes them. No-op for nil traces and for
+// oracles without TraceInfo.
+func (x *Executor) annotateOracle(tr *obs.Trace) {
+	if tr == nil {
+		return
+	}
+	if ti, ok := x.oracle.(traceInfoer); ok {
+		regime, gen := ti.TraceInfo()
+		tr.Annotate("regime", regime)
+		tr.Annotate("generation", gen)
+	}
 }
 
 // flushCache drops every cached result. The registry calls it after a

@@ -15,6 +15,8 @@ import (
 	"sort"
 	"strings"
 	"time"
+
+	"repro/internal/obs"
 )
 
 // promEscape escapes a label value per the exposition format.
@@ -76,6 +78,11 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	}
 
 	var p promWriter
+	p.family("spanhop_build_info", "Binary identification; always 1.", "gauge")
+	bi := obs.Build()
+	p.sample("spanhop_build_info", [][2]string{
+		{"go_version", bi.GoVersion}, {"revision", bi.Revision}}, 1)
+
 	p.family("spanhop_uptime_seconds", "Daemon uptime.", "gauge")
 	p.sample("spanhop_uptime_seconds", nil, time.Since(s.start).Seconds())
 
@@ -197,6 +204,37 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 			p.sample(m.name, [][2]string{{"graph", row.info.ID}}, m.get(row.info.Dynamic))
 		}
 	}
+
+	// Lifecycle event counters (build queued/ready, snapshot written,
+	// rebuild swapped, ...) — the countable face of the structured
+	// event log.
+	p.family("spanhop_events_total", "Lifecycle events by kind.", "counter")
+	for _, ec := range s.cfg.Obs.Events().Snapshot() {
+		p.sample("spanhop_events_total", [][2]string{{"event", ec.Name}}, ec.Count)
+	}
+
+	// Recent-trace ring occupancy.
+	p.family("spanhop_traces_buffered", "Traces held in the /debug/traces ring.", "gauge")
+	p.sample("spanhop_traces_buffered", nil, s.cfg.Obs.Traces().Len())
+
+	// Go runtime health: heap, GC, goroutines, and scheduler latency
+	// quantiles (runnable-to-running wait — the canary for the build
+	// pool starving the query path).
+	rt := obs.ReadRuntime()
+	p.family("spanhop_go_goroutines", "Live goroutines.", "gauge")
+	p.sample("spanhop_go_goroutines", nil, rt.Goroutines)
+	p.family("spanhop_go_heap_alloc_bytes", "Bytes of live heap objects.", "gauge")
+	p.sample("spanhop_go_heap_alloc_bytes", nil, rt.HeapAlloc)
+	p.family("spanhop_go_heap_sys_bytes", "Heap bytes obtained from the OS.", "gauge")
+	p.sample("spanhop_go_heap_sys_bytes", nil, rt.HeapSys)
+	p.family("spanhop_go_gc_cycles_total", "Completed GC cycles.", "counter")
+	p.sample("spanhop_go_gc_cycles_total", nil, rt.GCCycles)
+	p.family("spanhop_go_gc_pause_seconds_total", "Cumulative GC stop-the-world pause.", "counter")
+	p.sample("spanhop_go_gc_pause_seconds_total", nil, rt.GCPauseTotal)
+	p.family("spanhop_go_sched_latency_seconds", "Scheduler latency quantiles.", "gauge")
+	p.sample("spanhop_go_sched_latency_seconds", [][2]string{{"quantile", "0.5"}}, rt.SchedLatP50)
+	p.sample("spanhop_go_sched_latency_seconds", [][2]string{{"quantile", "0.9"}}, rt.SchedLatP90)
+	p.sample("spanhop_go_sched_latency_seconds", [][2]string{{"quantile", "0.99"}}, rt.SchedLatP99)
 
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 	w.WriteHeader(http.StatusOK)

@@ -24,6 +24,7 @@ import (
 	spanhop "repro"
 	"repro/internal/exec"
 	"repro/internal/graph"
+	"repro/internal/obs"
 	"repro/internal/workload"
 )
 
@@ -82,6 +83,11 @@ type Entry struct {
 	buildC  context.Context
 	deleted atomic.Bool
 	tel     *exec.Telemetry
+	// btr is the build's trace: stage spans recorded by the build
+	// execution context, finished into the trace ring on ready/failed.
+	// Its ID is the request ID that registered the graph, tying the
+	// async build back to the POST /graphs that caused it.
+	btr *obs.Trace
 
 	// dyn owns the serving state once ready: the current static oracle
 	// and its base graph live inside it (and are REPLACED by rebuild
@@ -309,6 +315,15 @@ func NewRegistry(cfg Config) *Registry {
 // the build. A full build queue returns ErrBuildQueueFull and leaves
 // the registry unchanged.
 func (r *Registry) Add(spec GraphSpec) (*Entry, error) {
+	return r.AddCtx(context.Background(), spec)
+}
+
+// AddCtx is Add with the caller's context: the request ID minted at
+// the HTTP edge propagates onto the build's trace and lifecycle
+// events, so an async build failure is attributable to the POST that
+// queued it. The context is used for identification only — canceling
+// it does not cancel the build (DELETE does).
+func (r *Registry) AddCtx(ctx context.Context, spec GraphSpec) (*Entry, error) {
 	if spec.Eps == 0 {
 		spec.Eps = 0.25
 	}
@@ -348,6 +363,10 @@ func (r *Registry) Add(spec GraphSpec) (*Entry, error) {
 	} else if _, dup := r.entries[id]; dup {
 		return nil, fmt.Errorf("%w: %q", ErrDuplicateName, id)
 	}
+	rid := obs.RequestID(ctx)
+	if rid == "" {
+		rid = obs.NextRequestID()
+	}
 	buildC, cancel := context.WithCancel(context.Background())
 	e := &Entry{
 		id:      id,
@@ -358,7 +377,10 @@ func (r *Registry) Add(spec GraphSpec) (*Entry, error) {
 		buildC:  buildC,
 		cancel:  cancel,
 		tel:     exec.NewTelemetry(),
+		btr:     obs.NewTrace(rid),
 	}
+	e.btr.Annotate("kind", "build")
+	e.btr.Annotate("graph", id)
 	select {
 	case r.queue <- e:
 	default:
@@ -366,6 +388,7 @@ func (r *Registry) Add(spec GraphSpec) (*Entry, error) {
 	}
 	r.entries[id] = e
 	r.order = append(r.order, id)
+	r.cfg.Obs.Event("build_queued", "rid", rid, "graph", id, "spec", spec.Gen+spec.File)
 	return e, nil
 }
 
@@ -421,6 +444,7 @@ func (r *Registry) Delete(id string) (State, error) {
 	lock.Lock()
 	r.removeSnapshot(id)
 	lock.Unlock()
+	r.cfg.Obs.Event("graph_deleted", "graph", id, "state", string(state))
 	return state, nil
 }
 
@@ -449,17 +473,27 @@ func (r *Registry) List() []Info {
 // state.
 func (r *Registry) build(e *Entry) {
 	start := time.Now()
+	r.cfg.Obs.Event("build_started", "rid", e.btr.ID(), "graph", e.id)
 	fail := func(err error) {
 		e.mu.Lock()
 		e.state = StateFailed
 		e.err = err.Error()
 		e.buildMS = time.Since(start).Milliseconds()
 		e.mu.Unlock()
+		r.cfg.Obs.EventError("build_failed", err, "rid", e.btr.ID(), "graph", e.id,
+			"build_ms", time.Since(start).Milliseconds())
+		e.btr.Annotate("error", err.Error())
+		r.cfg.Obs.Publish(e.btr.Finish())
 	}
 	ec := exec.New(exec.Options{
 		Context:   e.buildC,
 		Workers:   r.cfg.buildExecWorkers(),
 		Telemetry: e.tel,
+		// Build stages double as trace spans: the same record exec
+		// telemetry keeps lands on the build trace as it closes.
+		OnStage: func(st exec.StageStats) {
+			e.btr.SpanEnd(st.Name, time.Duration(st.WallMS*float64(time.Millisecond)))
+		},
 	})
 	var g *graph.Graph
 	var oracle *spanhop.DistanceOracle
@@ -528,6 +562,12 @@ func (r *Registry) build(e *Entry) {
 		dyn.Close()
 		return
 	}
+	r.cfg.Obs.Event("build_ready", "rid", e.btr.ID(), "graph", e.id,
+		"build_ms", time.Since(start).Milliseconds(),
+		"n", g.NumVertices(), "m", g.NumEdges(), "hopset_edges", oracle.HopsetSize())
+	e.btr.Annotate("n", g.NumVertices())
+	e.btr.Annotate("m", g.NumEdges())
+	r.cfg.Obs.Publish(e.btr.Finish())
 	// Snapshot-on-ready: persist the freshly built oracle off the
 	// build worker so the next boot warm-starts it. Failures are
 	// recorded on the entry (surfaced via /stats), never fatal.
@@ -584,6 +624,25 @@ func (r *Registry) ForceRebuild(ctx context.Context, id string) (*DynamicInfo, e
 // rebuilt oracle's canonical answers — and the snapshot is rewritten
 // so the compacted state (not the journal) persists.
 func (r *Registry) hookRebuild(e *Entry, dyn *spanhop.DynamicOracle, ex *Executor) {
+	dyn.SetRebuildObserver(func(ev spanhop.RebuildEvent) {
+		switch ev.Kind {
+		case "start":
+			r.cfg.Obs.Event("rebuild_triggered", "graph", e.id,
+				"cause", ev.Cause, "generation", ev.Gen)
+		case "swap":
+			r.cfg.Obs.Event("rebuild_swapped", "graph", e.id,
+				"cause", ev.Cause, "generation", ev.Gen,
+				"rebuild_ms", ev.Dur.Milliseconds())
+			if ev.Compacted > 0 {
+				r.cfg.Obs.Event("journal_compacted", "graph", e.id,
+					"entries", ev.Compacted, "generation", ev.Gen)
+			}
+		case "fail":
+			r.cfg.Obs.EventError("rebuild_failed", ev.Err, "graph", e.id,
+				"cause", ev.Cause, "generation", ev.Gen,
+				"rebuild_ms", ev.Dur.Milliseconds())
+		}
+	})
 	dyn.SetOnRebuild(func() {
 		ex.flushCache()
 		r.scheduleSnapshot(e)

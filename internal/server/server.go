@@ -4,12 +4,14 @@ import (
 	"encoding/json"
 	"errors"
 	"net/http"
+	"net/http/pprof"
 	"runtime"
 	"time"
 
 	spanhop "repro"
 	"repro/internal/exec"
 	"repro/internal/graph"
+	"repro/internal/obs"
 )
 
 // Config tunes the serving subsystem. Zero values take defaults.
@@ -64,6 +66,14 @@ type Config struct {
 	RebuildMaxJournal       int
 	RebuildMaxPatchFraction float64
 	RebuildMaxStaleness     time.Duration
+
+	// Obs is the observability sink shared by the HTTP edge, the
+	// registry, and the executors: structured logs, lifecycle event
+	// counters (surfaced in /metrics), the recent-trace ring behind
+	// /debug/traces, server-side trace sampling, and the slow-query
+	// log. nil takes a quiet default (discarded logs, tracing only on
+	// client request) so library callers and tests need no wiring.
+	Obs *obs.Observer
 }
 
 // rebuildPolicy resolves the dynamic-overlay scheduler policy.
@@ -97,6 +107,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.CacheSize == 0 {
 		c.CacheSize = 4096
+	}
+	if c.Obs == nil {
+		c.Obs = obs.New(obs.Options{})
 	}
 	return c
 }
@@ -150,8 +163,11 @@ type Server struct {
 
 // New builds a Server and its registry.
 func New(cfg Config) *Server {
+	// Resolve defaults once so the registry, the executors, and the
+	// HTTP edge share one Observer (one trace ring, one event set).
+	cfg = cfg.withDefaults()
 	s := &Server{
-		cfg:   cfg.withDefaults(),
+		cfg:   cfg,
 		reg:   NewRegistry(cfg),
 		mux:   http.NewServeMux(),
 		start: time.Now(),
@@ -168,12 +184,31 @@ func New(cfg Config) *Server {
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
 	s.mux.HandleFunc("GET /stats", s.handleStats)
+	s.mux.HandleFunc("GET /debug/traces", s.handleTraces)
+	// net/http/pprof registers on DefaultServeMux; this server runs its
+	// own mux, so route the profile surface explicitly.
+	s.mux.HandleFunc("/debug/pprof/", pprof.Index)
+	s.mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	s.mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	s.mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	s.mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
 	return s
 }
 
-// Handler returns the routing handler (plug into http.Server or
-// httptest).
-func (s *Server) Handler() http.Handler { return s.mux }
+// Handler returns the routing handler wrapped with the observability
+// edge (plug into http.Server or httptest).
+func (s *Server) Handler() http.Handler { return s.edge(s.mux) }
+
+// edge is the outermost middleware: it mints the request ID every
+// layer below logs and traces under, stamps it into the context, and
+// echoes it in the X-Spanhop-Request response header.
+func (s *Server) edge(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		rid := obs.NextRequestID()
+		w.Header().Set("X-Spanhop-Request", rid)
+		next.ServeHTTP(w, r.WithContext(obs.WithRequestID(r.Context(), rid)))
+	})
+}
 
 // Registry exposes the graph registry (preloading, tests).
 func (s *Server) Registry() *Registry { return s.reg }
@@ -231,7 +266,7 @@ func (s *Server) handleAddGraph(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, err)
 		return
 	}
-	e, err := s.reg.Add(spec)
+	e, err := s.reg.AddCtx(r.Context(), spec)
 	if err != nil {
 		writeError(w, statusFor(err), err)
 		return
@@ -310,8 +345,14 @@ func (s *Server) queryError(w http.ResponseWriter, e *Entry, err error) {
 	writeError(w, statusFor(err), err)
 }
 
+// TraceHeader is the request header that asks for a traced query (any
+// non-empty value) and the response header carrying the finished
+// trace as compact JSON.
+const TraceHeader = "X-Spanhop-Trace"
+
 func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
-	e, ok := s.reg.Get(r.PathValue("id"))
+	id := r.PathValue("id")
+	e, ok := s.reg.Get(id)
 	if !ok {
 		writeError(w, http.StatusNotFound, ErrUnknownGraph)
 		return
@@ -321,13 +362,29 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		writeError(w, statusFor(err), err)
 		return
 	}
+	// A query is traced when the client asks (header) or the
+	// server-side sampler elects it; everyone else carries a nil
+	// trace, whose every touch below is a no-op.
+	ctx := r.Context()
+	var tr *obs.Trace
+	echo := r.Header.Get(TraceHeader) != ""
+	if echo || s.cfg.Obs.Sample() {
+		tr = obs.NewTrace(obs.RequestID(ctx))
+		tr.Annotate("graph", id)
+		ctx = obs.WithTrace(ctx, tr)
+	}
+	start := time.Now()
+	endDecode := tr.StartSpan("decode")
 	var q queryRequest
 	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<22))
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(&q); err != nil {
+		endDecode()
+		s.finishQueryTrace(w, tr, echo, start, id, err)
 		writeError(w, http.StatusBadRequest, err)
 		return
 	}
+	endDecode()
 	switch {
 	case q.Pairs != nil:
 		if q.S != nil || q.T != nil {
@@ -335,7 +392,8 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 				errors.New("server: give either s/t or pairs, not both"))
 			return
 		}
-		res, err := exec.Batch(r.Context(), q.Pairs)
+		res, err := exec.Batch(ctx, q.Pairs)
+		s.finishQueryTrace(w, tr, echo, start, id, err)
 		if err != nil {
 			s.queryError(w, e, err)
 			return
@@ -346,7 +404,8 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		}
 		writeJSON(w, http.StatusOK, map[string]any{"results": out})
 	case q.S != nil && q.T != nil:
-		st, err := exec.Query(r.Context(), *q.S, *q.T)
+		st, err := exec.Query(ctx, *q.S, *q.T)
+		s.finishQueryTrace(w, tr, echo, start, id, err)
 		if err != nil {
 			s.queryError(w, e, err)
 			return
@@ -356,6 +415,56 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest,
 			errors.New(`server: body needs {"s":..,"t":..} or {"pairs":[[s,t],..]}`))
 	}
+}
+
+// finishQueryTrace closes out one query's observability: the trace is
+// finished (before the response body is written, so it can ride the
+// response header), filed into the ring, and the slow-query log fires
+// when the latency crosses the threshold — traced or not.
+func (s *Server) finishQueryTrace(w http.ResponseWriter, tr *obs.Trace, echo bool, start time.Time, id string, qerr error) {
+	lat := time.Since(start)
+	var td obs.TraceData
+	if tr != nil {
+		if qerr != nil {
+			tr.Annotate("error", qerr.Error())
+		}
+		td = tr.Finish()
+		if echo {
+			if b, err := json.Marshal(td); err == nil {
+				w.Header().Set(TraceHeader, string(b))
+			}
+		}
+		s.cfg.Obs.Publish(td)
+	}
+	if s.cfg.Obs.SlowQuery(lat) {
+		rid := td.ID
+		if rid == "" {
+			// Untraced slow query: the edge middleware echoed the ID
+			// in the response header already minted for this request.
+			rid = w.Header().Get("X-Spanhop-Request")
+		}
+		args := []any{"rid", rid, "graph", id, "latency_ms", float64(lat.Microseconds()) / 1000}
+		if tr != nil {
+			args = append(args, "spans", td.SpanSummary(), "attrs", td.Attrs)
+		}
+		if qerr != nil {
+			args = append(args, "err", qerr)
+		}
+		s.cfg.Obs.Log().Warn("slow query", args...)
+	}
+}
+
+// handleTraces serves the recent-trace ring, newest first:
+// GET /debug/traces.
+func (s *Server) handleTraces(w http.ResponseWriter, r *http.Request) {
+	traces := s.cfg.Obs.Traces().Snapshot()
+	if traces == nil {
+		traces = []obs.TraceData{}
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"count":  len(traces),
+		"traces": traces,
+	})
 }
 
 // edgeUpdate is the wire shape of one mutation.

@@ -101,6 +101,7 @@ func (r *Registry) snapshotEntry(e *Entry) (SnapshotInfo, error) {
 		e.snapErr = err.Error()
 		info := e.snapshotInfoLocked()
 		e.mu.Unlock()
+		r.cfg.Obs.EventError("snapshot_failed", err, "graph", e.id)
 		return info, err
 	}
 	note, err := json.Marshal(spec)
@@ -149,6 +150,7 @@ func (r *Registry) snapshotEntry(e *Entry) (SnapshotInfo, error) {
 		_ = os.Remove(path)
 		return SnapshotInfo{}, fmt.Errorf("%w: %q", ErrUnknownGraph, e.id)
 	}
+	r.cfg.Obs.Event("snapshot_written", "graph", e.id, "file", filepath.Base(path), "bytes", size)
 	return info, nil
 }
 
@@ -170,22 +172,49 @@ func (r *Registry) removeSnapshot(id string) {
 	_ = os.Remove(r.snapshotPath(id) + ".tmp")
 }
 
+// WarmStartError describes one snapshot the boot scan skipped:
+// which file, which graph id it would have restored (when derivable),
+// and why — so an operator can tell WHICH snapshot is bad from the
+// log line alone.
+type WarmStartError struct {
+	// File is the offending filename within the snapshot directory
+	// (or the directory itself when the scan failed outright).
+	File string
+	// ID is the graph id the snapshot would have registered; empty
+	// when the filename does not map to a valid id.
+	ID  string
+	Err error
+}
+
+func (e WarmStartError) Error() string {
+	if e.ID != "" {
+		return fmt.Sprintf("%s (graph %s): %v", e.File, e.ID, e.Err)
+	}
+	return fmt.Sprintf("%s: %v", e.File, e.Err)
+}
+
+func (e WarmStartError) Unwrap() error { return e.Err }
+
 // WarmStart scans the snapshot directory and registers every readable
 // snapshot as a ready graph — no build is queued, no build-stage
 // telemetry is recorded, and queries are served the moment WarmStart
 // returns. Corrupt or foreign files are skipped and reported (a bad
 // snapshot must never take the daemon down); leftover temp files from
 // a crashed writer are swept. Returns how many graphs were restored.
-func (r *Registry) WarmStart() (int, []error) {
+func (r *Registry) WarmStart() (int, []WarmStartError) {
 	if r.cfg.SnapshotDir == "" {
 		return 0, nil
 	}
 	des, err := os.ReadDir(r.cfg.SnapshotDir)
 	if err != nil {
-		return 0, []error{err}
+		return 0, []WarmStartError{{File: r.cfg.SnapshotDir, Err: err}}
 	}
 	loaded := 0
-	var errs []error
+	var errs []WarmStartError
+	skip := func(we WarmStartError) {
+		r.cfg.Obs.EventError("warm_start_skipped", we.Err, "file", we.File, "graph", we.ID)
+		errs = append(errs, we)
+	}
 	for _, de := range des {
 		name := de.Name()
 		if de.IsDir() {
@@ -200,13 +229,14 @@ func (r *Registry) WarmStart() (int, []error) {
 		}
 		id := strings.TrimSuffix(name, ".snap")
 		if id == "" || !validName(id) {
-			errs = append(errs, fmt.Errorf("%s: id not a valid graph name", name))
+			skip(WarmStartError{File: name, Err: errors.New("id not a valid graph name")})
 			continue
 		}
 		if err := r.warmStartFile(id, filepath.Join(r.cfg.SnapshotDir, name)); err != nil {
-			errs = append(errs, fmt.Errorf("%s: %w", name, err))
+			skip(WarmStartError{File: name, ID: id, Err: err})
 			continue
 		}
+		r.cfg.Obs.Event("warm_start_restored", "file", name, "graph", id)
 		loaded++
 	}
 	return loaded, errs

@@ -1,0 +1,17 @@
+#!/usr/bin/env bash
+# Structured-logging gate: non-test code under internal/ must log
+# through log/slog (via internal/obs) — ad-hoc stdout/stderr prints
+# bypass -log-format/-log-level and are invisible to log shippers, so
+# CI rejects them. Tests and cmd/ tools (whose stdout IS the product)
+# are exempt.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+bad=$(grep -rnE '\b(log\.(Print|Printf|Println|Fatal|Fatalf|Fatalln|Panic|Panicf|Panicln)|fmt\.(Print|Printf|Println))\(' \
+    internal/ --include='*.go' | grep -v '_test\.go' || true)
+if [ -n "$bad" ]; then
+    echo "check-logging.sh: ad-hoc logging in internal/ — use log/slog via internal/obs instead:" >&2
+    echo "$bad" >&2
+    exit 1
+fi
+echo "check-logging.sh: OK (no ad-hoc prints in internal/)"

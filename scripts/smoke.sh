@@ -89,6 +89,41 @@ STATS=$(curl -fsS "http://$ADDR/stats")
 echo "$STATS"
 echo "$STATS" | grep -q '"build_stages"' || { echo "stats missing build_stages telemetry"; exit 1; }
 
+stage "observability: traced query burst, /debug/traces, pprof"
+# Every 2nd loadgen query requests a server-side trace; loadgen must
+# print the slowest request's span breakdown from the response header.
+"$DIR/bin/loadgen" -addr "http://$ADDR" -graph grid -mix uniform \
+    -concurrency 4 -requests 100 -trace-sample 2 | tee "$DIR/trace.out"
+grep -q "trace: spans cover" "$DIR/trace.out" \
+    || { echo "loadgen printed no span breakdown"; exit 1; }
+# The ring must hold the burst's traces with the expected span names.
+TRACES=$(curl -fsS "http://$ADDR/debug/traces")
+echo "$TRACES" | grep -q '"count":[1-9]' || { echo "trace ring empty after traced burst"; exit 1; }
+for span in decode queue-wait exec; do
+    echo "$TRACES" | grep -q "\"name\":\"$span\"" \
+        || { echo "trace ring missing span \"$span\""; exit 1; }
+done
+echo "$TRACES" | grep -q '"batch_size"' || { echo "traces missing batch_size annotation"; exit 1; }
+# One explicitly traced request must echo the breakdown in-band.
+# (Buffer curl output before grep -q: -q closes the pipe on the first
+# match, and pipefail would turn curl's resulting EPIPE into a fail.)
+TRACED=$(curl -fsSi -X POST -H 'X-Spanhop-Trace: 1' "http://$ADDR/graphs/grid/query" \
+    -d '{"s":1,"t":223}')
+echo "$TRACED" | grep -qi '^X-Spanhop-Trace:' \
+    || { echo "traced query echoed no X-Spanhop-Trace header"; exit 1; }
+# pprof and the runtime/build-info metrics are live.
+HEAP=$(curl -fsS "http://$ADDR/debug/pprof/heap?debug=1")
+echo "$HEAP" | grep -q "heap profile" \
+    || { echo "pprof heap endpoint unavailable; got:"; echo "$HEAP" | head -5; exit 1; }
+METRICS=$(curl -fsS "http://$ADDR/metrics")
+echo "$METRICS" | grep -q 'spanhop_build_info{' || { echo "metrics missing build_info"; exit 1; }
+echo "$METRICS" | grep -q 'spanhop_go_goroutines' || { echo "metrics missing runtime gauges"; exit 1; }
+echo "$METRICS" | grep -q 'spanhop_events_total{event="build_ready"}' \
+    || { echo "metrics missing lifecycle event counters"; exit 1; }
+
+stage "structured-logging gate (no ad-hoc prints in internal/)"
+"$(dirname "$0")/check-logging.sh"
+
 stage "wait for the background snapshot write"
 for i in $(seq 1 100); do
     [ -f "$SNAPDIR/grid.snap" ] && break
