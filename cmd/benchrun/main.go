@@ -4,7 +4,8 @@
 //
 // Run the suite:
 //
-//	benchrun [-mode short|full] [-run regexp] [-rounds 3] [-out BENCH_6.json] [-note "..."]
+//	benchrun [-mode short|full] [-run regexp] [-rounds 3] [-out BENCH_6.json] [-note "..."] \
+//	    [-cpuprofile cpu.pprof] [-memprofile mem.pprof]
 //
 // Short mode skips the large-graph stress entries (rmat scale-22,
 // DIMACS road) and is what CI runs; full mode is the checked-in
@@ -32,6 +33,8 @@ import (
 	"os"
 	"os/exec"
 	"regexp"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 	"time"
 
@@ -47,6 +50,8 @@ func main() {
 	diff := flag.Bool("diff", false, "compare two reports: benchrun -diff OLD.json NEW.json")
 	threshold := flag.Float64("threshold", bench.DefaultThreshold, "relative regression gate for -diff (0.10 = 10%)")
 	list := flag.Bool("list", false, "list suite entries and exit")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the suite run to this file (go tool pprof)")
+	memprofile := flag.String("memprofile", "", "write an allocation profile (after a final GC) to this file")
 	flag.Parse()
 
 	if *diff {
@@ -89,7 +94,29 @@ func main() {
 	logf := func(format string, args ...any) {
 		fmt.Fprintf(os.Stderr, format+"\n", args...)
 	}
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fatal(fmt.Errorf("-cpuprofile: %w", err))
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fatal(fmt.Errorf("-cpuprofile: %w", err))
+		}
+		defer f.Close()
+		defer pprof.StopCPUProfile()
+	}
 	results := bench.Run(specs, bench.RunOptions{Full: full, Filter: filter, Rounds: *rounds, Logf: logf})
+	if *memprofile != "" {
+		f, err := os.Create(*memprofile)
+		if err != nil {
+			fatal(fmt.Errorf("-memprofile: %w", err))
+		}
+		runtime.GC() // flush the final allocations into the profile
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			fatal(fmt.Errorf("-memprofile: %w", err))
+		}
+		f.Close()
+	}
 	report := &bench.Report{
 		Schema:    bench.SchemaVersion,
 		Mode:      *mode,

@@ -237,7 +237,7 @@ func TestSuiteShortModeRuns(t *testing.T) {
 	}
 	specs := Suite()
 	results := Run(specs, RunOptions{
-		Filter: regexp.MustCompile(`^dynamic/clean$|^snapshot/save`),
+		Filter: regexp.MustCompile(`^dynamic/clean$|^snapshot/save-grid-50x50$`),
 		Logf:   t.Logf,
 	})
 	if len(results) != 2 {

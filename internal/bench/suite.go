@@ -2,6 +2,7 @@ package bench
 
 import (
 	"bytes"
+	"os"
 	"sync"
 	"testing"
 
@@ -112,6 +113,45 @@ func builtOracle(name string, g *graph.Graph) *spanhop.DistanceOracle {
 	return o.(*spanhop.DistanceOracle)
 }
 
+// flatSnapshotFile memoizes the flat-arena (v3) snapshot file of
+// name's oracle and returns its path.
+func flatSnapshotFile(b *testing.B, name string, g *graph.Graph) string {
+	cacheName := "flat-file:" + name
+	if p, ok := graphCache.Load(cacheName); ok {
+		return p.(string)
+	}
+	o := builtOracle(name, g)
+	f, err := os.CreateTemp("", "spanhop-bench-*.snap")
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := spanhop.SaveOracleFlat(f, o); err != nil {
+		b.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		b.Fatal(err)
+	}
+	p, _ := graphCache.LoadOrStore(cacheName, f.Name())
+	return p.(string)
+}
+
+// flatOracle memoizes a flat-arena-backed restore of name's oracle
+// (OpenOracleFile over the memoized snapshot), so the flat query
+// benchmarks measure the mapped-memory serving path against the same
+// workload the pointer-oracle entries run.
+func flatOracle(b *testing.B, name string, g *graph.Graph) *spanhop.DistanceOracle {
+	cacheName := "flat-oracle:" + name
+	if o, ok := graphCache.Load(cacheName); ok {
+		return o.(*spanhop.DistanceOracle)
+	}
+	o, _, err := spanhop.OpenOracleFile(flatSnapshotFile(b, name, g), g, spanhop.OracleOptions{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	got, _ := graphCache.LoadOrStore(cacheName, o)
+	return got.(*spanhop.DistanceOracle)
+}
+
 // Suite returns the canonical benchmark list in trajectory order.
 func Suite() []Spec {
 	return []Spec{
@@ -205,6 +245,63 @@ func Suite() []Spec {
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
 				if _, err := spanhop.LoadOracle(bytes.NewReader(raw), g, spanhop.OracleOptions{}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}},
+
+		// --- flat arena (snapshot v3): mmap warm start + mapped-memory
+		// queries, against the same grid the codec and pointer entries
+		// measure ---
+		{Name: "snapshot/save-flat-grid-50x50", Run: func(b *testing.B) {
+			o := builtOracle("grid50", queryGrid50())
+			var buf bytes.Buffer
+			if err := spanhop.SaveOracleFlat(&buf, o); err != nil {
+				b.Fatal(err)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				buf.Reset()
+				if err := spanhop.SaveOracleFlat(&buf, o); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(float64(buf.Len()), "snapshot_bytes")
+		}},
+		{Name: "snapshot/mmap-load-grid-50x50", Run: func(b *testing.B) {
+			g := queryGrid50()
+			path := flatSnapshotFile(b, "grid50", g)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, _, err := spanhop.OpenOracleFile(path, g, spanhop.OracleOptions{}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}},
+		{Name: "query/flat-serial-grid-50x50", Run: func(b *testing.B) {
+			o := flatOracle(b, "grid50", queryGrid50())
+			pairs := queryPairs(o.Graph(), 64)
+			warmBatch(b, o, pairs)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				for _, p := range pairs {
+					if _, err := o.QueryStats(p[0], p[1]); err != nil {
+						b.Fatal(err)
+					}
+				}
+			}
+		}},
+		{Name: "query/flat-batch-grid-50x50", Run: func(b *testing.B) {
+			o := flatOracle(b, "grid50", queryGrid50())
+			pairs := queryPairs(o.Graph(), 64)
+			warmBatch(b, o, pairs)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := o.QueryBatch(pairs); err != nil {
 					b.Fatal(err)
 				}
 			}

@@ -1,0 +1,95 @@
+package flat
+
+import (
+	"fmt"
+	"os"
+	"runtime"
+)
+
+// Mapping is an arena file resident in memory — mmap'd where the
+// platform supports it, read into an aligned heap buffer otherwise.
+// Everything Open returns over a mapping's bytes aliases it, and the
+// garbage collector does not trace mmap'd memory through those
+// aliases: whoever holds the opened oracle must also hold the Mapping
+// (the snapshot facade threads it into the oracle for exactly this
+// reason), and the finalizer unmaps only once both are unreachable.
+type Mapping struct {
+	data   []byte
+	mapped bool
+	closed bool
+}
+
+// Bytes returns the resident arena. Treat as read-only: mmap'd pages
+// are PROT_READ and writing them faults.
+func (m *Mapping) Bytes() []byte { return m.data }
+
+// Mapped reports whether the bytes are an actual memory mapping
+// (false on the portable read fallback).
+func (m *Mapping) Mapped() bool { return m.mapped }
+
+// Size returns the resident length in bytes.
+func (m *Mapping) Size() int64 { return int64(len(m.data)) }
+
+// Close releases the mapping immediately. Only call it when nothing
+// opened over the mapping is still reachable — error paths before an
+// oracle adopted the bytes. Normal serving paths never call Close and
+// let the finalizer reclaim the pages.
+func (m *Mapping) Close() error {
+	if m.closed {
+		return nil
+	}
+	m.closed = true
+	runtime.SetFinalizer(m, nil)
+	err := m.unmap()
+	m.data = nil
+	return err
+}
+
+func (m *Mapping) finalize() {
+	if !m.closed {
+		m.closed = true
+		m.unmap()
+	}
+}
+
+// MapFile makes an arena file resident for Open. On unix the file is
+// mmap'd PROT_READ/MAP_SHARED — startup cost is page-table setup, and
+// the kernel faults pages in as queries touch them — and the file
+// descriptor is closed immediately (the mapping outlives it; a
+// rename-over or unlink of the file leaves the mapping intact, which
+// is what makes the server's atomic snapshot rotation safe under a
+// live mapping). Elsewhere, and under the purego build tag, the file
+// is read whole into an 8-byte-aligned buffer; every byte of the
+// format is identical.
+//
+// MapFile maps any file as-is; Open performs all validation. The only
+// checks here are the ones mmap itself needs (a regular, non-empty
+// file that fits in an int).
+func MapFile(path string) (*Mapping, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	st, err := f.Stat()
+	if err != nil {
+		return nil, err
+	}
+	if !st.Mode().IsRegular() {
+		return nil, fmt.Errorf("flat: %s is not a regular file", path)
+	}
+	size := st.Size()
+	if size < headerSize {
+		return nil, corruptf("arena file of %d bytes is smaller than a header", size)
+	}
+	const maxInt = int64(^uint(0) >> 1)
+	if size > maxInt {
+		return nil, fmt.Errorf("flat: arena of %d bytes exceeds the address space", size)
+	}
+	m, err := mapFile(f, int(size))
+	if err != nil {
+		return nil, err
+	}
+	runtime.SetFinalizer(m, (*Mapping).finalize)
+	return m, nil
+}

@@ -1,0 +1,22 @@
+//go:build !unix || purego
+
+package flat
+
+import (
+	"io"
+	"os"
+)
+
+// mapFile reads the whole file into an 8-byte-aligned heap buffer —
+// the portable stand-in for mmap. The arena bytes and everything Open
+// does with them are identical; only the residency mechanism differs.
+func mapFile(f *os.File, size int) (*Mapping, error) {
+	buf := alignedBuf(size)
+	if _, err := io.ReadFull(f, buf); err != nil {
+		return nil, err
+	}
+	return &Mapping{data: buf}, nil
+}
+
+// unmap is a no-op: the buffer is ordinary garbage-collected memory.
+func (m *Mapping) unmap() error { return nil }

@@ -1,0 +1,25 @@
+//go:build unix && !purego
+
+package flat
+
+import (
+	"os"
+	"syscall"
+)
+
+// mapFile mmaps the whole file read-only. MAP_SHARED keeps the page
+// cache shared between every process mapping the same snapshot.
+func mapFile(f *os.File, size int) (*Mapping, error) {
+	data, err := syscall.Mmap(int(f.Fd()), 0, size, syscall.PROT_READ, syscall.MAP_SHARED)
+	if err != nil {
+		return nil, err
+	}
+	return &Mapping{data: data, mapped: true}, nil
+}
+
+func (m *Mapping) unmap() error {
+	if !m.mapped || m.data == nil {
+		return nil
+	}
+	return syscall.Munmap(m.data)
+}

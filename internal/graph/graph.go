@@ -22,6 +22,7 @@ import (
 	"fmt"
 	"math"
 	"sort"
+	"sync/atomic"
 
 	"repro/internal/par"
 )
@@ -67,6 +68,13 @@ type Graph struct {
 	// origEID maps this graph's edge ids to the edge ids of the graph
 	// it was contracted from. Nil unless produced by Contract.
 	origEID []int32
+
+	// fpVal/fpOK cache Fingerprint: the graph is immutable, and the
+	// digest walks the whole edge list, so compute it at most once.
+	// fpVal is published before fpOK; a racing second computation
+	// stores the same digest, so the pair needs no mutex.
+	fpVal atomic.Uint64
+	fpOK  atomic.Bool
 }
 
 // NumVertices returns n.

@@ -184,8 +184,12 @@ func ReadAuto(r io.Reader) (*Graph, error) {
 // (endpoints and weights) in order. Two graphs with equal fingerprints
 // are CSR-identical for every deterministic algorithm in this
 // repository, which is what snapshot loading validates before binding
-// a restored oracle to a caller-supplied graph.
+// a restored oracle to a caller-supplied graph. The digest is cached
+// on first use (the graph is immutable).
 func (g *Graph) Fingerprint() uint64 {
+	if g.fpOK.Load() {
+		return g.fpVal.Load()
+	}
 	h := fnv.New64a()
 	var buf [8]byte
 	put32 := func(v int32) {
@@ -209,7 +213,10 @@ func (g *Graph) Fingerprint() uint64 {
 		put32(e.V)
 		put64(e.W)
 	}
-	return h.Sum64()
+	fp := h.Sum64()
+	g.fpVal.Store(fp)
+	g.fpOK.Store(true)
+	return fp
 }
 
 // ReadBinary parses the WriteBinary format.

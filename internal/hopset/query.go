@@ -177,7 +177,10 @@ func (s *Scaled) QueryOn(ec *exec.Ctx, src, dst graph.V, cost *par.Cost) QueryRe
 // O(m) build runs under the cache lock: concurrent cold queries (the
 // oracle's QueryBatch fan-out) hitting the same handful of qHat values
 // then build each rounded graph once instead of once per goroutine —
-// brief serialization beats duplicated builds and peak memory.
+// brief serialization beats duplicated builds and peak memory. The
+// cache holds at most roundedAugCap granularities (LRU eviction): an
+// evicted granularity rebuilds identically on its next use, so the
+// bound changes memory, never answers.
 func (s *Scaled) roundedAugmented(qHat graph.W) *graph.Graph {
 	if qHat <= 1 {
 		return s.Augmented()
@@ -186,11 +189,42 @@ func (s *Scaled) roundedAugmented(qHat graph.W) *graph.Graph {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if g, ok := s.roundedAug[qHat]; ok {
+		s.touchRounded(qHat)
 		return g
 	}
 	g := roundGraph(aug, qHat)
+	if s.roundedAug == nil {
+		s.roundedAug = map[graph.W]*graph.Graph{}
+	}
 	s.roundedAug[qHat] = g
+	s.roundedOrder = append(s.roundedOrder, qHat)
+	if len(s.roundedOrder) > roundedAugCap {
+		evict := s.roundedOrder[0]
+		s.roundedOrder = s.roundedOrder[1:]
+		delete(s.roundedAug, evict)
+	}
 	return g
+}
+
+// touchRounded moves qHat to the most-recent end of the eviction
+// order; s.mu held. The order list is at most roundedAugCap long, so
+// the linear scan is cheaper than any list structure.
+func (s *Scaled) touchRounded(qHat graph.W) {
+	for i, k := range s.roundedOrder {
+		if k == qHat {
+			copy(s.roundedOrder[i:], s.roundedOrder[i+1:])
+			s.roundedOrder[len(s.roundedOrder)-1] = qHat
+			return
+		}
+	}
+}
+
+// RoundedCacheLen reports how many rounded-augmented graphs are
+// currently cached (tests assert the roundedAugCap bound).
+func (s *Scaled) RoundedCacheLen() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.roundedAug)
 }
 
 // ExactDistance returns the true s-t distance via Dijkstra on the base

@@ -87,9 +87,22 @@ type Scaled struct {
 	mu  sync.Mutex
 	aug *graph.Graph // lazily built Base ∪ all hopset edges
 	// roundedAug caches augmented graphs rounded at each query
-	// granularity encountered.
-	roundedAug map[graph.W]*graph.Graph
+	// granularity encountered, bounded to roundedAugCap entries with
+	// LRU eviction (roundedOrder is the recency list, most recent
+	// last): query hop budgets escalate geometrically, so steady-state
+	// traffic touches a handful of granularities, but an adversarial
+	// query mix must not grow the cache without bound.
+	roundedAug   map[graph.W]*graph.Graph
+	roundedOrder []graph.W
 }
+
+// roundedAugCap bounds the rounded-augmented-graph cache. Budgets
+// escalate by Params.Escalation per round from InitialHopBudget up to
+// the Lemma 4.2 ceiling, so the distinct qHat values per band form a
+// short geometric ladder; 8 entries cover every ladder seen in the
+// test suite with room to spare while capping worst-case memory at
+// 8 augmented-graph copies.
+const roundedAugCap = 8
 
 // NewScaled assembles a queryable Scaled from already-built parts —
 // the snapshot decoder's entry point. The caller guarantees the scales
@@ -104,16 +117,12 @@ func NewScaled(base *graph.Graph, scales []Scale, wp WeightedParams) *Scaled {
 // Rebind points the hopset at an equivalent base graph (same
 // fingerprint; the caller validates). Snapshot loading uses it to
 // share the caller's already-resident graph instead of the embedded
-// copy. It must only be called before the first query: the lazy
-// augmented-graph caches key off Base.
+// copy. The augmented-graph caches survive: they are built from edge
+// values only, and a fingerprint-equal graph has bit-identical edges.
 func (s *Scaled) Rebind(base *graph.Graph) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.Base = base
-	s.aug = nil
-	for k := range s.roundedAug {
-		delete(s.roundedAug, k)
-	}
 }
 
 // Edges returns the union of all bands' hopset edges.

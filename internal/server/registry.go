@@ -142,6 +142,11 @@ type Info struct {
 	BuildStages []exec.StageStats `json:"build_stages,omitempty"`
 	// WarmStarted marks a graph restored from a snapshot at boot.
 	WarmStarted bool `json:"warm_started,omitempty"`
+	// Flat marks an oracle served from a mapped flat arena (a v3
+	// snapshot warm start); FlatBytes is the arena size backing it.
+	// Cleared once a rebuild swaps in a freshly built oracle.
+	Flat      bool  `json:"flat,omitempty"`
+	FlatBytes int64 `json:"flat_bytes,omitempty"`
 	// Snapshot describes the graph's on-disk snapshot, when snapshot
 	// persistence is configured.
 	Snapshot *SnapshotInfo `json:"snapshot,omitempty"`
@@ -217,6 +222,7 @@ func (e *Entry) Info() Info {
 		info.Decomposed = oracle.Decomposed()
 		info.Instances = oracle.InstanceCount()
 		info.Degenerate = oracle.Degenerate()
+		info.Flat, info.FlatBytes = oracle.FlatInfo()
 	}
 	info.Dynamic = dynamicInfo(e.dyn)
 	info.BuildStages = e.tel.Snapshot()

@@ -3,6 +3,7 @@ package server
 import (
 	"encoding/json"
 	"errors"
+	"fmt"
 	"net/http"
 	"net/http/pprof"
 	"runtime"
@@ -54,6 +55,13 @@ type Config struct {
 	// the journal), and DELETE /graphs/{id} removes the file. Empty
 	// disables persistence.
 	SnapshotDir string
+	// SnapshotFormat picks the on-disk snapshot encoding:
+	// SnapshotFormatFlat (the default) writes the v3 flat arena, which
+	// WarmStart restores by memory mapping instead of decoding;
+	// SnapshotFormatCodec writes the portable v2 streaming codec.
+	// WarmStart always accepts both — the format is sniffed per file —
+	// so switching formats across restarts needs no migration.
+	SnapshotFormat string
 
 	// Rebuild policy for the dynamic-update overlay: a background
 	// rebuild of a graph's oracle triggers once RebuildMaxJournal
@@ -74,6 +82,22 @@ type Config struct {
 	// log. nil takes a quiet default (discarded logs, tracing only on
 	// client request) so library callers and tests need no wiring.
 	Obs *obs.Observer
+}
+
+// Snapshot format names for Config.SnapshotFormat.
+const (
+	// SnapshotFormatFlat is the v3 flat-arena format: mmap-restored on
+	// warm start, host-endianness, every section checksummed.
+	SnapshotFormatFlat = "flat"
+	// SnapshotFormatCodec is the v2 streaming codec: portable across
+	// machines, decoded (not mapped) on warm start.
+	SnapshotFormatCodec = "codec"
+)
+
+// snapshotFlat reports whether snapshot writes use the flat-arena
+// format (empty defaults to flat; withDefaults rejected anything else).
+func (c Config) snapshotFlat() bool {
+	return c.SnapshotFormat != SnapshotFormatCodec
 }
 
 // rebuildPolicy resolves the dynamic-overlay scheduler policy.
@@ -110,6 +134,16 @@ func (c Config) withDefaults() Config {
 	}
 	if c.Obs == nil {
 		c.Obs = obs.New(obs.Options{})
+	}
+	switch c.SnapshotFormat {
+	case "":
+		c.SnapshotFormat = SnapshotFormatFlat
+	case SnapshotFormatFlat, SnapshotFormatCodec:
+	default:
+		// A typo'd format silently picking a default would surprise the
+		// operator on the next warm start; fail loudly at construction.
+		panic(fmt.Sprintf("server: SnapshotFormat %q, want %q or %q",
+			c.SnapshotFormat, SnapshotFormatFlat, SnapshotFormatCodec))
 	}
 	return c
 }
@@ -594,7 +628,11 @@ type graphStats struct {
 	StatsSnapshot
 	BuildStages []exec.StageStats `json:"build_stages,omitempty"`
 	WarmStarted bool              `json:"warm_started,omitempty"`
-	Snapshot    *SnapshotInfo     `json:"snapshot,omitempty"`
+	// Flat marks an oracle serving straight out of a mapped v3 arena;
+	// FlatBytes is how many arena bytes back it.
+	Flat      bool          `json:"flat,omitempty"`
+	FlatBytes int64         `json:"flat_bytes,omitempty"`
+	Snapshot  *SnapshotInfo `json:"snapshot,omitempty"`
 	// Dynamic carries the live-update overlay gauges: generation
 	// window, pending journal, staleness, rebuild counters.
 	Dynamic *DynamicInfo `json:"dynamic,omitempty"`
@@ -612,6 +650,8 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 			StatsSnapshot: e.stats.Snapshot(),
 			BuildStages:   info.BuildStages,
 			WarmStarted:   info.WarmStarted,
+			Flat:          info.Flat,
+			FlatBytes:     info.FlatBytes,
 			Snapshot:      info.Snapshot,
 			Dynamic:       info.Dynamic,
 		}

@@ -22,6 +22,7 @@ import (
 
 	spanhop "repro"
 	"repro/internal/exec"
+	"repro/internal/snapshot"
 )
 
 // ErrNoSnapshots reports a snapshot operation against a server that
@@ -114,10 +115,17 @@ func (r *Registry) snapshotEntry(e *Entry) (SnapshotInfo, error) {
 	if err != nil {
 		return record(err)
 	}
-	// SaveDynamicOracle persists the current base oracle plus any
-	// pending mutation journal, so a warm start replays updates the
-	// scheduler had not yet folded in.
-	werr := spanhop.SaveDynamicOracle(f, dyn, note)
+	// Either writer persists the current base oracle plus any pending
+	// mutation journal, so a warm start replays updates the scheduler
+	// had not yet folded in. The flat default writes the v3 arena the
+	// next boot restores by mmap; -snapshot-format codec keeps the
+	// portable v2 stream.
+	var werr error
+	if r.cfg.snapshotFlat() {
+		werr = spanhop.SaveDynamicOracleFlat(f, dyn, note)
+	} else {
+		werr = spanhop.SaveDynamicOracle(f, dyn, note)
+	}
 	if werr == nil {
 		werr = f.Sync() // the rename must publish fully durable bytes
 	}
@@ -242,16 +250,30 @@ func (r *Registry) WarmStart() (int, []WarmStartError) {
 	return loaded, errs
 }
 
-// warmStartFile restores one snapshot into a ready entry.
+// warmStartFile restores one snapshot into a ready entry. The format
+// is sniffed per file — a v3 arena is memory-mapped (startup is
+// checksum validation, pages fault in as queries touch them), a codec
+// stream is decoded — so a directory can mix formats and a
+// -snapshot-format change needs no migration.
 func (r *Registry) warmStartFile(id, path string) error {
-	f, err := os.Open(path)
-	if err != nil {
-		return err
-	}
-	defer f.Close()
-	dyn, note, err := spanhop.LoadDynamicOracle(f, nil, spanhop.OracleOptions{
+	opt := spanhop.OracleOptions{
 		QueryExec: exec.Parallel(r.cfg.queryExecWorkers()),
-	}, r.cfg.rebuildPolicy())
+	}
+	var (
+		dyn  *spanhop.DynamicOracle
+		note []byte
+		err  error
+	)
+	if snapshot.IsFlatFile(path) {
+		dyn, note, err = spanhop.OpenDynamicOracleFile(path, nil, opt, r.cfg.rebuildPolicy())
+	} else {
+		var f *os.File
+		if f, err = os.Open(path); err != nil {
+			return err
+		}
+		dyn, note, err = spanhop.LoadDynamicOracle(f, nil, opt, r.cfg.rebuildPolicy())
+		f.Close()
+	}
 	if err != nil {
 		return err
 	}

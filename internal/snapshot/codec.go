@@ -1,11 +1,13 @@
 package snapshot
 
 import (
+	"bufio"
 	"errors"
 	"fmt"
 	"io"
 
 	"repro/internal/dynamic"
+	"repro/internal/flat"
 	"repro/internal/graph"
 	"repro/internal/hopset"
 	"repro/internal/wscale"
@@ -101,12 +103,25 @@ func writeOracleVersion(w io.Writer, g *graph.Graph, o *Oracle, note []byte, ver
 	return e.flush()
 }
 
-// ReadOracle parses a WriteOracle stream, returning the restored
-// oracle skeleton, the embedded base graph, and the caller annotation
-// (nil when none was written). Every structural invariant the query
-// path relies on is validated; any violation, truncation, or checksum
-// mismatch returns an error wrapping ErrCorrupt.
+// ReadOracle parses a WriteOracle or WriteOracleFlat stream (the
+// 4-byte magic negotiates the format), returning the restored oracle
+// skeleton, the embedded base graph, and the caller annotation (nil
+// when none was written). Every structural invariant the query path
+// relies on is validated; any violation, truncation, or checksum
+// mismatch returns an error wrapping ErrCorrupt. A v3 arena arriving
+// through this generic-reader path is slurped into an aligned buffer
+// and opened in place; use MapOracleFile to open an arena file
+// without reading it.
 func ReadOracle(r io.Reader) (*Oracle, *graph.Graph, []byte, error) {
+	br := bufio.NewReaderSize(r, 1<<16)
+	if prefix, err := br.Peek(4); err == nil && flat.IsArena(prefix) {
+		data, err := io.ReadAll(br)
+		if err != nil {
+			return nil, nil, nil, corruptf("reading arena: %v", err)
+		}
+		return OpenOracleArena(flat.AlignBytes(data), nil)
+	}
+	r = br
 	d := newDecoder(r)
 	d.header()
 	mode, eps, seed, fp := readMeta(d)

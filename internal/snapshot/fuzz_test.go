@@ -52,6 +52,26 @@ func FuzzReadOracle(f *testing.F) {
 	_ = WriteScaled(&scaled, hopset.BuildScaled(small, hopset.DefaultWeightedParams(6), nil), nil)
 	f.Add(scaled.Bytes())
 
+	// Version-3 flat arenas ride the same reader (ReadOracle sniffs the
+	// magic): valid direct and decomposed arenas, one with a journal,
+	// plus truncated and bit-flipped mutants.
+	if arena, err := FreezeOracle(small, o, []byte("spec")); err == nil {
+		f.Add(arena.Bytes())
+		f.Add(arena.Bytes()[:len(arena.Bytes())-9])
+		flipped := append([]byte(nil), arena.Bytes()...)
+		flipped[len(flipped)/2] ^= 0xA5
+		f.Add(flipped)
+	}
+	if od.Dec != nil {
+		if arena, err := FreezeOracle(multi, od, nil); err == nil {
+			f.Add(arena.Bytes())
+		}
+	}
+	if arena, err := FreezeOracle(small, oj, nil); err == nil {
+		f.Add(arena.Bytes())
+	}
+	f.Add([]byte("SPF3")) // arena magic only
+
 	f.Add([]byte{})
 	f.Add([]byte{0x53, 0x50, 0x53, 0x31})         // magic only
 	f.Add(direct.Bytes()[:len(direct.Bytes())/2]) // truncated mid-section

@@ -5,6 +5,7 @@ import (
 	"math"
 
 	"repro/internal/exec"
+	"repro/internal/flat"
 	"repro/internal/hopset"
 	"repro/internal/par"
 	"repro/internal/wscale"
@@ -51,6 +52,12 @@ type DistanceOracle struct {
 	// cancellation, because a query must never return a truncated
 	// answer.
 	queryEc *exec.Ctx
+
+	// arena pins the flat-snapshot mapping this oracle's arrays alias
+	// (OpenOracleFile); nil for built or codec-loaded oracles. The GC
+	// does not trace mmap'd memory through the aliasing slices, so the
+	// oracle itself must keep the mapping reachable.
+	arena *flat.Mapping
 }
 
 // OracleOptions tune DistanceOracle preprocessing.

@@ -72,7 +72,7 @@ done
 stage "single query via curl"
 OUT=$(curl -fsS -X POST "http://$ADDR/graphs/grid/query" -d '{"s":0,"t":224}')
 echo "$OUT"
-echo "$OUT" | grep -q '"dist":' || { echo "query response missing dist"; exit 1; }
+grep -q '"dist":' <<<"$OUT" || { echo "query response missing dist"; exit 1; }
 COLD_DIST=$(echo "$OUT" | sed -n 's/.*"dist":\([0-9]*\).*/\1/p')
 
 stage "loadgen with bit-exact verification"
@@ -87,7 +87,7 @@ stage "loadgen mutation traffic: mutate, verify overlay + rebuilt answers"
 stage "/stats"
 STATS=$(curl -fsS "http://$ADDR/stats")
 echo "$STATS"
-echo "$STATS" | grep -q '"build_stages"' || { echo "stats missing build_stages telemetry"; exit 1; }
+grep -q '"build_stages"' <<<"$STATS" || { echo "stats missing build_stages telemetry"; exit 1; }
 
 stage "observability: traced query burst, /debug/traces, pprof"
 # Every 2nd loadgen query requests a server-side trace; loadgen must
@@ -98,27 +98,27 @@ grep -q "trace: spans cover" "$DIR/trace.out" \
     || { echo "loadgen printed no span breakdown"; exit 1; }
 # The ring must hold the burst's traces with the expected span names.
 TRACES=$(curl -fsS "http://$ADDR/debug/traces")
-echo "$TRACES" | grep -q '"count":[1-9]' || { echo "trace ring empty after traced burst"; exit 1; }
+grep -q '"count":[1-9]' <<<"$TRACES" || { echo "trace ring empty after traced burst"; exit 1; }
 for span in decode queue-wait exec; do
-    echo "$TRACES" | grep -q "\"name\":\"$span\"" \
+    grep -q "\"name\":\"$span\"" <<<"$TRACES" \
         || { echo "trace ring missing span \"$span\""; exit 1; }
 done
-echo "$TRACES" | grep -q '"batch_size"' || { echo "traces missing batch_size annotation"; exit 1; }
+grep -q '"batch_size"' <<<"$TRACES" || { echo "traces missing batch_size annotation"; exit 1; }
 # One explicitly traced request must echo the breakdown in-band.
 # (Buffer curl output before grep -q: -q closes the pipe on the first
 # match, and pipefail would turn curl's resulting EPIPE into a fail.)
 TRACED=$(curl -fsSi -X POST -H 'X-Spanhop-Trace: 1' "http://$ADDR/graphs/grid/query" \
     -d '{"s":1,"t":223}')
-echo "$TRACED" | grep -qi '^X-Spanhop-Trace:' \
+grep -qi '^X-Spanhop-Trace:' <<<"$TRACED" \
     || { echo "traced query echoed no X-Spanhop-Trace header"; exit 1; }
 # pprof and the runtime/build-info metrics are live.
 HEAP=$(curl -fsS "http://$ADDR/debug/pprof/heap?debug=1")
-echo "$HEAP" | grep -q "heap profile" \
+grep -q "heap profile" <<<"$HEAP" \
     || { echo "pprof heap endpoint unavailable; got:"; echo "$HEAP" | head -5; exit 1; }
 METRICS=$(curl -fsS "http://$ADDR/metrics")
-echo "$METRICS" | grep -q 'spanhop_build_info{' || { echo "metrics missing build_info"; exit 1; }
-echo "$METRICS" | grep -q 'spanhop_go_goroutines' || { echo "metrics missing runtime gauges"; exit 1; }
-echo "$METRICS" | grep -q 'spanhop_events_total{event="build_ready"}' \
+grep -q 'spanhop_build_info{' <<<"$METRICS" || { echo "metrics missing build_info"; exit 1; }
+grep -q 'spanhop_go_goroutines' <<<"$METRICS" || { echo "metrics missing runtime gauges"; exit 1; }
+grep -q 'spanhop_events_total{event="build_ready"}' <<<"$METRICS" \
     || { echo "metrics missing lifecycle event counters"; exit 1; }
 
 stage "structured-logging gate (no ad-hoc prints in internal/)"
@@ -165,9 +165,9 @@ start_daemon "$DIR/spanhopd2.log"
 wait_healthz "$DIR/spanhopd2.log"
 INFO=$(curl -fsS "http://$ADDR/graphs/grid")
 echo "$INFO"
-echo "$INFO" | grep -q '"state":"ready"' || { echo "warm-started graph not ready"; exit 1; }
-echo "$INFO" | grep -q '"warm_started":true' || { echo "graph not marked warm_started"; exit 1; }
-echo "$INFO" | grep -q '"build_stages"' && { echo "warm start recorded build stages — a rebuild happened"; exit 1; }
+grep -q '"state":"ready"' <<<"$INFO" || { echo "warm-started graph not ready"; exit 1; }
+grep -q '"warm_started":true' <<<"$INFO" || { echo "graph not marked warm_started"; exit 1; }
+grep -q '"build_stages"' <<<"$INFO" && { echo "warm start recorded build stages — a rebuild happened"; exit 1; }
 grep -q "warm-started 1 graph" "$DIR/spanhopd2.log" || { echo "no warm-start log line"; exit 1; }
 grep -q "skipping -load grid" "$DIR/spanhopd2.log" || { echo "preload not skipped after warm start"; exit 1; }
 
@@ -180,7 +180,7 @@ stage "mutate the live graph: insert a shortcut, delete an edge"
 MUT=$(curl -fsS -X POST "http://$ADDR/graphs/grid/edges" \
     -d '{"updates":[{"op":"insert","u":0,"v":224,"w":1},{"op":"delete","u":0,"v":1}]}')
 echo "$MUT"
-echo "$MUT" | grep -q '"generation":2' || { echo "generation did not bump to 2"; exit 1; }
+grep -q '"generation":2' <<<"$MUT" || { echo "generation did not bump to 2"; exit 1; }
 
 stage "queries see the mutation immediately"
 OUT=$(curl -fsS -X POST "http://$ADDR/graphs/grid/query" -d '{"s":0,"t":224}')
@@ -191,9 +191,9 @@ stage "overlay gauges in /stats and /metrics"
 curl -fsS "http://$ADDR/stats" | grep -q '"pending_updates":2' \
     || { echo "stats missing pending_updates"; exit 1; }
 METRICS=$(curl -fsS "http://$ADDR/metrics")
-echo "$METRICS" | grep -q 'spanhop_generation{graph="grid"} 2' \
+grep -q 'spanhop_generation{graph="grid"} 2' <<<"$METRICS" \
     || { echo "metrics missing generation gauge"; exit 1; }
-echo "$METRICS" | grep -q 'spanhop_requests_total{graph="grid"}' \
+grep -q 'spanhop_requests_total{graph="grid"}' <<<"$METRICS" \
     || { echo "metrics missing request counter"; exit 1; }
 
 stage "persist the journal, restart, and verify the replay"
@@ -203,9 +203,9 @@ wait "$DAEMON_PID" || true
 start_daemon "$DIR/spanhopd3.log"
 wait_healthz "$DIR/spanhopd3.log"
 INFO=$(curl -fsS "http://$ADDR/graphs/grid")
-echo "$INFO" | grep -q '"warm_started":true' || { echo "third life not warm-started"; exit 1; }
-echo "$INFO" | grep -q '"generation":2' || { echo "journal generation lost across restart"; exit 1; }
-echo "$INFO" | grep -q '"pending_updates":2' || { echo "journal entries lost across restart"; exit 1; }
+grep -q '"warm_started":true' <<<"$INFO" || { echo "third life not warm-started"; exit 1; }
+grep -q '"generation":2' <<<"$INFO" || { echo "journal generation lost across restart"; exit 1; }
+grep -q '"pending_updates":2' <<<"$INFO" || { echo "journal entries lost across restart"; exit 1; }
 OUT=$(curl -fsS -X POST "http://$ADDR/graphs/grid/query" -d '{"s":0,"t":224}')
 REPLAY_DIST=$(echo "$OUT" | sed -n 's/.*"dist":\([0-9]*\).*/\1/p')
 [ "$REPLAY_DIST" = "1" ] || { echo "replayed journal answered $REPLAY_DIST, want 1"; exit 1; }

@@ -32,7 +32,12 @@ func SaveOracleNote(w io.Writer, o *DistanceOracle, note []byte) error {
 }
 
 func saveOracleJournal(w io.Writer, o *DistanceOracle, note []byte, floor uint64, journal []dynamic.Entry) error {
-	so := &snapshot.Oracle{
+	return snapshot.WriteOracle(w, o.g, o.exchange(floor, journal), note)
+}
+
+// exchange converts the oracle to the codec/arena exchange shape.
+func (o *DistanceOracle) exchange(floor uint64, journal []dynamic.Entry) *snapshot.Oracle {
+	return &snapshot.Oracle{
 		Eps:        o.eps,
 		Seed:       o.seed,
 		Degenerate: o.degenerate,
@@ -42,7 +47,29 @@ func saveOracleJournal(w io.Writer, o *DistanceOracle, note []byte, floor uint64
 		FloorGen:   floor,
 		Journal:    journal,
 	}
-	return snapshot.WriteOracle(w, o.g, so, note)
+}
+
+// SaveOracleFlat writes o in the snapshot-v3 flat-arena format: the
+// oracle's arrays laid out contiguously with per-section checksums,
+// so a later OpenOracleFile (or LoadOracle) restores it by mapping —
+// not decoding — the file. The arena is a same-machine cache format
+// (host endianness); use SaveOracle for portable interchange.
+func SaveOracleFlat(w io.Writer, o *DistanceOracle) error {
+	return SaveOracleFlatNote(w, o, nil)
+}
+
+// SaveOracleFlatNote is SaveOracleFlat with an opaque annotation, as
+// SaveOracleNote.
+func SaveOracleFlatNote(w io.Writer, o *DistanceOracle, note []byte) error {
+	return snapshot.WriteOracleFlat(w, o.g, o.exchange(0, nil), note)
+}
+
+// SaveDynamicOracleFlat is SaveDynamicOracle in the flat-arena
+// format: base oracle plus pending journal, mappable on restart.
+func SaveDynamicOracleFlat(w io.Writer, d *DynamicOracle, note []byte) error {
+	base, _, floor, journal := d.ov.PersistState()
+	o := base.(baseAdapter).o
+	return snapshot.WriteOracleFlat(w, o.g, o.exchange(floor, journal), note)
 }
 
 // SaveDynamicOracle persists a dynamic oracle: the current static
@@ -117,17 +144,31 @@ func loadOracle(r io.Reader, g *Graph, opt OracleOptions) (*DistanceOracle, []by
 	if err != nil {
 		return nil, nil, 0, nil, err
 	}
+	o, err := assembleOracle(so, embedded, g, opt)
+	if err != nil {
+		return nil, nil, 0, nil, err
+	}
+	return o, note, so.FloorGen, so.Journal, nil
+}
+
+// assembleOracle binds a restored snapshot exchange to a base graph
+// and execution contexts — the shared tail of every load path (codec
+// stream, in-memory arena, mapped arena).
+func assembleOracle(so *snapshot.Oracle, embedded *Graph, g *Graph, opt OracleOptions) (*DistanceOracle, error) {
 	base := embedded
 	if g != nil {
-		// so.Fingerprint is the META digest ReadOracle already verified
-		// the embedded graph against — no need to rehash it here.
+		// so.Fingerprint is the digest the snapshot layer already
+		// verified (META hash for the codec, checksummed header for the
+		// arena) — no need to rehash the embedded copy here.
 		if g.Fingerprint() != so.Fingerprint {
-			return nil, nil, 0, nil, fmt.Errorf("spanhop: snapshot was built for a different graph (fingerprint %#x, got %#x)",
+			return nil, fmt.Errorf("spanhop: snapshot was built for a different graph (fingerprint %#x, got %#x)",
 				so.Fingerprint, g.Fingerprint())
 		}
 		base = g
 		// Rebind the restored structures to the caller's graph so the
-		// snapshot's embedded copy can be collected.
+		// snapshot's embedded copy can be collected (for a mapped arena
+		// the copy costs no heap — rebinding just keeps the two loads
+		// consistent).
 		if so.Direct != nil {
 			so.Direct.Rebind(base)
 		}
@@ -143,7 +184,7 @@ func loadOracle(r io.Reader, g *Graph, opt OracleOptions) (*DistanceOracle, []by
 	if queryEc == nil {
 		queryEc = ec.Detached()
 	}
-	o := &DistanceOracle{
+	return &DistanceOracle{
 		g:          base,
 		eps:        so.Eps,
 		seed:       so.Seed,
@@ -152,6 +193,71 @@ func loadOracle(r io.Reader, g *Graph, opt OracleOptions) (*DistanceOracle, []by
 		dec:        so.Dec,
 		instances:  so.Instances,
 		queryEc:    queryEc,
+	}, nil
+}
+
+// OpenOracleFile restores a flat-arena (v3) snapshot file by memory
+// mapping: startup is page-table setup plus checksum and structural
+// validation — the oracle's arrays are served straight from the page
+// cache and fault in as queries touch them. The mapping lives exactly
+// as long as the returned oracle (an internal reference pins it for
+// the garbage collector; there is nothing to close). g and opt behave
+// as in LoadOracle. Only v3 files open this way — a codec (v1/v2)
+// file returns an error directing the caller to LoadOracle.
+func OpenOracleFile(path string, g *Graph, opt OracleOptions) (*DistanceOracle, []byte, error) {
+	o, note, _, journal, err := openOracleFile(path, g, opt)
+	if err != nil {
+		return nil, nil, err
 	}
+	if len(journal) > 0 {
+		return nil, nil, fmt.Errorf("spanhop: snapshot carries %d pending mutations; open it with OpenDynamicOracleFile", len(journal))
+	}
+	return o, note, nil
+}
+
+// OpenDynamicOracleFile is OpenOracleFile for dynamic oracles: the
+// mapped base oracle plus the persisted journal replayed into the
+// overlay, as LoadDynamicOracle.
+func OpenDynamicOracleFile(path string, g *Graph, opt OracleOptions, pol RebuildPolicy) (*DynamicOracle, []byte, error) {
+	o, note, floor, journal, err := openOracleFile(path, g, opt)
+	if err != nil {
+		return nil, nil, err
+	}
+	d := newDynamicOracleAt(o, pol, floor)
+	if err := d.ov.Replay(journal); err != nil {
+		d.Close()
+		return nil, nil, fmt.Errorf("%w: journal replay: %v", snapshot.ErrCorrupt, err)
+	}
+	if !d.disabled && len(journal) > 0 {
+		d.sch.Notify()
+	}
+	return d, note, nil
+}
+
+func openOracleFile(path string, g *Graph, opt OracleOptions) (*DistanceOracle, []byte, uint64, []dynamic.Entry, error) {
+	so, embedded, note, m, err := snapshot.MapOracleFile(path, g)
+	if err != nil {
+		return nil, nil, 0, nil, err
+	}
+	o, err := assembleOracle(so, embedded, g, opt)
+	if err != nil {
+		m.Close()
+		return nil, nil, 0, nil, err
+	}
+	// The oracle's arrays alias the mapping; pin it to the oracle so
+	// the GC cannot unmap pages a query is still walking.
+	o.arena = m
 	return o, note, so.FloorGen, so.Journal, nil
+}
+
+// FlatInfo reports whether the oracle was restored from a flat arena
+// file (OpenOracleFile / OpenDynamicOracleFile) and, if so, how many
+// bytes of arena back it — mmap'd on unix, read into an aligned
+// buffer on platforms without mmap. Built or codec-loaded oracles
+// report (false, 0).
+func (o *DistanceOracle) FlatInfo() (flatBacked bool, arenaBytes int64) {
+	if o.arena == nil {
+		return false, 0
+	}
+	return true, o.arena.Size()
 }
