@@ -262,6 +262,115 @@ func TestOpenRejectsEveryTruncation(t *testing.T) {
 	}
 }
 
+// forgeArena assembles an arena from raw table entries with every
+// checksum recomputed (header, table, and each in-range payload), so
+// tests can express layout-level forgeries — offsets past the end,
+// wrapped sizes — that bit-flip mutation can never reach: a flip
+// breaks a CRC before the layout rules run.
+func forgeArena(total int, secs []section) []byte {
+	data := make([]byte, total)
+	copy(data, Magic)
+	put32(data[4:], Version)
+	put32(data[8:], endianMarker)
+	put32(data[12:], uint32(len(secs)))
+	put64(data[16:], uint64(total))
+	put64(data[24:], 0xFEED)               // fingerprint
+	put64(data[32:], mathFloat64bits(0.5)) // eps
+	put64(data[40:], 1)                    // seed
+	data[56] = modeDegenerate
+	tableEnd := headerSize + len(secs)*tableEntSize
+	for i, s := range secs {
+		crc := s.crc
+		if end := s.off + s.size; s.off >= uint64(tableEnd) && s.off <= uint64(total) && end >= s.off && end <= uint64(total) {
+			crc = checksum(data[s.off:end])
+		}
+		ent := data[headerSize+i*tableEntSize:]
+		put32(ent, s.kind)
+		put32(ent[4:], crc)
+		put64(ent[8:], s.off)
+		put64(ent[16:], s.size)
+	}
+	put32(data[60:], checksum(data[headerSize:tableEnd]))
+	put32(data[64:], headerCRC(data))
+	return data
+}
+
+// TestOpenRejectsLayoutForgeries covers table-level attacks with
+// valid checksums. The first case is a regression: a section ending
+// unaligned just before the end of the arena puts the next entry's
+// aligned offset past the end, the unsigned size check under-flowed,
+// and the pad scan sliced out of bounds — Open panicked instead of
+// returning ErrCorrupt.
+func TestOpenRejectsLayoutForgeries(t *testing.T) {
+	cases := []struct {
+		name  string
+		total int
+		secs  []section
+	}{
+		// 2 sections in 127 bytes: section 0 ends at 125, so section 1's
+		// tight-packing offset align8(125)=128 exceeds the arena.
+		{"aligned offset past end", 127, []section{
+			{kind: kindIndex, off: 120, size: 5},
+			{kind: kindI32, off: 128, size: 0},
+		}},
+		{"aligned offset past end with huge size", 127, []section{
+			{kind: kindIndex, off: 120, size: 5},
+			{kind: kindI32, off: 128, size: 1 << 60},
+		}},
+		{"size wraps off+size past 2^64", 128, []section{
+			{kind: kindIndex, off: 120, size: ^uint64(0) - 60},
+		}},
+		{"offset before the table", 128, []section{
+			{kind: kindIndex, off: 0, size: 8, crc: 0xDEAD},
+		}},
+		{"gap between sections", 136, []section{
+			{kind: kindIndex, off: 120, size: 8},
+			{kind: kindI32, off: 136, size: 0},
+		}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			defer func() {
+				if r := recover(); r != nil {
+					t.Fatalf("Open panicked: %v", r)
+				}
+			}()
+			if _, err := Open(forgeArena(tc.total, tc.secs), nil); !errors.Is(err, ErrCorrupt) {
+				t.Fatalf("forged layout: got %v, want ErrCorrupt", err)
+			}
+		})
+	}
+}
+
+// TestFingerprintHeaderOnly pins Fingerprint's cost contract: it
+// validates the header checksum only, so it must succeed even when a
+// payload byte is corrupt (no full-arena scan) and fail when the
+// header itself is.
+func TestFingerprintHeaderOnly(t *testing.T) {
+	p := directParts(t)
+	data := freezeBytes(t, p)
+	want := p.Graph.Fingerprint()
+	if got, err := Fingerprint(data); err != nil || got != want {
+		t.Fatalf("Fingerprint = %#x, %v; want %#x", got, err, want)
+	}
+	// Corrupt the last payload byte: full validation would reject this,
+	// a header-only read must not notice.
+	mut := append([]byte(nil), data...)
+	mut[len(mut)-1] ^= 0xFF
+	if _, err := Open(mut, nil); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("Open must reject the payload flip, got %v", err)
+	}
+	if got, err := Fingerprint(mut); err != nil || got != want {
+		t.Fatalf("Fingerprint after payload flip = %#x, %v; want %#x (header-only)", got, err, want)
+	}
+	// Corrupt a header byte: the header CRC must catch it.
+	mut = append(mut[:0:0], data...)
+	mut[24] ^= 0x01 // fingerprint field itself
+	if _, err := Fingerprint(mut); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("Fingerprint must reject a header flip, got %v", err)
+	}
+}
+
 func TestMapFileRoundTrip(t *testing.T) {
 	p := directParts(t)
 	data := freezeBytes(t, p)

@@ -91,10 +91,13 @@ func Open(data []byte, base *graph.Graph) (*Parts, error) {
 }
 
 // Fingerprint reads just the base-graph digest from an arena header
-// (after verifying the header checksum), for cheap identity checks
-// without a full open.
+// (after verifying the header checksum only — no table or payload
+// CRCs are scanned, so a mapped multi-GB arena is not faulted in),
+// for cheap identity checks without a full open. A matching
+// fingerprint is an identity hint, not an integrity proof; Open
+// performs the full validation.
 func Fingerprint(data []byte) (uint64, error) {
-	_, h, err := openArena(data)
+	h, _, _, err := parseHeader(data)
 	if err != nil {
 		return 0, err
 	}
@@ -116,25 +119,27 @@ type opener struct {
 	index []byte
 }
 
-// openArena validates the envelope — lengths, magic, version,
-// endianness, header/table/payload CRCs, section bounds and alignment
-// — and returns the parsed table plus the index blob.
-func openArena(data []byte) (*opener, arenaHeader, error) {
+// parseHeader validates the fixed 72-byte header — length, magic,
+// header checksum, version, byte order, scalar domains — and returns
+// the decoded metadata plus the declared section count and total
+// size. It reads nothing past the header: table and payload
+// validation is openArena's job.
+func parseHeader(data []byte) (arenaHeader, uint32, uint64, error) {
 	var h arenaHeader
 	if len(data) < headerSize {
-		return nil, h, corruptf("arena of %d bytes is smaller than a header", len(data))
+		return h, 0, 0, corruptf("arena of %d bytes is smaller than a header", len(data))
 	}
 	if string(data[0:4]) != Magic {
-		return nil, h, corruptf("bad magic %q", data[0:4])
+		return h, 0, 0, corruptf("bad magic %q", data[0:4])
 	}
 	if headerCRC(data) != le32(data[64:]) {
-		return nil, h, corruptf("header checksum mismatch")
+		return h, 0, 0, corruptf("header checksum mismatch")
 	}
 	if v := le32(data[4:]); v != Version {
-		return nil, h, corruptf("arena version %d, want %d", v, Version)
+		return h, 0, 0, corruptf("arena version %d, want %d", v, Version)
 	}
 	if le32(data[8:]) != endianMarker {
-		return nil, h, corruptf("arena written with foreign byte order")
+		return h, 0, 0, corruptf("arena written with foreign byte order")
 	}
 	nsec := le32(data[12:])
 	total := le64(data[16:])
@@ -144,13 +149,24 @@ func openArena(data []byte) (*opener, arenaHeader, error) {
 	h.floorGen = le64(data[48:])
 	h.mode = data[56]
 	if total != uint64(len(data)) {
-		return nil, h, corruptf("header declares %d bytes, file holds %d", total, len(data))
+		return h, 0, 0, corruptf("header declares %d bytes, file holds %d", total, len(data))
 	}
 	if !finite(h.eps) || h.eps < 0 || h.eps >= 1 {
-		return nil, h, corruptf("eps = %v out of range", h.eps)
+		return h, 0, 0, corruptf("eps = %v out of range", h.eps)
 	}
 	if nsec < 1 || nsec > maxSections {
-		return nil, h, corruptf("section count %d out of range", nsec)
+		return h, 0, 0, corruptf("section count %d out of range", nsec)
+	}
+	return h, nsec, total, nil
+}
+
+// openArena validates the envelope — lengths, magic, version,
+// endianness, header/table/payload CRCs, section bounds and alignment
+// — and returns the parsed table plus the index blob.
+func openArena(data []byte) (*opener, arenaHeader, error) {
+	h, nsec, total, err := parseHeader(data)
+	if err != nil {
+		return nil, h, err
 	}
 	tableEnd := uint64(headerSize) + uint64(nsec)*tableEntSize
 	if tableEnd > total {
@@ -175,8 +191,12 @@ func openArena(data []byte) (*opener, arenaHeader, error) {
 			off:  le64(ent[8:]),
 			size: le64(ent[16:]),
 		}
-		if s.off != align8(prevEnd) || s.size > total-s.off {
-			return nil, h, corruptf("section %d spans [%d,+%d), want tight packing at %d", i, s.off, s.size, align8(prevEnd))
+		// ap > total must be rejected before the size check: with
+		// s.off == ap past the end, total-ap underflows and any size
+		// passes, and the pad/checksum slices below go out of bounds.
+		ap := align8(prevEnd)
+		if s.off != ap || ap > total || s.size > total-ap {
+			return nil, h, corruptf("section %d spans [%d,+%d), want tight packing at %d in %d bytes", i, s.off, s.size, ap, total)
 		}
 		for _, pad := range data[prevEnd:s.off] {
 			if pad != 0 {

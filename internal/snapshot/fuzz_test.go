@@ -2,6 +2,9 @@ package snapshot
 
 import (
 	"bytes"
+	"encoding/binary"
+	"hash/crc32"
+	"math"
 	"testing"
 
 	"repro/internal/graph"
@@ -71,6 +74,7 @@ func FuzzReadOracle(f *testing.F) {
 		f.Add(arena.Bytes())
 	}
 	f.Add([]byte("SPF3")) // arena magic only
+	f.Add(layoutForgedArena())
 
 	f.Add([]byte{})
 	f.Add([]byte{0x53, 0x50, 0x53, 0x31})         // magic only
@@ -106,6 +110,40 @@ func FuzzReadOracle(f *testing.F) {
 			}
 		}
 	})
+}
+
+// layoutForgedArena builds a 127-byte v3 arena whose checksums are
+// all valid but whose section table is forged: section 0 ends
+// unaligned at byte 125, so section 1's tight-packing offset
+// align8(125)=128 lands past the end of the file. Byte-flip mutants
+// can never reach this corruption class — a flip breaks a CRC before
+// the layout rules run — so the corpus needs a seed with the header
+// and table CRCs recomputed after the rewrite. Regression: this exact
+// shape used to panic the arena opener with a slice out of range.
+func layoutForgedArena() []byte {
+	castagnoli := crc32.MakeTable(crc32.Castagnoli)
+	crc := func(b []byte) uint32 { return crc32.Checksum(b, castagnoli) }
+	data := make([]byte, 127)
+	le := binary.LittleEndian
+	copy(data, "SPF3")
+	le.PutUint32(data[4:], 3)                      // version
+	le.PutUint32(data[8:], 0x1A2B3C4D)             // endian marker
+	le.PutUint32(data[12:], 2)                     // section count
+	le.PutUint64(data[16:], 127)                   // total size
+	le.PutUint64(data[32:], math.Float64bits(0.5)) // eps
+	// Section 0: the index, 5 bytes at offset 120 (table ends at 120).
+	ent := data[72:]
+	le.PutUint32(ent, 1) // kindIndex
+	le.PutUint32(ent[4:], crc(data[120:125]))
+	le.PutUint64(ent[8:], 120)
+	le.PutUint64(ent[16:], 5)
+	// Section 1: offset 128 = align8(125), past the 127-byte arena.
+	ent = data[96:]
+	le.PutUint32(ent, 4) // kindI32
+	le.PutUint64(ent[8:], 128)
+	le.PutUint32(data[60:], crc(data[72:120]))                          // table CRC
+	le.PutUint32(data[64:], crc32.Update(crc(data[0:64]), castagnoli, data[68:72])) // header CRC
+	return data
 }
 
 // FuzzReadSpanner covers the standalone spanner shape's decoder.
