@@ -102,28 +102,28 @@ func main() {
 		{"ablations", "design-choice ablations + Brent projection", func() {
 			experiments.RenderScalingRows("Ablation — EST shifts vs random centers in the spanner",
 				experiments.AblationShifts(scale, *seed)).Render(os.Stdout)
-			fmt.Println()
+			fmt.Fprintln(os.Stdout)
 			experiments.RenderScalingRows("Ablation — hopset delta (cluster-decay exponent)",
 				experiments.AblationDelta(scale, *seed)).Render(os.Stdout)
-			fmt.Println()
+			fmt.Fprintln(os.Stdout)
 			experiments.RenderScalingRows("Ablation — query hop-budget escalation factor",
 				experiments.AblationEscalation(scale, *seed)).Render(os.Stdout)
-			fmt.Println()
+			fmt.Fprintln(os.Stdout)
 			experiments.BrentProjection(scale, *seed).Render(os.Stdout)
 		}},
 		{"lemmas", "probabilistic lemma validations", func() {
 			experiments.RenderStatRows("Lemma 2.1 — cluster radius vs k·beta^{-1}·ln n",
 				experiments.Lemma21Diameter(scale, *seed)).Render(os.Stdout)
-			fmt.Println()
+			fmt.Fprintln(os.Stdout)
 			experiments.RenderStatRows("Lemma 2.2 — ball/cluster intersection tail",
 				experiments.Lemma22Ball(scale, *seed)).Render(os.Stdout)
-			fmt.Println()
+			fmt.Fprintln(os.Stdout)
 			experiments.RenderStatRows("Corollary 2.3 — edge cut probability vs beta·w(e)",
 				experiments.Corollary23Cut(scale, *seed)).Render(os.Stdout)
-			fmt.Println()
+			fmt.Fprintln(os.Stdout)
 			experiments.RenderStatRows("Corollary 3.1 — ball(1) cluster count vs n^{1/k}",
 				experiments.Corollary31Adjacency(scale, *seed)).Render(os.Stdout)
-			fmt.Println()
+			fmt.Fprintln(os.Stdout)
 			experiments.RenderStatRows("Lemma 5.2 — Klein–Subramanian rounding",
 				experiments.Lemma52Rounding(scale, *seed)).Render(os.Stdout)
 		}},
@@ -137,7 +137,7 @@ func main() {
 		}
 		fmt.Printf("### %s [%s, scale=%s, seed=%d]\n\n", r.desc, r.id, *scaleFlag, *seed)
 		r.run()
-		fmt.Println()
+		fmt.Fprintln(os.Stdout)
 		ran = true
 	}
 	if !ran {

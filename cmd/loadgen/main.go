@@ -34,6 +34,15 @@
 // and prints its server-side spans (decode / queue-wait / exec, plus
 // cache/batch/regime annotations) against the client-observed
 // latency — where a slow request actually spent its time.
+//
+// With -report-workload, loadgen snapshots GET /debug/workload before
+// and after the read phase and cross-checks the server's per-graph
+// analytics against the load it just generated: the op-mix delta must
+// equal the queries offered, the heavy-hitter sketch total must
+// advance by the same amount, and every sketch entry the server
+// reports as exact (err == 0) must carry precisely the count this run
+// sent for that pair — an end-to-end check that the analytics
+// pipeline neither drops nor double-counts demand.
 package main
 
 import (
@@ -46,6 +55,7 @@ import (
 	"net/http"
 	"os"
 	"sort"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -73,6 +83,7 @@ func main() {
 	mutateMaxW := flag.Int64("mutate-maxw", 50, "max weight for inserted/reweighted edges (weighted graphs)")
 	workers := flag.Int("workers", 0, "worker cap for the local -verify rebuild; must mirror the daemon's -workers so both sides build the same oracle (0 = the sequential reference build, matching a daemon without -workers/-parallel)")
 	traceSample := flag.Int("trace-sample", 0, "request a server-side trace for every Nth query and print the slowest traced request's span breakdown (0 disables)")
+	reportWorkload := flag.Bool("report-workload", false, "snapshot /debug/workload around the run and assert the server's hot-pair sketch and op mix match the generated load")
 	timeout := flag.Duration("timeout", 120*time.Second, "build-wait timeout")
 	jsonOut := flag.Bool("json", false, "emit a machine-readable JSON summary on stdout (progress moves to stderr); the shape internal/bench and scripts consume")
 	flag.Parse()
@@ -184,6 +195,18 @@ func main() {
 		}
 	}
 
+	// The -report-workload baseline: analytics counters are cumulative
+	// since graph registration, so assertions compare deltas across the
+	// read phase (the mutation phase above already recorded op units).
+	var beforeWL obs.WorkloadSnapshot
+	if *reportWorkload {
+		snap, _, err := fetchWorkload(client, *addr, id)
+		if err != nil {
+			fatal(fmt.Errorf("report-workload: pre-run snapshot: %w", err))
+		}
+		beforeWL = snap
+	}
+
 	type sample struct {
 		lat time.Duration
 	}
@@ -193,6 +216,13 @@ func main() {
 		errCount  int
 		mismatch  int
 		firstErrs []string
+
+		// -report-workload bookkeeping: every request that got an HTTP
+		// response was offered to the executor (the server's analytics
+		// count demand at executor entry, success or not), and the
+		// per-pair counts are the ground truth for the sketch check.
+		offered  int64
+		pairSent = map[[2]graph.V]int64{}
 
 		// -trace-sample bookkeeping: a global counter picks every Nth
 		// request across all workers; the slowest traced request's
@@ -250,6 +280,10 @@ func main() {
 					}
 				}
 				mu.Lock()
+				if *reportWorkload && err == nil {
+					offered++
+					pairSent[p]++
+				}
 				if err != nil || code != http.StatusOK {
 					errCount++
 					if len(firstErrs) < 3 {
@@ -383,6 +417,28 @@ func main() {
 		}
 	}
 
+	// -report-workload: cross-check the server's analytics against the
+	// load this process just generated. Runs after the summary is
+	// assembled so the snapshot can ride along in -json output; the
+	// verdict (and exit) happens below, after the JSON is emitted.
+	var afterWL *obs.WorkloadSnapshot
+	var workloadErr error
+	if *reportWorkload {
+		snap, ok, err := fetchWorkload(client, *addr, id)
+		if err == nil && !ok {
+			err = fmt.Errorf("graph %s missing from /debug/workload", id)
+		}
+		if err != nil {
+			fatal(fmt.Errorf("report-workload: %w", err))
+		}
+		afterWL = &snap
+		workloadErr = checkWorkload(beforeWL, snap, pairSent, offered)
+		if workloadErr == nil {
+			infof("workload: server analytics match the generated load (%d offered, %d distinct pairs, sketch total %d)\n",
+				offered, len(pairSent), snap.TotalPairs)
+		}
+	}
+
 	if *jsonOut {
 		sum := jsonSummary{
 			Graph: id, N: info.N, M: info.M, Mix: *mixName,
@@ -394,6 +450,7 @@ func main() {
 			Verified: oracle != nil && mismatch == 0, Mismatches: mismatch,
 			Mutations: mutations, Server: serverStats,
 			SlowestTrace: slowestTrace,
+			Workload:     afterWL,
 		}
 		enc := json.NewEncoder(os.Stdout)
 		enc.SetIndent("", "  ")
@@ -408,9 +465,129 @@ func main() {
 		}
 		infof("verify: all %d answers bit-identical to serial DistanceOracle.Query\n", len(samples))
 	}
+	if workloadErr != nil {
+		if errCount > 0 {
+			// Transport errors mean the client cannot know which requests
+			// reached the executor; the delta assertions are ambiguous,
+			// so report without failing on their account.
+			infof("workload: check inconclusive (%d transport errors): %v\n", errCount, workloadErr)
+		} else {
+			fatal(fmt.Errorf("report-workload: %w", workloadErr))
+		}
+	}
 	if errCount > 0 {
 		os.Exit(1)
 	}
+}
+
+// fetchWorkload fetches one graph's /debug/workload analytics with the
+// full sketch (k=0); ok is false when the server has nothing for the
+// graph yet.
+func fetchWorkload(client *http.Client, addr, id string) (obs.WorkloadSnapshot, bool, error) {
+	code, body, err := doJSON(client, "GET", addr+"/debug/workload?k=0&graph="+id, nil)
+	if err != nil {
+		return obs.WorkloadSnapshot{}, false, err
+	}
+	if code == http.StatusNotFound {
+		return obs.WorkloadSnapshot{}, false, nil
+	}
+	if code != http.StatusOK {
+		return obs.WorkloadSnapshot{}, false, fmt.Errorf("GET /debug/workload: %d: %s", code, body)
+	}
+	var resp struct {
+		Graphs map[string]obs.WorkloadSnapshot `json:"graphs"`
+	}
+	if err := json.Unmarshal(body, &resp); err != nil {
+		return obs.WorkloadSnapshot{}, false, err
+	}
+	snap, ok := resp.Graphs[id]
+	return snap, ok, nil
+}
+
+// checkWorkload asserts the server's analytics deltas across the read
+// phase match the load this run generated:
+//
+//   - the "query" op counter advanced by exactly the offered requests
+//     (the executor counts demand at entry — cache hits, rejects, and
+//     failures included);
+//   - the heavy-hitter sketch's observation total advanced by the
+//     same amount;
+//   - every sketch entry the server reports as exact (err == 0) on a
+//     previously idle graph carries precisely the count this run sent
+//     for that pair (the space-saving sketch's exactness guarantee);
+//   - every pair this run sent more often than the sketch's minimum
+//     retained count is present in the sketch (its admission
+//     guarantee: an evicted key's true count cannot exceed the
+//     minimum).
+//
+// On a graph that already carried traffic (before.TotalPairs > 0) the
+// per-pair checks weaken to lower bounds, since the baseline snapshot
+// only exposes the sketch's top entries, not every historical pair.
+func checkWorkload(before, after obs.WorkloadSnapshot, sent map[[2]graph.V]int64, offered int64) error {
+	opCount := func(s obs.WorkloadSnapshot, op string) int64 {
+		for _, o := range s.Ops {
+			if o.Op == op {
+				return o.Count
+			}
+		}
+		return 0
+	}
+	var problems []string
+	if d := opCount(after, obs.OpQuery) - opCount(before, obs.OpQuery); d != offered {
+		problems = append(problems,
+			fmt.Sprintf("op mix: server %q counter advanced by %d, client offered %d", obs.OpQuery, d, offered))
+	}
+	if d := int64(after.TotalPairs) - int64(before.TotalPairs); d != offered {
+		problems = append(problems,
+			fmt.Sprintf("sketch: observation total advanced by %d, client offered %d", d, offered))
+	}
+
+	fresh := before.TotalPairs == 0
+	var minCount uint64
+	exact, inexact := 0, 0
+	for i, tp := range after.TopPairs {
+		if i == 0 || tp.Count < minCount {
+			minCount = tp.Count
+		}
+		ours := sent[[2]graph.V{graph.V(tp.S), graph.V(tp.T)}]
+		if tp.Err != 0 {
+			inexact++
+			continue
+		}
+		exact++
+		switch {
+		case fresh && tp.Count != uint64(ours):
+			problems = append(problems,
+				fmt.Sprintf("pair (%d,%d): server exact count %d, client sent %d", tp.S, tp.T, tp.Count, ours))
+		case !fresh && tp.Count < uint64(ours):
+			problems = append(problems,
+				fmt.Sprintf("pair (%d,%d): server cumulative count %d below the %d this run sent", tp.S, tp.T, tp.Count, ours))
+		}
+	}
+	if fresh {
+		// Admission check: a key absent from the sketch has a true count
+		// no larger than the smallest retained count, so any hotter pair
+		// we sent must have been kept.
+		inSketch := make(map[[2]graph.V]bool, len(after.TopPairs))
+		for _, tp := range after.TopPairs {
+			inSketch[[2]graph.V{graph.V(tp.S), graph.V(tp.T)}] = true
+		}
+		for p, n := range sent {
+			if uint64(n) > minCount && !inSketch[p] {
+				problems = append(problems,
+					fmt.Sprintf("hot pair (%d,%d): sent %d times (> sketch minimum %d) but missing from the sketch", p[0], p[1], n, minCount))
+			}
+		}
+	}
+	infof("workload: sketch holds %d pairs (%d exact, %d approximate), op %q total %d\n",
+		len(after.TopPairs), exact, inexact, obs.OpQuery, opCount(after, obs.OpQuery))
+	if len(problems) > 0 {
+		if len(problems) > 5 {
+			problems = append(problems[:5], fmt.Sprintf("... and %d more", len(problems)-5))
+		}
+		return fmt.Errorf("server analytics disagree with the generated load:\n  %s", strings.Join(problems, "\n  "))
+	}
+	return nil
 }
 
 type mutationConfig struct {
@@ -681,4 +858,7 @@ type jsonSummary struct {
 	// SlowestTrace is the server-side span breakdown of the slowest
 	// traced request (with -trace-sample).
 	SlowestTrace *obs.TraceData `json:"slowest_trace,omitempty"`
+	// Workload is the server's post-run /debug/workload snapshot for
+	// the queried graph (with -report-workload).
+	Workload *obs.WorkloadSnapshot `json:"workload,omitempty"`
 }

@@ -14,7 +14,9 @@
 //	    [-rebuild-max-staleness D] \
 //	    [-log-format text|json] [-log-level LEVEL] \
 //	    [-trace-sample N] [-trace-ring N] \
-//	    [-slow-query D] [-slow-query-per-min N]
+//	    [-slow-query D] [-slow-query-per-min N] \
+//	    [-workload-topk K] [-slo-target D] [-slo-objective F] \
+//	    [-profile-dir DIR] [-profile-interval D] [-profile-keep N]
 //
 // Served graphs accept live edge mutations (POST /graphs/{id}/edges:
 // insert/delete/reweight, each stamped with a generation); queries
@@ -46,6 +48,13 @@
 // /debug/traces ring with a per-stage span breakdown; -slow-query
 // logs queries over the threshold (rate-limited); pprof is live under
 // /debug/pprof/.
+//
+// Cost attribution and workload analytics: per-graph CPU/allocation
+// counters surface as spanhop_graph_* in /metrics and under each
+// graph in /stats; GET /debug/workload reports per-graph hot (s,t)
+// pairs, op mix, and SLO burn rate (-slo-target, -slo-objective);
+// with -profile-dir a background profiler keeps a bounded on-disk
+// ring of CPU and heap profiles served at /debug/profiles/.
 package main
 
 import (
@@ -89,6 +98,12 @@ func main() {
 	traceRing := flag.Int("trace-ring", 0, "recent traces kept for GET /debug/traces (0 = default 256, negative disables)")
 	slowQuery := flag.Duration("slow-query", 0, "log queries slower than this (0 disables)")
 	slowQueryPerMin := flag.Int("slow-query-per-min", 0, "rate limit for the slow-query log (0 = default 60/min)")
+	workloadTopK := flag.Int("workload-topk", 0, "per-graph heavy-hitter sketch capacity for /debug/workload (0 = default 128)")
+	sloTarget := flag.Duration("slo-target", 100*time.Millisecond, "query latency SLO threshold for burn-rate tracking (0 disables)")
+	sloObjective := flag.Float64("slo-objective", 0.99, "fraction of queries that must beat -slo-target")
+	profileDir := flag.String("profile-dir", "", "continuous profiling: keep a ring of CPU/heap profiles here (empty disables)")
+	profileInterval := flag.Duration("profile-interval", time.Minute, "continuous profiling capture period")
+	profileKeep := flag.Int("profile-keep", 16, "profiles of each kind kept in the -profile-dir ring")
 	var loads, gens []string
 	flag.Func("load", "preload a graph file as name=path (repeatable)", func(v string) error {
 		loads = append(loads, v)
@@ -143,6 +158,14 @@ func main() {
 		RebuildMaxJournal:       *rebuildJournal,
 		RebuildMaxPatchFraction: *rebuildPatchFrac,
 		RebuildMaxStaleness:     *rebuildStaleness,
+
+		WorkloadTopK: *workloadTopK,
+		SLOTarget:    *sloTarget,
+		SLOObjective: *sloObjective,
+
+		ProfileDir:      *profileDir,
+		ProfileInterval: *profileInterval,
+		ProfileKeep:     *profileKeep,
 
 		Obs: observer,
 	})

@@ -67,6 +67,11 @@ type RebuildPolicy struct {
 	// Disabled turns automatic rebuilds off entirely; only
 	// ForceRebuild compacts the journal.
 	Disabled bool
+	// Labels, when non-nil, carries runtime/pprof profiler labels
+	// (pprof.WithLabels) adopted by the pooled helper goroutines of
+	// every rebuild's execution context, so rebuild CPU samples carry
+	// the owning graph's identity. Only its label set is read.
+	Labels context.Context
 }
 
 func (p RebuildPolicy) inner() dynamic.Policy {
@@ -124,7 +129,7 @@ func newDynamicOracleAt(o *DistanceOracle, pol RebuildPolicy, floor uint64) *Dyn
 	queryEc := o.queryEc
 	d.sch = dynamic.NewScheduler(d.ov, pol.inner(),
 		func(ctx context.Context, g *graph.Graph) (dynamic.Querier, error) {
-			ec := exec.New(exec.Options{Context: ctx, Workers: workers})
+			ec := exec.New(exec.Options{Context: ctx, Workers: workers, Labels: pol.Labels})
 			no := NewDistanceOracleOpts(g, d.eps, d.seed, OracleOptions{
 				Exec:      ec,
 				QueryExec: queryEc,
@@ -211,6 +216,16 @@ type RebuildEvent = dynamic.Event
 // into structured log records and event counters. The hook runs on
 // the rebuild goroutine and must be cheap and thread-safe.
 func (d *DynamicOracle) SetRebuildObserver(f func(RebuildEvent)) { d.sch.SetOnEvent(f) }
+
+// SetRebuildInstrument registers a wrapper around the expensive build
+// step of every rebuild — the serving layer's cost accountant measures
+// the wrapped section's CPU time and allocations and attributes them
+// to the owning graph. The wrapper must call do() exactly once,
+// synchronously (do returns the build's error); it runs on the rebuild
+// goroutine.
+func (d *DynamicOracle) SetRebuildInstrument(f func(cause string, do func() error)) {
+	d.sch.SetInstrument(f)
+}
 
 // TraceInfo reports the overlay regime ("clean", "improving",
 // "degrading") and the latest applied generation — the two facts a

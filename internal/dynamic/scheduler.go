@@ -85,13 +85,14 @@ type Scheduler struct {
 	closed    bool
 	cancel    context.CancelFunc
 	timer     *time.Timer
-	rebuilds  int64
-	lastErr   string
-	lastMS    int64
-	lastCause string
-	onSwap    func()
-	onEvent   func(Event)
-	wg        sync.WaitGroup
+	rebuilds   int64
+	lastErr    string
+	lastMS     int64
+	lastCause  string
+	onSwap     func()
+	onEvent    func(Event)
+	instrument func(cause string, do func() error)
+	wg         sync.WaitGroup
 }
 
 // Event is one scheduler lifecycle notification, delivered to the
@@ -121,6 +122,19 @@ type Event struct {
 func (s *Scheduler) SetOnEvent(f func(Event)) {
 	s.mu.Lock()
 	s.onEvent = f
+	s.mu.Unlock()
+}
+
+// SetInstrument registers a wrapper around the expensive build step of
+// every rebuild (background or forced). The serving layer uses it to
+// attribute the rebuild's CPU time and allocations to the owning graph
+// and to stamp profiler labels on the building goroutine. The wrapper
+// MUST call do() exactly once, synchronously (do returns the build's
+// error so the wrapper can classify the section); it runs on the
+// rebuild goroutine.
+func (s *Scheduler) SetInstrument(f func(cause string, do func() error)) {
+	s.mu.Lock()
+	s.instrument = f
 	s.mu.Unlock()
 }
 
@@ -316,7 +330,15 @@ func (s *Scheduler) rebuildOnce(ctx context.Context, cause string) error {
 	if err != nil {
 		return fail(err)
 	}
-	base, err := s.build(ctx, g)
+	s.mu.Lock()
+	wrap := s.instrument
+	s.mu.Unlock()
+	var base Querier
+	if wrap != nil {
+		wrap(cause, func() error { base, err = s.build(ctx, g); return err })
+	} else {
+		base, err = s.build(ctx, g)
+	}
 	if err != nil {
 		return fail(fmt.Errorf("dynamic: rebuild (%s) at gen %d: %w", cause, gen, err))
 	}

@@ -63,6 +63,15 @@ type Options struct {
 	// thread-safe. Only fires when Telemetry is also set (stages are
 	// not measured otherwise).
 	OnStage func(StageStats)
+	// Labels, when non-nil, carries runtime/pprof profiler labels
+	// (built with pprof.WithLabels) that shared-pool helper goroutines
+	// adopt while executing this Ctx's parallel regions. Only its
+	// label set is read — cancellation and values are ignored — so it
+	// is deliberately a separate field from Context: a query Ctx wants
+	// labels but must never inherit a build's cancellation. The
+	// calling goroutine's own labels are untouched; wrap the top-level
+	// work in pprof.Do for those.
+	Labels context.Context
 }
 
 // Ctx is one execution context. The zero value is not useful; build
@@ -75,6 +84,7 @@ type Ctx struct {
 	limiter  *par.Limiter
 	tel      *Telemetry
 	onStage  func(StageStats)
+	labels   context.Context
 	canceled atomic.Bool
 	rounds   atomic.Int64
 	arenaOn  bool
@@ -86,7 +96,8 @@ type Ctx struct {
 // not merely per call, so `-workers 2` really means at most two
 // goroutines of that build in flight however the recursion nests.
 func New(opt Options) *Ctx {
-	e := &Ctx{workers: opt.Workers, tel: opt.Telemetry, onStage: opt.OnStage, arenaOn: true}
+	e := &Ctx{workers: opt.Workers, tel: opt.Telemetry, onStage: opt.OnStage,
+		labels: opt.Labels, arenaOn: true}
 	if opt.Workers < 0 {
 		e.workers = 0
 	}
@@ -126,7 +137,7 @@ func (e *Ctx) Detached() *Ctx {
 	if e == nil {
 		return nil
 	}
-	d := &Ctx{workers: e.workers, arenaOn: e.arenaOn}
+	d := &Ctx{workers: e.workers, arenaOn: e.arenaOn, labels: e.labels}
 	if d.workers > 1 {
 		d.limiter = par.NewLimiter(d.workers - 1)
 	}
@@ -243,7 +254,7 @@ func (e *Ctx) For(n, grain int, body func(lo, hi int)) {
 		par.For(n, grain, body)
 		return
 	}
-	par.ForLimited(e.limiter, e.workers, n, grain, body)
+	par.ForLabeled(e.labels, e.limiter, e.workers, n, grain, body)
 }
 
 // ForIdx executes body(i) for every i in [0, n) in parallel chunks.
@@ -262,7 +273,7 @@ func (e *Ctx) DoN(n int, body func(i int)) {
 		par.DoN(n, body)
 		return
 	}
-	par.DoNLimited(e.limiter, e.workers, n, body)
+	par.DoNLabeled(e.labels, e.limiter, e.workers, n, body)
 }
 
 // Do runs the thunks in parallel and waits.

@@ -1,0 +1,89 @@
+package obs
+
+// Accountant tests: section deltas land in the right (graph, op)
+// cell, failures and work units are counted, eviction forgets, and
+// the nil accountant is inert (the library-user configuration).
+
+import (
+	"errors"
+	"testing"
+	"time"
+)
+
+// burn spins long enough to accumulate measurable thread CPU.
+func burn(d time.Duration) {
+	deadline := time.Now().Add(d)
+	x := 1
+	for time.Now().Before(deadline) {
+		x = x*31 + 7
+	}
+	_ = x
+}
+
+func TestAccountantMeasure(t *testing.T) {
+	a := NewAccountant()
+	err := a.Measure("g1", OpBuild, func() error { burn(20 * time.Millisecond); return nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantErr := errors.New("boom")
+	if err := a.Measure("g1", OpRebuild, func() error { return wantErr }); err != wantErr {
+		t.Fatalf("Measure must return f's error, got %v", err)
+	}
+
+	rows := a.Snapshot()
+	if len(rows) != 2 {
+		t.Fatalf("snapshot rows = %d, want 2", len(rows))
+	}
+	// Sorted by (graph, op): build before rebuild.
+	if rows[0].Op != OpBuild || rows[1].Op != OpRebuild {
+		t.Fatalf("snapshot order = %s, %s", rows[0].Op, rows[1].Op)
+	}
+	b := rows[0]
+	if b.Graph != "g1" || b.Count != 1 || b.Errors != 0 || b.Samples != 1 {
+		t.Fatalf("build row = %+v", b)
+	}
+	if b.WallSeconds < 0.015 {
+		t.Fatalf("build wall %gs, want >= the 20ms burned", b.WallSeconds)
+	}
+	if HaveThreadCPU && b.CPUSeconds <= 0 {
+		t.Fatalf("build cpu %gs, want > 0 on a platform with thread CPU clocks", b.CPUSeconds)
+	}
+	if r := rows[1]; r.Errors != 1 || r.Count != 1 {
+		t.Fatalf("failed rebuild row = %+v", r)
+	}
+}
+
+func TestAccountantEndUnitsAndForget(t *testing.T) {
+	a := NewAccountant()
+	s := a.Begin()
+	a.End(s, "g2", OpQuery, 17, false)
+	a.Measure("keep", OpQuery, func() error { return nil })
+
+	if rows := a.GraphSnapshot("g2"); len(rows) != 1 || rows[0].Count != 17 {
+		t.Fatalf("g2 rows = %+v", rows)
+	}
+	a.Forget("g2")
+	if rows := a.GraphSnapshot("g2"); len(rows) != 0 {
+		t.Fatalf("g2 rows after Forget = %+v", rows)
+	}
+	if rows := a.Snapshot(); len(rows) != 1 || rows[0].Graph != "keep" {
+		t.Fatalf("Forget evicted the wrong graph: %+v", rows)
+	}
+}
+
+func TestAccountantNil(t *testing.T) {
+	var a *Accountant
+	s := a.Begin()
+	if s.open {
+		t.Fatal("nil Begin returned an open sample")
+	}
+	a.End(s, "g", OpQuery, 1, true) // must not panic
+	if err := a.Measure("g", OpQuery, func() error { return nil }); err != nil {
+		t.Fatal(err)
+	}
+	a.Forget("g")
+	if a.Snapshot() != nil || a.GraphSnapshot("g") != nil {
+		t.Fatal("nil accountant snapshots must be nil")
+	}
+}

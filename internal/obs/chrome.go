@@ -1,0 +1,73 @@
+package obs
+
+// Chrome trace-event export: /debug/traces?format=chrome renders the
+// recent-trace ring as the JSON object format chrome://tracing,
+// Perfetto, and speedscope all load, turning the span breakdowns into
+// a browsable timeline. Each request trace becomes one synthetic
+// thread (tid), named after its request id, holding one complete "X"
+// event per span plus an enclosing "total" event carrying the trace's
+// attributes; timestamps are absolute microseconds since the Unix
+// epoch, so traces from one daemon line up on a shared axis.
+
+import "encoding/json"
+
+// chromeEvent is one trace-event entry. Only the fields the complete
+// ("X") and metadata ("M") phases need.
+type chromeEvent struct {
+	Name string         `json:"name"`
+	Ph   string         `json:"ph"`
+	Pid  int            `json:"pid"`
+	Tid  int            `json:"tid"`
+	TS   float64        `json:"ts,omitempty"`
+	Dur  float64        `json:"dur,omitempty"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+type chromeTrace struct {
+	TraceEvents []chromeEvent `json:"traceEvents"`
+	// displayTimeUnit hints viewers at microsecond granularity.
+	DisplayTimeUnit string `json:"displayTimeUnit"`
+}
+
+// ChromeTrace renders the traces (as returned by Ring.Snapshot,
+// newest first — order does not matter to viewers) as a Chrome
+// trace-event JSON document.
+func ChromeTrace(traces []TraceData) ([]byte, error) {
+	doc := chromeTrace{TraceEvents: []chromeEvent{}, DisplayTimeUnit: "ms"}
+	for i, td := range traces {
+		tid := i + 1
+		base := float64(td.Start.UnixNano()) / 1e3
+		doc.TraceEvents = append(doc.TraceEvents, chromeEvent{
+			Name: "thread_name",
+			Ph:   "M",
+			Pid:  1,
+			Tid:  tid,
+			Args: map[string]any{"name": td.ID},
+		})
+		args := make(map[string]any, len(td.Attrs)+1)
+		for k, v := range td.Attrs {
+			args[k] = v
+		}
+		args["id"] = td.ID
+		doc.TraceEvents = append(doc.TraceEvents, chromeEvent{
+			Name: "total",
+			Ph:   "X",
+			Pid:  1,
+			Tid:  tid,
+			TS:   base,
+			Dur:  td.TotalUS,
+			Args: args,
+		})
+		for _, sp := range td.Spans {
+			doc.TraceEvents = append(doc.TraceEvents, chromeEvent{
+				Name: sp.Name,
+				Ph:   "X",
+				Pid:  1,
+				Tid:  tid,
+				TS:   base + sp.StartUS,
+				Dur:  sp.DurUS,
+			})
+		}
+	}
+	return json.Marshal(doc)
+}

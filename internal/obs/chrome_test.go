@@ -1,0 +1,86 @@
+package obs
+
+// Chrome trace-event export tests: the document must round-trip as
+// JSON with one synthetic thread per trace (metadata name event +
+// complete events), absolute-microsecond timestamps, and the trace
+// attributes on the enclosing "total" event.
+
+import (
+	"encoding/json"
+	"math"
+	"testing"
+	"time"
+)
+
+func TestChromeTraceExport(t *testing.T) {
+	start := time.Unix(1700000000, 500000) // .5ms into the second
+	traces := []TraceData{
+		{
+			ID:      "req-1",
+			Start:   start,
+			TotalUS: 1500,
+			Spans: []Span{
+				{Name: "decode", StartUS: 0, DurUS: 100},
+				{Name: "exec", StartUS: 100, DurUS: 1400},
+			},
+			Attrs: map[string]any{"graph": "g1", "cache": "miss"},
+		},
+		{ID: "req-2", Start: start.Add(time.Millisecond), TotalUS: 42},
+	}
+	raw, err := ChromeTrace(traces)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []struct {
+			Name string         `json:"name"`
+			Ph   string         `json:"ph"`
+			Pid  int            `json:"pid"`
+			Tid  int            `json:"tid"`
+			TS   float64        `json:"ts"`
+			Dur  float64        `json:"dur"`
+			Args map[string]any `json:"args"`
+		} `json:"traceEvents"`
+		DisplayTimeUnit string `json:"displayTimeUnit"`
+	}
+	if err := json.Unmarshal(raw, &doc); err != nil {
+		t.Fatalf("export is not valid JSON: %v", err)
+	}
+	// trace 1: thread_name + total + 2 spans; trace 2: thread_name + total.
+	if len(doc.TraceEvents) != 6 {
+		t.Fatalf("events = %d, want 6", len(doc.TraceEvents))
+	}
+
+	meta := doc.TraceEvents[0]
+	if meta.Ph != "M" || meta.Name != "thread_name" || meta.Args["name"] != "req-1" {
+		t.Fatalf("first event = %+v, want thread_name metadata for req-1", meta)
+	}
+	total := doc.TraceEvents[1]
+	if total.Ph != "X" || total.Name != "total" || total.Dur != 1500 {
+		t.Fatalf("total event = %+v", total)
+	}
+	if total.Args["graph"] != "g1" || total.Args["id"] != "req-1" {
+		t.Fatalf("total args = %v, want trace attrs + id", total.Args)
+	}
+	wantTS := float64(start.UnixNano()) / 1e3
+	if math.Abs(total.TS-wantTS) > 1 {
+		t.Fatalf("total ts = %f, want absolute µs %f", total.TS, wantTS)
+	}
+	exec := doc.TraceEvents[3]
+	if exec.Name != "exec" || math.Abs(exec.TS-(wantTS+100)) > 1 || exec.Dur != 1400 {
+		t.Fatalf("exec span = %+v", exec)
+	}
+	// The two traces must land on distinct synthetic threads.
+	if doc.TraceEvents[4].Tid == total.Tid {
+		t.Fatal("traces share a tid")
+	}
+
+	// Empty input still renders a loadable document.
+	raw, err = ChromeTrace(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(raw) != `{"traceEvents":[],"displayTimeUnit":"ms"}` {
+		t.Fatalf("empty export = %s", raw)
+	}
+}

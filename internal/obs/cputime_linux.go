@@ -1,0 +1,22 @@
+//go:build linux
+
+package obs
+
+import "syscall"
+
+// threadCPU returns the calling OS thread's consumed CPU time
+// (user + system) in nanoseconds. Only attributable to the caller's
+// work while the goroutine is locked to its thread (Accountant.Begin
+// does that).
+func threadCPU() int64 {
+	var ru syscall.Rusage
+	if err := syscall.Getrusage(syscall.RUSAGE_THREAD, &ru); err != nil {
+		return 0
+	}
+	return ru.Utime.Nano() + ru.Stime.Nano()
+}
+
+// HaveThreadCPU reports whether per-thread CPU clocks are available on
+// this platform; when false the accountant's cpu_seconds degrade to
+// wall time.
+const HaveThreadCPU = true

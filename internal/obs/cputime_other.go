@@ -1,0 +1,13 @@
+//go:build !linux
+
+package obs
+
+// threadCPU falls back to the wall clock on platforms without a
+// per-thread CPU clock in the stdlib syscall surface: the accountant's
+// cpu_seconds then over-report blocked time but remain monotone and
+// comparable across graphs.
+func threadCPU() int64 { return nowNanos() }
+
+// HaveThreadCPU reports whether per-thread CPU clocks are available on
+// this platform.
+const HaveThreadCPU = false

@@ -91,6 +91,7 @@ type Observer struct {
 	log     *slog.Logger
 	events  *Events
 	traces  *Ring
+	acct    *Accountant
 	sampler *sampler
 	slow    time.Duration
 	slowLim *limiter
@@ -102,6 +103,7 @@ func New(opt Options) *Observer {
 	o := &Observer{
 		log:    opt.Logger,
 		events: NewEvents(),
+		acct:   NewAccountant(),
 		slow:   opt.SlowQuery,
 	}
 	if o.log == nil {
@@ -152,6 +154,15 @@ func (o *Observer) Traces() *Ring {
 		return nil
 	}
 	return o.traces
+}
+
+// Account returns the per-graph resource accountant, or nil on a nil
+// Observer (Accountant methods are themselves nil-safe).
+func (o *Observer) Account() *Accountant {
+	if o == nil {
+		return nil
+	}
+	return o.acct
 }
 
 // Sample reports whether server-side sampling elects the current

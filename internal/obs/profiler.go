@@ -1,0 +1,271 @@
+package obs
+
+// Continuous profiling: a background collector that periodically
+// captures CPU and heap profiles into a bounded on-disk ring, so the
+// operator always has the last N intervals of evidence when a latency
+// regression is noticed after the fact. Files are plain pprof
+// protos — `go tool pprof <file>` works directly, and the server
+// serves the ring at /debug/profiles/.
+//
+// The CPU capture uses the process-wide profiler, so it coexists with
+// an operator-requested /debug/pprof/profile by yielding: if the
+// profiler is already running, the interval's CPU capture is skipped
+// (counted, logged at debug) and heap capture proceeds.
+
+import (
+	"fmt"
+	"log/slog"
+	"os"
+	"path/filepath"
+	"regexp"
+	"runtime/pprof"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// ProfilerOptions configure a Profiler.
+type ProfilerOptions struct {
+	// Dir is where profile files land; it is created if missing.
+	Dir string
+	// Interval is the capture period (default DefaultProfileInterval).
+	Interval time.Duration
+	// CPUDuration is how long each interval's CPU profile runs
+	// (default: Interval/2 capped at 10s).
+	CPUDuration time.Duration
+	// Keep bounds the on-disk ring per profile kind (default
+	// DefaultProfileKeep); older files are deleted.
+	Keep int
+	// Log receives capture failures; nil discards.
+	Log *slog.Logger
+}
+
+// Defaults for ProfilerOptions.
+const (
+	DefaultProfileInterval = time.Minute
+	DefaultProfileKeep     = 16
+)
+
+// Profiler is the background collector. Build with NewProfiler, call
+// Start, and Stop on shutdown. Nil-safe: a nil *Profiler ignores
+// Start/Stop.
+type Profiler struct {
+	dir    string
+	ival   time.Duration
+	cpuDur time.Duration
+	keep   int
+	log    *slog.Logger
+
+	captures atomic.Int64
+	skipped  atomic.Int64
+
+	started  atomic.Bool
+	stopOnce sync.Once
+	quit     chan struct{}
+	done     chan struct{}
+}
+
+// NewProfiler builds a collector (no goroutine yet). Empty Dir
+// returns nil: profiling disabled.
+func NewProfiler(opt ProfilerOptions) (*Profiler, error) {
+	if opt.Dir == "" {
+		return nil, nil
+	}
+	if err := os.MkdirAll(opt.Dir, 0o755); err != nil {
+		return nil, fmt.Errorf("obs: profile dir: %w", err)
+	}
+	p := &Profiler{
+		dir:    opt.Dir,
+		ival:   opt.Interval,
+		cpuDur: opt.CPUDuration,
+		keep:   opt.Keep,
+		log:    opt.Log,
+		quit:   make(chan struct{}),
+		done:   make(chan struct{}),
+	}
+	if p.ival <= 0 {
+		p.ival = DefaultProfileInterval
+	}
+	if p.cpuDur <= 0 {
+		p.cpuDur = p.ival / 2
+		if p.cpuDur > 10*time.Second {
+			p.cpuDur = 10 * time.Second
+		}
+	}
+	if p.cpuDur > p.ival {
+		p.cpuDur = p.ival
+	}
+	if p.keep <= 0 {
+		p.keep = DefaultProfileKeep
+	}
+	if p.log == nil {
+		p.log = slog.New(discardHandler{})
+	}
+	return p, nil
+}
+
+// Dir returns the profile directory ("" on nil).
+func (p *Profiler) Dir() string {
+	if p == nil {
+		return ""
+	}
+	return p.dir
+}
+
+// Captures returns how many capture rounds completed (tests, smoke).
+func (p *Profiler) Captures() int64 {
+	if p == nil {
+		return 0
+	}
+	return p.captures.Load()
+}
+
+// Start launches the capture loop. Idempotent; no-op on nil.
+func (p *Profiler) Start() {
+	if p == nil {
+		return
+	}
+	if p.started.CompareAndSwap(false, true) {
+		go p.loop()
+	}
+}
+
+// Stop halts the loop, interrupting an in-flight CPU capture, and
+// waits it out. Safe to call more than once; no-op on nil or when
+// Start never ran.
+func (p *Profiler) Stop() {
+	if p == nil {
+		return
+	}
+	p.stopOnce.Do(func() { close(p.quit) })
+	if p.started.Load() {
+		<-p.done
+	}
+}
+
+func (p *Profiler) loop() {
+	defer close(p.done)
+	tick := time.NewTicker(p.ival)
+	defer tick.Stop()
+	// First capture immediately: a daemon that crashes within the
+	// first interval should still leave evidence behind.
+	p.captureOnce()
+	for {
+		select {
+		case <-p.quit:
+			return
+		case <-tick.C:
+			p.captureOnce()
+		}
+	}
+}
+
+// stamp names files so lexicographic order is capture order.
+func (p *Profiler) stamp() string {
+	return time.Now().UTC().Format("20060102T150405.000000000")
+}
+
+func (p *Profiler) captureOnce() {
+	ts := p.stamp()
+	if err := p.captureCPU(ts); err != nil {
+		p.skipped.Add(1)
+		p.log.Debug("obs: cpu profile capture skipped", "err", err)
+	}
+	if err := p.captureHeap(ts); err != nil {
+		p.log.Warn("obs: heap profile capture failed", "err", err)
+	}
+	p.captures.Add(1)
+	p.prune("cpu-")
+	p.prune("heap-")
+}
+
+func (p *Profiler) captureCPU(ts string) error {
+	final := filepath.Join(p.dir, "cpu-"+ts+".pprof")
+	tmp := final + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return err
+	}
+	if err := pprof.StartCPUProfile(f); err != nil {
+		// Another CPU profile (operator /debug/pprof/profile) is
+		// running; yield this interval.
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	select {
+	case <-time.After(p.cpuDur):
+	case <-p.quit:
+	}
+	pprof.StopCPUProfile()
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	return os.Rename(tmp, final)
+}
+
+func (p *Profiler) captureHeap(ts string) error {
+	final := filepath.Join(p.dir, "heap-"+ts+".pprof")
+	tmp := final + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return err
+	}
+	if err := pprof.Lookup("heap").WriteTo(f, 0); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	return os.Rename(tmp, final)
+}
+
+// prune enforces the per-kind ring bound.
+func (p *Profiler) prune(prefix string) {
+	names, err := ListProfiles(p.dir)
+	if err != nil {
+		return
+	}
+	var kind []string
+	for _, n := range names {
+		if strings.HasPrefix(n, prefix) {
+			kind = append(kind, n)
+		}
+	}
+	// ListProfiles sorts ascending and the stamp is lexicographic, so
+	// the oldest files lead.
+	for len(kind) > p.keep {
+		os.Remove(filepath.Join(p.dir, kind[0]))
+		kind = kind[1:]
+	}
+}
+
+// profileName matches exactly the files the collector writes —
+// the /debug/profiles/ handler refuses anything else, so the ring
+// directory can never be used to read arbitrary paths.
+var profileName = regexp.MustCompile(`^(cpu|heap)-[0-9T.]+\.pprof$`)
+
+// ValidProfileName reports whether name is a servable ring file name.
+func ValidProfileName(name string) bool { return profileName.MatchString(name) }
+
+// ListProfiles returns the ring's file names, oldest first.
+func ListProfiles(dir string) ([]string, error) {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var out []string
+	for _, e := range ents {
+		if !e.IsDir() && ValidProfileName(e.Name()) {
+			out = append(out, e.Name())
+		}
+	}
+	sort.Strings(out)
+	return out, nil
+}

@@ -1,0 +1,439 @@
+package obs
+
+// Workload analytics: who is asking for what, and is the SLO burning?
+//
+// One Workload per served graph bundles
+//
+//   - a space-saving heavy-hitter sketch (Metwally, Agrawal, El
+//     Abbadi, 2005) over (s, t) query pairs: fixed capacity k, O(log k)
+//     per observation, with the classic guarantee that any pair whose
+//     true count exceeds N/k is present and every reported count
+//     overestimates truth by at most the item's error bound — a bound
+//     the sketch reports per entry, so a consumer can tell exact
+//     counts (err == 0, the common case for concentrated workloads)
+//     from clipped ones;
+//   - per-operation RED counters (rate from a cumulative count, errors,
+//     duration) for the query/batch/mutate surfaces; and
+//   - a latency SLO objective evaluated over rolling burn-rate
+//     windows (see SLO).
+//
+// Everything is mutex- or atomic-guarded and cheap enough for the
+// query hot path: one sketch observation is a map probe plus a heap
+// fix under one per-graph mutex.
+
+import (
+	"container/heap"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// PairKey packs an (s, t) vertex pair into the sketch's key. Vertex
+// ids are int32 in this repository, so the packing is lossless.
+func PairKey(s, t int32) uint64 {
+	return uint64(uint32(s))<<32 | uint64(uint32(t))
+}
+
+// PairFromKey unpacks a PairKey.
+func PairFromKey(k uint64) (s, t int32) {
+	return int32(uint32(k >> 32)), int32(uint32(k))
+}
+
+// tkItem is one monitored counter of the space-saving sketch.
+type tkItem struct {
+	key   uint64
+	count uint64
+	// err bounds the overestimate: when this slot was stolen from the
+	// current minimum, the new tenant inherits min+1 with err = min.
+	// True count is in [count-err, count].
+	err uint64
+	idx int // heap position
+}
+
+// tkHeap is a min-heap on count so eviction finds the minimum in
+// O(log k).
+type tkHeap []*tkItem
+
+func (h tkHeap) Len() int            { return len(h) }
+func (h tkHeap) Less(i, j int) bool  { return h[i].count < h[j].count }
+func (h tkHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i]; h[i].idx = i; h[j].idx = j }
+func (h *tkHeap) Push(x any)         { it := x.(*tkItem); it.idx = len(*h); *h = append(*h, it) }
+func (h *tkHeap) Pop() any           { old := *h; it := old[len(old)-1]; *h = old[:len(old)-1]; return it }
+
+// TopK is a space-saving heavy-hitter sketch over uint64 keys.
+type TopK struct {
+	mu sync.Mutex
+	k  int
+	m  map[uint64]*tkItem
+	h  tkHeap
+	n  uint64 // total observations
+}
+
+// DefaultTopK is the sketch capacity when unset.
+const DefaultTopK = 128
+
+// NewTopK returns a sketch monitoring at most k keys (k <= 0 takes
+// DefaultTopK).
+func NewTopK(k int) *TopK {
+	if k <= 0 {
+		k = DefaultTopK
+	}
+	return &TopK{k: k, m: make(map[uint64]*tkItem, k)}
+}
+
+// Observe counts one occurrence of key.
+func (t *TopK) Observe(key uint64) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	t.n++
+	if it, ok := t.m[key]; ok {
+		it.count++
+		heap.Fix(&t.h, it.idx)
+		t.mu.Unlock()
+		return
+	}
+	if len(t.h) < t.k {
+		it := &tkItem{key: key, count: 1}
+		t.m[key] = it
+		heap.Push(&t.h, it)
+		t.mu.Unlock()
+		return
+	}
+	// Replace the current minimum: the newcomer inherits min+1 and the
+	// possibility of having been undercounted by min.
+	it := t.h[0]
+	delete(t.m, it.key)
+	it.err = it.count
+	it.count++
+	it.key = key
+	t.m[key] = it
+	heap.Fix(&t.h, it.idx)
+	t.mu.Unlock()
+}
+
+// TopPair is one reported heavy hitter: true count is within
+// [Count-Err, Count].
+type TopPair struct {
+	S     int32  `json:"s"`
+	T     int32  `json:"t"`
+	Count uint64 `json:"count"`
+	Err   uint64 `json:"err,omitempty"`
+}
+
+// Snapshot returns up to k heavy hitters ordered by count descending
+// (ties by key for determinism) and the total number of observations.
+func (t *TopK) Snapshot(k int) (pairs []TopPair, total uint64) {
+	if t == nil {
+		return nil, 0
+	}
+	t.mu.Lock()
+	items := make([]tkItem, len(t.h))
+	for i, it := range t.h {
+		items[i] = *it
+	}
+	total = t.n
+	t.mu.Unlock()
+	sort.Slice(items, func(i, j int) bool {
+		if items[i].count != items[j].count {
+			return items[i].count > items[j].count
+		}
+		return items[i].key < items[j].key
+	})
+	if k <= 0 || k > len(items) {
+		k = len(items)
+	}
+	pairs = make([]TopPair, k)
+	for i := 0; i < k; i++ {
+		s, tt := PairFromKey(items[i].key)
+		pairs[i] = TopPair{S: s, T: tt, Count: items[i].count, Err: items[i].err}
+	}
+	return pairs, total
+}
+
+// ---------------------------------------------------------------------------
+// SLO burn rate.
+
+// sloWindowSeconds is the ring span: enough for the 5-minute long
+// window plus the second in flight.
+const sloWindowSeconds = 301
+
+type sloBucket struct {
+	sec         int64
+	good, total int64
+}
+
+// SLO tracks a latency objective — "objective fraction of queries
+// answer within target" — over a rolling ring of per-second buckets
+// and reports burn rates over short (1m) and long (5m) windows. Burn
+// rate is (observed bad fraction) / (allowed bad fraction): 1.0 means
+// the error budget is being spent exactly at the sustainable rate,
+// above 1 it is burning.
+type SLO struct {
+	target    time.Duration
+	objective float64
+
+	mu      sync.Mutex
+	buckets [sloWindowSeconds]sloBucket
+	good    int64 // lifetime
+	total   int64
+}
+
+// NewSLO builds an SLO tracker; target <= 0 disables (returns nil,
+// which all methods tolerate). objective outside (0,1) defaults to
+// 0.99.
+func NewSLO(target time.Duration, objective float64) *SLO {
+	if target <= 0 {
+		return nil
+	}
+	if objective <= 0 || objective >= 1 {
+		objective = 0.99
+	}
+	return &SLO{target: target, objective: objective}
+}
+
+// Record classifies one query: good when it succeeded within the
+// target latency.
+func (s *SLO) Record(d time.Duration, failed bool) {
+	if s == nil {
+		return
+	}
+	good := !failed && d <= s.target
+	sec := time.Now().Unix()
+	s.mu.Lock()
+	b := &s.buckets[sec%sloWindowSeconds]
+	if b.sec != sec {
+		b.sec, b.good, b.total = sec, 0, 0
+	}
+	b.total++
+	s.total++
+	if good {
+		b.good++
+		s.good++
+	}
+	s.mu.Unlock()
+}
+
+// SLOSnapshot is the JSON shape of one graph's SLO state.
+type SLOSnapshot struct {
+	TargetMS  float64 `json:"target_ms"`
+	Objective float64 `json:"objective"`
+	Good      int64   `json:"good"`
+	Total     int64   `json:"total"`
+	// Burn1m / Burn5m are the rolling-window burn rates; windows with
+	// no traffic burn at 0.
+	Burn1m float64 `json:"burn_1m"`
+	Burn5m float64 `json:"burn_5m"`
+	// Status summarizes: "ok" (long window inside budget), "warning"
+	// (long window burning but the last minute has recovered),
+	// "critical" (burning in both windows).
+	Status string `json:"status"`
+}
+
+// window sums the buckets of the trailing w seconds. s.mu held.
+func (s *SLO) window(now int64, w int64) (good, total int64) {
+	for i := int64(0); i < w; i++ {
+		b := &s.buckets[(now-i)%sloWindowSeconds]
+		if b.sec == now-i {
+			good += b.good
+			total += b.total
+		}
+	}
+	return good, total
+}
+
+// Snapshot evaluates the burn-rate windows now.
+func (s *SLO) Snapshot() *SLOSnapshot {
+	if s == nil {
+		return nil
+	}
+	now := time.Now().Unix()
+	s.mu.Lock()
+	g1, t1 := s.window(now, 60)
+	g5, t5 := s.window(now, 300)
+	good, total := s.good, s.total
+	s.mu.Unlock()
+	burn := func(good, total int64) float64 {
+		if total == 0 {
+			return 0
+		}
+		bad := float64(total-good) / float64(total)
+		return bad / (1 - s.objective)
+	}
+	snap := &SLOSnapshot{
+		TargetMS:  float64(s.target) / float64(time.Millisecond),
+		Objective: s.objective,
+		Good:      good,
+		Total:     total,
+		Burn1m:    burn(g1, t1),
+		Burn5m:    burn(g5, t5),
+	}
+	switch {
+	case snap.Burn5m <= 1:
+		snap.Status = "ok"
+	case snap.Burn1m <= 1:
+		snap.Status = "warning"
+	default:
+		snap.Status = "critical"
+	}
+	return snap
+}
+
+// ---------------------------------------------------------------------------
+// Per-graph workload bundle.
+
+// opCell is one operation's RED counters.
+type opCell struct {
+	count atomic.Int64
+	errs  atomic.Int64
+	durNS atomic.Int64
+}
+
+// Workload bundles the per-graph analytics: the heavy-hitter sketch,
+// per-op RED counters, and the SLO tracker. A nil *Workload is valid
+// and inert (library users of internal/server pay nothing).
+type Workload struct {
+	top   *TopK
+	slo   *SLO
+	start time.Time
+
+	mu  sync.RWMutex
+	ops map[string]*opCell
+}
+
+// WorkloadOptions configure NewWorkload.
+type WorkloadOptions struct {
+	// TopK is the heavy-hitter sketch capacity (0 = DefaultTopK).
+	TopK int
+	// SLOTarget is the latency objective threshold; 0 disables SLO
+	// tracking. SLOObjective is the good fraction (default 0.99).
+	SLOTarget    time.Duration
+	SLOObjective float64
+}
+
+// NewWorkload builds one graph's analytics bundle.
+func NewWorkload(opt WorkloadOptions) *Workload {
+	return &Workload{
+		top:   NewTopK(opt.TopK),
+		slo:   NewSLO(opt.SLOTarget, opt.SLOObjective),
+		start: time.Now(),
+		ops:   make(map[string]*opCell, 4),
+	}
+}
+
+// ObservePair counts one (s, t) query pair into the sketch. Record it
+// at executor entry — before the cache and the queue — so the sketch
+// sees the demanded workload, not just the computed one.
+func (w *Workload) ObservePair(s, t int32) {
+	if w == nil {
+		return
+	}
+	w.top.Observe(PairKey(s, t))
+}
+
+func (w *Workload) op(name string) *opCell {
+	w.mu.RLock()
+	c := w.ops[name]
+	w.mu.RUnlock()
+	if c != nil {
+		return c
+	}
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if c = w.ops[name]; c == nil {
+		c = &opCell{}
+		w.ops[name] = c
+	}
+	return c
+}
+
+// RecordOp records one completed operation for the RED counters; n is
+// the number of work units (queries in a batch, mutations in a
+// mutation batch).
+func (w *Workload) RecordOp(name string, n int, d time.Duration, failed bool) {
+	if w == nil {
+		return
+	}
+	c := w.op(name)
+	c.count.Add(int64(n))
+	if failed {
+		c.errs.Add(1)
+	}
+	if d > 0 {
+		c.durNS.Add(int64(d))
+	}
+}
+
+// RecordQuery feeds the SLO with one query-surface observation.
+func (w *Workload) RecordQuery(d time.Duration, failed bool) {
+	if w == nil {
+		return
+	}
+	w.slo.Record(d, failed)
+}
+
+// OpSnapshot is one operation's RED row.
+type OpSnapshot struct {
+	Op        string  `json:"op"`
+	Count     int64   `json:"count"`
+	Errors    int64   `json:"errors"`
+	RatePerS  float64 `json:"rate_per_s"`
+	MeanMS    float64 `json:"mean_ms"`
+	TotalSecs float64 `json:"total_seconds"`
+}
+
+// WorkloadSnapshot is the /debug/workload JSON shape for one graph.
+type WorkloadSnapshot struct {
+	// TopPairs are the sketch's heavy hitters, count-descending;
+	// TotalPairs is every observation the sketch has seen (so a
+	// consumer can compute coverage).
+	TopPairs   []TopPair    `json:"top_pairs"`
+	TotalPairs uint64       `json:"total_pairs"`
+	Ops        []OpSnapshot `json:"ops"`
+	SLO        *SLOSnapshot `json:"slo,omitempty"`
+}
+
+// Snapshot captures the analytics; k bounds the reported heavy
+// hitters (<= 0 reports the full sketch).
+func (w *Workload) Snapshot(k int) WorkloadSnapshot {
+	if w == nil {
+		return WorkloadSnapshot{TopPairs: []TopPair{}, Ops: []OpSnapshot{}}
+	}
+	pairs, total := w.top.Snapshot(k)
+	if pairs == nil {
+		pairs = []TopPair{}
+	}
+	up := time.Since(w.start).Seconds()
+	w.mu.RLock()
+	ops := make([]OpSnapshot, 0, len(w.ops))
+	for name, c := range w.ops {
+		row := OpSnapshot{
+			Op:        name,
+			Count:     c.count.Load(),
+			Errors:    c.errs.Load(),
+			TotalSecs: float64(c.durNS.Load()) / 1e9,
+		}
+		if up > 0 {
+			row.RatePerS = float64(row.Count) / up
+		}
+		if row.Count > 0 {
+			row.MeanMS = float64(c.durNS.Load()) / 1e6 / float64(row.Count)
+		}
+		ops = append(ops, row)
+	}
+	w.mu.RUnlock()
+	sort.Slice(ops, func(i, j int) bool { return ops[i].Op < ops[j].Op })
+	return WorkloadSnapshot{TopPairs: pairs, TotalPairs: total, Ops: ops, SLO: w.slo.Snapshot()}
+}
+
+// SLOSnapshot exposes just the SLO state (the /metrics burn-rate
+// gauges read it without paying for a sketch snapshot). Nil when SLO
+// tracking is disabled.
+func (w *Workload) SLOSnapshot() *SLOSnapshot {
+	if w == nil {
+		return nil
+	}
+	return w.slo.Snapshot()
+}

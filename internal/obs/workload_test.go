@@ -1,0 +1,205 @@
+package obs
+
+// Workload-analytics unit tests: the space-saving sketch's exactness
+// and admission guarantees, the SLO burn-rate classification, and the
+// per-graph Workload bundle's snapshot shape (including nil safety —
+// library users of internal/server carry a nil bundle).
+
+import (
+	"testing"
+	"time"
+)
+
+func TestPairKeyRoundTrip(t *testing.T) {
+	cases := [][2]int32{{0, 0}, {1, 2}, {2, 1}, {-1, 7}, {1 << 30, -(1 << 30)}}
+	seen := make(map[uint64][2]int32)
+	for _, c := range cases {
+		k := PairKey(c[0], c[1])
+		if s, tt := PairFromKey(k); s != c[0] || tt != c[1] {
+			t.Fatalf("PairFromKey(PairKey(%d,%d)) = (%d,%d)", c[0], c[1], s, tt)
+		}
+		if prev, dup := seen[k]; dup {
+			t.Fatalf("pairs %v and %v collide on key %d", prev, c, k)
+		}
+		seen[k] = c
+	}
+	if PairKey(1, 2) == PairKey(2, 1) {
+		t.Fatal("(s,t) and (t,s) must be distinct keys")
+	}
+}
+
+func TestTopKExactWithinCapacity(t *testing.T) {
+	tk := NewTopK(8)
+	want := map[uint64]uint64{}
+	for i := 0; i < 5; i++ {
+		k := PairKey(int32(i), int32(i+1))
+		for j := 0; j <= i; j++ {
+			tk.Observe(k)
+			want[k]++
+		}
+	}
+	pairs, total := tk.Snapshot(0)
+	if total != 15 {
+		t.Fatalf("total = %d, want 15", total)
+	}
+	if len(pairs) != 5 {
+		t.Fatalf("sketch holds %d keys, want 5", len(pairs))
+	}
+	for i, p := range pairs {
+		if p.Err != 0 {
+			t.Fatalf("pair %d has err %d inside capacity", i, p.Err)
+		}
+		if got := want[PairKey(p.S, p.T)]; p.Count != got {
+			t.Fatalf("pair (%d,%d) count %d, want %d", p.S, p.T, p.Count, got)
+		}
+		if i > 0 && p.Count > pairs[i-1].Count {
+			t.Fatalf("snapshot not count-descending at %d", i)
+		}
+	}
+	// k bounds the report without touching the totals.
+	top2, total2 := tk.Snapshot(2)
+	if len(top2) != 2 || total2 != 15 || top2[0].Count != 5 {
+		t.Fatalf("Snapshot(2) = %v (total %d)", top2, total2)
+	}
+}
+
+func TestTopKEvictionGuarantees(t *testing.T) {
+	// Capacity 4, one genuinely heavy key amid a stream of singletons.
+	tk := NewTopK(4)
+	heavy := PairKey(9999, 9999)
+	for i := 0; i < 50; i++ {
+		tk.Observe(heavy)
+		tk.Observe(PairKey(int32(i), int32(i)))
+	}
+	pairs, total := tk.Snapshot(0)
+	if total != 100 {
+		t.Fatalf("total = %d, want 100", total)
+	}
+	if len(pairs) != 4 {
+		t.Fatalf("sketch holds %d keys, want capacity 4", len(pairs))
+	}
+	// The heavy hitter (true count 50 > N/k = 25) must be retained,
+	// and every reported count must bound truth: true in [count-err,
+	// count].
+	found := false
+	for _, p := range pairs {
+		if PairKey(p.S, p.T) == heavy {
+			found = true
+			if p.Count < 50 {
+				t.Fatalf("heavy count %d underestimates true 50", p.Count)
+			}
+			if p.Count-p.Err > 50 {
+				t.Fatalf("heavy bound [count-err=%d] exceeds true 50", p.Count-p.Err)
+			}
+		}
+	}
+	if !found {
+		t.Fatal("heavy hitter evicted despite count > N/k")
+	}
+}
+
+func TestTopKNilAndDefaults(t *testing.T) {
+	var tk *TopK
+	tk.Observe(1) // must not panic
+	if p, n := tk.Snapshot(5); p != nil || n != 0 {
+		t.Fatalf("nil sketch snapshot = %v, %d", p, n)
+	}
+	if got := NewTopK(0).k; got != DefaultTopK {
+		t.Fatalf("NewTopK(0) capacity = %d, want %d", got, DefaultTopK)
+	}
+}
+
+func TestSLODisabledAndDefaults(t *testing.T) {
+	if NewSLO(0, 0.99) != nil {
+		t.Fatal("target 0 must disable")
+	}
+	var s *SLO
+	s.Record(time.Millisecond, false) // nil-safe
+	if s.Snapshot() != nil {
+		t.Fatal("nil SLO snapshot must be nil")
+	}
+	if got := NewSLO(time.Second, 7).objective; got != 0.99 {
+		t.Fatalf("objective 7 defaulted to %g, want 0.99", got)
+	}
+}
+
+func TestSLOBurnRate(t *testing.T) {
+	s := NewSLO(10*time.Millisecond, 0.9) // allowed bad fraction 0.1
+	// 8 good, 2 bad (one slow, one failed): bad fraction 0.2, burn 2.
+	for i := 0; i < 8; i++ {
+		s.Record(time.Millisecond, false)
+	}
+	s.Record(50*time.Millisecond, false)
+	s.Record(time.Millisecond, true)
+	snap := s.Snapshot()
+	if snap.Good != 8 || snap.Total != 10 {
+		t.Fatalf("good/total = %d/%d, want 8/10", snap.Good, snap.Total)
+	}
+	if snap.TargetMS != 10 || snap.Objective != 0.9 {
+		t.Fatalf("target/objective = %g/%g", snap.TargetMS, snap.Objective)
+	}
+	// All records landed within the last minute, so both windows agree.
+	if snap.Burn1m < 1.99 || snap.Burn1m > 2.01 || snap.Burn5m < 1.99 || snap.Burn5m > 2.01 {
+		t.Fatalf("burn = %g/%g, want 2.0", snap.Burn1m, snap.Burn5m)
+	}
+	if snap.Status != "critical" {
+		t.Fatalf("status = %q, want critical (burning in both windows)", snap.Status)
+	}
+}
+
+func TestSLOStatusOK(t *testing.T) {
+	s := NewSLO(time.Second, 0.5)
+	for i := 0; i < 10; i++ {
+		s.Record(time.Millisecond, false)
+	}
+	snap := s.Snapshot()
+	if snap.Burn1m != 0 || snap.Status != "ok" {
+		t.Fatalf("all-good SLO = burn %g status %q", snap.Burn1m, snap.Status)
+	}
+}
+
+func TestWorkloadBundle(t *testing.T) {
+	w := NewWorkload(WorkloadOptions{TopK: 8, SLOTarget: time.Second, SLOObjective: 0.99})
+	w.ObservePair(3, 4)
+	w.ObservePair(3, 4)
+	w.ObservePair(5, 6)
+	w.RecordOp(OpQuery, 1, time.Millisecond, false)
+	w.RecordOp(OpQuery, 1, time.Millisecond, false)
+	w.RecordOp(OpBatch, 7, 2*time.Millisecond, true)
+	w.RecordQuery(time.Millisecond, false)
+
+	snap := w.Snapshot(10)
+	if snap.TotalPairs != 3 || len(snap.TopPairs) != 2 {
+		t.Fatalf("pairs = %d total %d", len(snap.TopPairs), snap.TotalPairs)
+	}
+	if p := snap.TopPairs[0]; p.S != 3 || p.T != 4 || p.Count != 2 || p.Err != 0 {
+		t.Fatalf("top pair = %+v", p)
+	}
+	ops := map[string]OpSnapshot{}
+	for _, o := range snap.Ops {
+		ops[o.Op] = o
+	}
+	if q := ops[OpQuery]; q.Count != 2 || q.Errors != 0 || q.MeanMS <= 0 {
+		t.Fatalf("query op = %+v", q)
+	}
+	if b := ops[OpBatch]; b.Count != 7 || b.Errors != 1 {
+		t.Fatalf("batch op = %+v", b)
+	}
+	if snap.SLO == nil || snap.SLO.Total != 1 {
+		t.Fatalf("slo = %+v", snap.SLO)
+	}
+
+	// Nil bundle: every method inert, snapshot non-nil slices (the
+	// HTTP layer marshals it directly).
+	var nw *Workload
+	nw.ObservePair(1, 2)
+	nw.RecordOp(OpQuery, 1, 0, false)
+	nw.RecordQuery(0, false)
+	ns := nw.Snapshot(5)
+	if ns.TopPairs == nil || ns.Ops == nil || ns.SLO != nil {
+		t.Fatalf("nil workload snapshot = %+v", ns)
+	}
+	if nw.SLOSnapshot() != nil {
+		t.Fatal("nil workload SLOSnapshot must be nil")
+	}
+}

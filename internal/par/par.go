@@ -80,7 +80,9 @@
 package par
 
 import (
+	"context"
 	"runtime"
+	"runtime/pprof"
 	"sync"
 	"sync/atomic"
 )
@@ -267,9 +269,26 @@ func (l *Limiter) release() {
 // under the same Limiter degrade to caller-runs once the budget is
 // spent. run must be safe for concurrent invocation and must return
 // when the shared work supply is exhausted.
-func fanOut(l *Limiter, helpers int, run func()) {
+//
+// lctx, when non-nil, carries runtime/pprof profiler labels that each
+// POOL helper adopts for the duration of its task and clears before
+// parking again. Pool workers are long-lived process-wide goroutines,
+// so without this hand-off CPU profile samples of pooled work would
+// carry no labels at all; the caller-runs share needs no treatment —
+// the submitting goroutine already wears whatever labels its request
+// or build wrapped it in (and clearing them here would strip the
+// caller mid-request).
+func fanOut(lctx context.Context, l *Limiter, helpers int, run func()) {
 	if helpers > 0 {
 		ensureWorkers(helpers)
+	}
+	helperRun := run
+	if lctx != nil {
+		helperRun = func() {
+			pprof.SetGoroutineLabels(lctx)
+			defer pprof.SetGoroutineLabels(context.Background())
+			run()
+		}
 	}
 	var wg sync.WaitGroup
 	granted := 0
@@ -281,7 +300,7 @@ handoff:
 		wg.Add(1)
 		task := func() {
 			defer wg.Done()
-			run()
+			helperRun()
 		}
 		select {
 		case poolTasks <- task:
@@ -339,6 +358,15 @@ func ForWorkers(p, n, grain int, body func(lo, hi int)) {
 // Limiter bounds the aggregate across every loop nested under the
 // same context.
 func ForLimited(l *Limiter, p, n, grain int, body func(lo, hi int)) {
+	ForLabeled(nil, l, p, n, grain, body)
+}
+
+// ForLabeled is ForLimited with a pprof label context: helpers pulled
+// from the shared pool wear lctx's profiler labels while running this
+// loop's chunks (see fanOut), so CPU profile samples of pooled work
+// attribute to the graph/operation that submitted it. A nil lctx is
+// exactly ForLimited.
+func ForLabeled(lctx context.Context, l *Limiter, p, n, grain int, body func(lo, hi int)) {
 	if n <= 0 {
 		return
 	}
@@ -382,7 +410,7 @@ func ForLimited(l *Limiter, p, n, grain int, body func(lo, hi int)) {
 	if helpers > chunks {
 		helpers = chunks
 	}
-	fanOut(l, helpers-1, run)
+	fanOut(lctx, l, helpers-1, run)
 }
 
 // ForIdx executes body(i) for every i in [0, n) in parallel chunks.
@@ -433,6 +461,12 @@ func DoNWorkers(p, n int, body func(i int)) {
 // DoNLimited is DoNWorkers drawing its helpers from a shared Limiter
 // budget (see ForLimited).
 func DoNLimited(l *Limiter, p, n int, body func(i int)) {
+	DoNLabeled(nil, l, p, n, body)
+}
+
+// DoNLabeled is DoNLimited with a pprof label context for pooled
+// helpers (see ForLabeled).
+func DoNLabeled(lctx context.Context, l *Limiter, p, n int, body func(i int)) {
 	if n <= 0 {
 		return
 	}
@@ -463,7 +497,7 @@ func DoNLimited(l *Limiter, p, n int, body func(i int)) {
 	if helpers > n {
 		helpers = n
 	}
-	fanOut(l, helpers-1, run)
+	fanOut(lctx, l, helpers-1, run)
 }
 
 // ---------------------------------------------------------------------------

@@ -5,6 +5,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"runtime/pprof"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -78,6 +79,16 @@ type Executor struct {
 	sem   chan struct{} // worker-pool slots
 	cache *lruCache
 	stats *GraphStats
+
+	// Cost-attribution hooks, set once by instrument() before the
+	// registry publishes the entry (its mutex provides the
+	// happens-before); all nil/zero on bare executors (tests, library
+	// use), which then pay nothing on these paths.
+	id       string
+	workload *obs.Workload
+	acct     *obs.Accountant
+	lblQuery context.Context // pprof labels for coalesced-batch compute
+	lblBatch context.Context // pprof labels for explicit-batch compute
 	// batchWaiters bounds explicit Batch calls parked on the pool, so
 	// batch traffic gets the same fail-fast contract as the coalesced
 	// path instead of unbounded goroutine pileup.
@@ -111,6 +122,31 @@ func newExecutor(oracle servingOracle, cfg Config, stats *GraphStats) *Executor 
 	return x
 }
 
+// instrument attaches the executor to the serving observability: the
+// graph id (as profiled and accounted), the per-graph workload
+// analytics, the cost accountant, and precomputed pprof label sets for
+// the compute sections. The label contexts are built once here so the
+// hot path never calls pprof.WithLabels (which allocates); applying a
+// prebuilt context via pprof.SetGoroutineLabels is allocation-free.
+func (x *Executor) instrument(id string, wl *obs.Workload, acct *obs.Accountant) {
+	x.id = id
+	x.workload = wl
+	x.acct = acct
+	x.lblQuery = pprof.WithLabels(context.Background(),
+		pprof.Labels("graph", id, "op", obs.OpQuery))
+	x.lblBatch = pprof.WithLabels(context.Background(),
+		pprof.Labels("graph", id, "op", obs.OpBatch))
+}
+
+// recordQuery feeds the workload analytics (RED counters + SLO) with
+// one completed single-query operation. The count reflects demanded
+// queries — failures count too — matching ObservePair's at-entry
+// semantics.
+func (x *Executor) recordQuery(d time.Duration, failed bool) {
+	x.workload.RecordOp(obs.OpQuery, 1, d, failed)
+	x.workload.RecordQuery(d, failed)
+}
+
 // checkPair validates ids before enqueueing, so one malformed query
 // can never poison the whole micro-batch it would have joined
 // (QueryBatch fails a batch on its first invalid pair).
@@ -128,6 +164,7 @@ func (x *Executor) Query(ctx context.Context, s, t graph.V) (spanhop.QueryStats,
 	x.stats.requests.Add(1)
 	if err := x.checkPair(s, t); err != nil {
 		x.stats.failures.Add(1)
+		x.recordQuery(0, true)
 		return spanhop.QueryStats{}, err
 	}
 	select {
@@ -135,11 +172,16 @@ func (x *Executor) Query(ctx context.Context, s, t graph.V) (spanhop.QueryStats,
 		return spanhop.QueryStats{}, ErrClosed
 	default:
 	}
+	// The sketch sees every valid demanded pair — before the cache and
+	// the queue — so /debug/workload reports the offered workload, not
+	// just the computed remainder.
+	x.workload.ObservePair(int32(s), int32(t))
 	tr := obs.FromContext(ctx)
 	start := time.Now()
 	if st, ok := x.cache.get([2]graph.V{s, t}); ok {
 		x.stats.cacheHits.Add(1)
 		x.stats.lat.Record(time.Since(start))
+		x.recordQuery(time.Since(start), false)
 		tr.SpanSince("cache", start)
 		tr.Annotate("cache", "hit")
 		return st, nil
@@ -150,15 +192,18 @@ func (x *Executor) Query(ctx context.Context, s, t graph.V) (spanhop.QueryStats,
 	case x.reqs <- r:
 	default:
 		x.stats.rejects.Add(1)
+		x.recordQuery(time.Since(start), true)
 		return spanhop.QueryStats{}, ErrOverloaded
 	}
 	select {
 	case resp := <-r.ch:
 		if resp.err != nil {
 			x.stats.failures.Add(1)
+			x.recordQuery(time.Since(start), true)
 			return spanhop.QueryStats{}, resp.err
 		}
 		x.stats.lat.Record(time.Since(start))
+		x.recordQuery(time.Since(start), false)
 		return resp.st, nil
 	case <-ctx.Done():
 		// The response channel is buffered, so the batch worker that
@@ -170,6 +215,7 @@ func (x *Executor) Query(ctx context.Context, s, t graph.V) (spanhop.QueryStats,
 		} else {
 			tr.Annotate("cancel_stage", "queue-wait")
 		}
+		x.recordQuery(time.Since(start), true)
 		return spanhop.QueryStats{}, ctx.Err()
 	case <-x.done:
 		// Collector exited; a response may still have raced in (or may
@@ -192,12 +238,19 @@ func (x *Executor) Batch(ctx context.Context, pairs [][2]graph.V) ([]spanhop.Que
 	for _, p := range pairs {
 		if err := x.checkPair(p[0], p[1]); err != nil {
 			x.stats.failures.Add(1)
+			x.workload.RecordOp(obs.OpBatch, len(pairs), 0, true)
 			return nil, err
+		}
+	}
+	if x.workload != nil {
+		for _, p := range pairs {
+			x.workload.ObservePair(int32(p[0]), int32(p[1]))
 		}
 	}
 	if x.batchWaiters.Add(1) > x.maxWaiters {
 		x.batchWaiters.Add(-1)
 		x.stats.rejects.Add(1)
+		x.workload.RecordOp(obs.OpBatch, len(pairs), 0, true)
 		return nil, ErrOverloaded
 	}
 	defer x.batchWaiters.Add(-1)
@@ -208,6 +261,7 @@ func (x *Executor) Batch(ctx context.Context, pairs [][2]graph.V) ([]spanhop.Que
 		return nil, ErrClosed
 	case <-ctx.Done():
 		tr.Annotate("cancel_stage", "queue-wait")
+		x.workload.RecordOp(obs.OpBatch, len(pairs), time.Since(enq), true)
 		return nil, ctx.Err()
 	case x.sem <- struct{}{}:
 	}
@@ -222,8 +276,20 @@ func (x *Executor) Batch(ctx context.Context, pairs [][2]graph.V) ([]spanhop.Que
 	// flushes the cache while this QueryBatch runs, the results below
 	// belong to the old generation and must not be re-cached.
 	epoch := x.cache.epoch()
+	cs := x.acct.Begin()
+	if x.lblBatch != nil {
+		// Prebuilt label context: the compute section's CPU samples
+		// carry {graph, op}. Restored to the request context's labels
+		// afterwards — this goroutine belongs to the HTTP server pool.
+		pprof.SetGoroutineLabels(x.lblBatch)
+	}
 	res, err := x.oracle.QueryBatch(pairs)
+	if x.lblBatch != nil {
+		pprof.SetGoroutineLabels(ctx)
+	}
+	x.acct.End(cs, x.id, obs.OpBatch, len(pairs), err != nil)
 	tr.SpanSince("exec", start)
+	x.workload.RecordOp(obs.OpBatch, len(pairs), time.Since(start), err != nil)
 	if err != nil {
 		x.stats.failures.Add(1)
 		return nil, err
@@ -323,7 +389,15 @@ func (x *Executor) dispatch(batch []request) {
 		if traced {
 			t0 = time.Now()
 		}
+		cs := x.acct.Begin()
+		if x.lblQuery != nil {
+			// This goroutine is batch-scoped, so the labels simply ride
+			// to its end; result distribution below is this graph's work
+			// too.
+			pprof.SetGoroutineLabels(x.lblQuery)
+		}
 		res, err := x.oracle.QueryBatch(pairs)
+		x.acct.End(cs, x.id, obs.OpQuery, len(batch), err != nil)
 		var dur time.Duration
 		if traced {
 			dur = time.Since(t0)

@@ -205,6 +205,69 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 
+	// Per-graph cost attribution: the accountant's (graph, op) rows.
+	// Emitted from the accountant directly — not joined against the
+	// registry — so costs already burned by a graph survive in the
+	// exposition even while the registry row is mid-transition.
+	costs := s.cfg.Obs.Account().Snapshot()
+	costLabels := func(c obs.CostSnapshot) [][2]string {
+		return [][2]string{{"graph", c.Graph}, {"op", c.Op}}
+	}
+	p.family("spanhop_graph_cpu_seconds_total",
+		"On-thread CPU time attributed to a graph's operation sections (pool fan-out is visible via pprof labels instead).", "counter")
+	for _, c := range costs {
+		p.sample("spanhop_graph_cpu_seconds_total", costLabels(c), c.CPUSeconds)
+	}
+	p.family("spanhop_graph_wall_seconds_total",
+		"Wall time spent inside a graph's operation sections.", "counter")
+	for _, c := range costs {
+		p.sample("spanhop_graph_wall_seconds_total", costLabels(c), c.WallSeconds)
+	}
+	p.family("spanhop_graph_allocs_total",
+		"Heap objects allocated during a graph's operation sections (process-wide delta: approximate under concurrency).", "counter")
+	for _, c := range costs {
+		p.sample("spanhop_graph_allocs_total", costLabels(c), c.Allocs)
+	}
+	p.family("spanhop_graph_alloc_bytes_total",
+		"Heap bytes allocated during a graph's operation sections (process-wide delta: approximate under concurrency).", "counter")
+	for _, c := range costs {
+		p.sample("spanhop_graph_alloc_bytes_total", costLabels(c), c.AllocBytes)
+	}
+
+	// SLO burn rates (only for graphs with SLO tracking on).
+	type sloRow struct {
+		id   string
+		snap *obs.SLOSnapshot
+	}
+	var slos []sloRow
+	for _, row := range rows {
+		e, ok := s.reg.Get(row.info.ID)
+		if !ok {
+			continue
+		}
+		if snap := e.Workload().SLOSnapshot(); snap != nil {
+			slos = append(slos, sloRow{row.info.ID, snap})
+		}
+	}
+	if len(slos) > 0 {
+		p.family("spanhop_slo_burn_rate",
+			"Latency SLO error-budget burn rate over rolling windows (1 = sustainable).", "gauge")
+		for _, sr := range slos {
+			p.sample("spanhop_slo_burn_rate",
+				[][2]string{{"graph", sr.id}, {"window", "1m"}}, sr.snap.Burn1m)
+			p.sample("spanhop_slo_burn_rate",
+				[][2]string{{"graph", sr.id}, {"window", "5m"}}, sr.snap.Burn5m)
+		}
+		p.family("spanhop_slo_good_total", "Queries answered within the SLO target.", "counter")
+		for _, sr := range slos {
+			p.sample("spanhop_slo_good_total", [][2]string{{"graph", sr.id}}, sr.snap.Good)
+		}
+		p.family("spanhop_slo_queries_total", "Queries classified by the SLO tracker.", "counter")
+		for _, sr := range slos {
+			p.sample("spanhop_slo_queries_total", [][2]string{{"graph", sr.id}}, sr.snap.Total)
+		}
+	}
+
 	// Lifecycle event counters (build queued/ready, snapshot written,
 	// rebuild swapped, ...) — the countable face of the structured
 	// event log.

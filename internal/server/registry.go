@@ -17,6 +17,7 @@ import (
 	"errors"
 	"fmt"
 	"os"
+	"runtime/pprof"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -93,13 +94,14 @@ type Entry struct {
 	// and its base graph live inside it (and are REPLACED by rebuild
 	// swaps — holding direct references here would pin the pre-rebuild
 	// oracle in memory for the entry's lifetime).
-	mu      sync.Mutex
-	state   State
-	err     string
-	dyn     *spanhop.DynamicOracle
-	exec    *Executor
-	buildMS int64
-	created time.Time
+	mu       sync.Mutex
+	state    State
+	err      string
+	dyn      *spanhop.DynamicOracle
+	exec     *Executor
+	workload *obs.Workload
+	buildMS  int64
+	created  time.Time
 
 	// Snapshot persistence: warm marks an entry restored from disk at
 	// boot (it never ran a build in this process); snapSize/snapTime/
@@ -232,6 +234,14 @@ func (e *Entry) Info() Info {
 		info.Snapshot = &si
 	}
 	return info
+}
+
+// Workload returns the entry's per-graph workload analytics bundle
+// (nil until the entry became ready; Workload methods are nil-safe).
+func (e *Entry) Workload() *obs.Workload {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.workload
 }
 
 // executor returns the ready executor, or ErrNotReady carrying the
@@ -450,6 +460,9 @@ func (r *Registry) Delete(id string) (State, error) {
 	lock.Lock()
 	r.removeSnapshot(id)
 	lock.Unlock()
+	// Evict the graph's cost rows too: /metrics should not grow one
+	// stale label set per deleted graph for the process lifetime.
+	r.cfg.Obs.Account().Forget(id)
 	r.cfg.Obs.Event("graph_deleted", "graph", id, "state", string(state))
 	return state, nil
 }
@@ -491,10 +504,17 @@ func (r *Registry) build(e *Entry) {
 		e.btr.Annotate("error", err.Error())
 		r.cfg.Obs.Publish(e.btr.Finish())
 	}
+	// Build attribution: the build section runs under {graph, op}
+	// pprof labels — on this goroutine directly, and on every pooled
+	// helper through the exec context's Labels — and its CPU/alloc
+	// deltas land in the cost accountant under (graph, "build").
+	acct := r.cfg.Obs.Account()
+	buildLbl := graphLabels(e.id, obs.OpBuild)
 	ec := exec.New(exec.Options{
 		Context:   e.buildC,
 		Workers:   r.cfg.buildExecWorkers(),
 		Telemetry: e.tel,
+		Labels:    buildLbl,
 		// Build stages double as trace spans: the same record exec
 		// telemetry keeps lands on the build trace as it closes.
 		OnStage: func(st exec.StageStats) {
@@ -503,6 +523,8 @@ func (r *Registry) build(e *Entry) {
 	})
 	var g *graph.Graph
 	var oracle *spanhop.DistanceOracle
+	cs := acct.Begin()
+	pprof.SetGoroutineLabels(buildLbl)
 	err := func() (err error) {
 		defer func() {
 			if p := recover(); p != nil {
@@ -532,16 +554,25 @@ func (r *Registry) build(e *Entry) {
 		// columns in /stats.
 		oracle = spanhop.NewDistanceOracleOpts(g, e.spec.Eps, e.spec.Seed,
 			spanhop.OracleOptions{
-				Cost:      spanhop.NewCost(),
-				Exec:      ec,
-				QueryExec: exec.Parallel(r.cfg.queryExecWorkers()),
-				Parallel:  r.cfg.Parallel,
+				Cost: spanhop.NewCost(),
+				Exec: ec,
+				// The query context's pooled helpers carry the graph
+				// label (no op: one context serves both the coalesced
+				// and the explicit batch surface), so profile samples
+				// from query fan-out attribute to the graph.
+				QueryExec: exec.New(exec.Options{
+					Workers: r.cfg.queryExecWorkers(),
+					Labels:  graphLabels(e.id, ""),
+				}),
+				Parallel: r.cfg.Parallel,
 			})
 		if cerr := ec.Err(); cerr != nil {
 			return fmt.Errorf("build canceled: %w", cerr)
 		}
 		return nil
 	}()
+	pprof.SetGoroutineLabels(context.Background())
+	acct.End(cs, e.id, obs.OpBuild, 1, err != nil)
 	if err != nil || e.deleted.Load() {
 		if err == nil {
 			err = errors.New("graph deleted during build")
@@ -552,12 +583,15 @@ func (r *Registry) build(e *Entry) {
 	// Every ready oracle serves through a dynamic overlay so the graph
 	// can absorb live mutations; with an empty journal it delegates
 	// straight to the static oracle.
-	dyn := spanhop.NewDynamicOracle(oracle, r.cfg.rebuildPolicy())
+	dyn := spanhop.NewDynamicOracle(oracle, r.graphRebuildPolicy(e.id))
 	ex := newExecutor(dyn, r.cfg, e.stats)
+	wl := obs.NewWorkload(r.cfg.workloadOptions())
+	ex.instrument(e.id, wl, acct)
 	r.hookRebuild(e, dyn, ex)
 	e.mu.Lock()
 	e.dyn = dyn
 	e.exec = ex
+	e.workload = wl
 	e.state = StateReady
 	e.buildMS = time.Since(start).Milliseconds()
 	e.mu.Unlock()
@@ -623,6 +657,26 @@ func (r *Registry) ForceRebuild(ctx context.Context, id string) (*DynamicInfo, e
 	return dynamicInfo(dyn), nil
 }
 
+// graphLabels builds a prebuilt pprof label context identifying one
+// graph (and optionally one operation). Built once per graph at
+// publish time — applying a prebuilt context is allocation-free, so
+// the hot paths never pay for label construction.
+func graphLabels(id, op string) context.Context {
+	if op == "" {
+		return pprof.WithLabels(context.Background(), pprof.Labels("graph", id))
+	}
+	return pprof.WithLabels(context.Background(), pprof.Labels("graph", id, "op", op))
+}
+
+// graphRebuildPolicy is the configured rebuild policy specialized to
+// one graph: overlay rebuilds run their pooled build helpers under the
+// graph's {graph, op=rebuild} profiler labels.
+func (r *Registry) graphRebuildPolicy(id string) spanhop.RebuildPolicy {
+	pol := r.cfg.rebuildPolicy()
+	pol.Labels = graphLabels(id, obs.OpRebuild)
+	return pol
+}
+
 // hookRebuild wires an entry's rebuild-swap hook: whenever the
 // overlay scheduler swaps in a freshly rebuilt oracle (background or
 // forced), the executor's result cache is flushed — cached answers
@@ -652,6 +706,17 @@ func (r *Registry) hookRebuild(e *Entry, dyn *spanhop.DynamicOracle, ex *Executo
 	dyn.SetOnRebuild(func() {
 		ex.flushCache()
 		r.scheduleSnapshot(e)
+	})
+	// Rebuild attribution: the scheduler's build step runs under the
+	// graph's {graph, op=rebuild} labels (this goroutine here; pooled
+	// helpers via the policy's label context) and is measured into the
+	// accountant under (graph, "rebuild").
+	acct := r.cfg.Obs.Account()
+	rlbl := graphLabels(e.id, obs.OpRebuild)
+	dyn.SetRebuildInstrument(func(cause string, do func() error) {
+		pprof.SetGoroutineLabels(rlbl)
+		defer pprof.SetGoroutineLabels(context.Background())
+		_ = acct.Measure(e.id, obs.OpRebuild, do)
 	})
 }
 
@@ -745,12 +810,14 @@ func (r *Registry) ApplyUpdates(id string, us []spanhop.DynamicUpdate) (uint64, 
 		return 0, nil, fmt.Errorf("%w: %q", ErrUnknownGraph, id)
 	}
 	e.mu.Lock()
-	state, dyn, ex := e.state, e.dyn, e.exec
+	state, dyn, ex, wl := e.state, e.dyn, e.exec, e.workload
 	e.mu.Unlock()
 	if state != StateReady || dyn == nil {
 		return 0, nil, fmt.Errorf("%w: %s is %s", ErrNotReady, id, state)
 	}
+	mstart := time.Now()
 	gen, err := dyn.ApplyUpdates(us)
+	wl.RecordOp(obs.OpMutate, len(us), time.Since(mstart), err != nil)
 	if err != nil {
 		return 0, nil, err
 	}

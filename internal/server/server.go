@@ -1,12 +1,16 @@
 package server
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
 	"net/http"
 	"net/http/pprof"
+	"path/filepath"
 	"runtime"
+	rpprof "runtime/pprof"
+	"strconv"
 	"time"
 
 	spanhop "repro"
@@ -82,6 +86,36 @@ type Config struct {
 	// log. nil takes a quiet default (discarded logs, tracing only on
 	// client request) so library callers and tests need no wiring.
 	Obs *obs.Observer
+
+	// WorkloadTopK is the capacity of each graph's heavy-hitter sketch
+	// over (s, t) query pairs, surfaced at GET /debug/workload
+	// (0 = obs.DefaultTopK).
+	WorkloadTopK int
+	// SLOTarget is the per-graph query latency objective: a query
+	// counts as good when it succeeds within SLOTarget. 0 disables SLO
+	// tracking entirely. SLOObjective is the required good fraction
+	// (default 0.99).
+	SLOTarget    time.Duration
+	SLOObjective float64
+
+	// ProfileDir enables continuous profiling: a background collector
+	// periodically captures CPU and heap profiles into a bounded
+	// on-disk ring there, served at GET /debug/profiles/. Empty
+	// disables. ProfileInterval is the capture period (default 1m);
+	// ProfileKeep bounds how many files are kept per profile kind
+	// (default 16).
+	ProfileDir      string
+	ProfileInterval time.Duration
+	ProfileKeep     int
+}
+
+// workloadOptions resolves the per-graph workload analytics options.
+func (c Config) workloadOptions() obs.WorkloadOptions {
+	return obs.WorkloadOptions{
+		TopK:         c.WorkloadTopK,
+		SLOTarget:    c.SLOTarget,
+		SLOObjective: c.SLOObjective,
+	}
 }
 
 // Snapshot format names for Config.SnapshotFormat.
@@ -192,6 +226,7 @@ type Server struct {
 	cfg   Config
 	reg   *Registry
 	mux   *http.ServeMux
+	prof  *obs.Profiler
 	start time.Time
 }
 
@@ -219,6 +254,8 @@ func New(cfg Config) *Server {
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
 	s.mux.HandleFunc("GET /stats", s.handleStats)
 	s.mux.HandleFunc("GET /debug/traces", s.handleTraces)
+	s.mux.HandleFunc("GET /debug/workload", s.handleWorkload)
+	s.mux.HandleFunc("GET /debug/profiles/{name...}", s.handleProfiles)
 	// net/http/pprof registers on DefaultServeMux; this server runs its
 	// own mux, so route the profile surface explicitly.
 	s.mux.HandleFunc("/debug/pprof/", pprof.Index)
@@ -226,7 +263,35 @@ func New(cfg Config) *Server {
 	s.mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
 	s.mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 	s.mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	// Continuous profiling: failures to set up the ring directory
+	// degrade to "no profiler" with a logged event, never a dead
+	// server — the serving path does not depend on it.
+	if cfg.ProfileDir != "" {
+		prof, err := obs.NewProfiler(obs.ProfilerOptions{
+			Dir:      cfg.ProfileDir,
+			Interval: cfg.ProfileInterval,
+			Keep:     cfg.ProfileKeep,
+			Log:      cfg.Obs.Log(),
+		})
+		if err != nil {
+			cfg.Obs.EventError("profiler_failed", err, "dir", cfg.ProfileDir)
+		} else {
+			s.prof = prof
+			prof.Start()
+			cfg.Obs.Event("profiler_started", "dir", cfg.ProfileDir,
+				"interval_ms", profInterval(cfg).Milliseconds())
+		}
+	}
 	return s
+}
+
+// profInterval resolves the effective capture period (for the startup
+// event only; the profiler resolves its own defaults).
+func profInterval(cfg Config) time.Duration {
+	if cfg.ProfileInterval > 0 {
+		return cfg.ProfileInterval
+	}
+	return obs.DefaultProfileInterval
 }
 
 // Handler returns the routing handler wrapped with the observability
@@ -250,7 +315,10 @@ func (s *Server) Registry() *Registry { return s.reg }
 // Close shuts down builds and executors. In-flight HTTP requests get
 // typed shutdown errors; the HTTP listener itself is the caller's to
 // drain (http.Server.Shutdown first, then Close).
-func (s *Server) Close() { s.reg.Close() }
+func (s *Server) Close() {
+	s.prof.Stop()
+	s.reg.Close()
+}
 
 // ---------------------------------------------------------------------------
 // JSON plumbing.
@@ -406,6 +474,17 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		tr = obs.NewTrace(obs.RequestID(ctx))
 		tr.Annotate("graph", id)
 		ctx = obs.WithTrace(ctx, tr)
+		// Traced requests additionally run their handler section under
+		// {graph, rid} profiler labels, so a CPU sample taken while an
+		// elected request decodes, waits, or writes its response is
+		// attributable to that exact request. The label context rides
+		// in ctx, so the executor's compute-section labels restore it
+		// on the way out. Untraced requests skip this — labels per
+		// request would cost an allocation on the hot path.
+		lctx := rpprof.WithLabels(ctx, rpprof.Labels("graph", id, "rid", obs.RequestID(ctx)))
+		rpprof.SetGoroutineLabels(lctx)
+		defer rpprof.SetGoroutineLabels(context.Background())
+		ctx = lctx
 	}
 	start := time.Now()
 	endDecode := tr.StartSpan("decode")
@@ -489,16 +568,139 @@ func (s *Server) finishQueryTrace(w http.ResponseWriter, tr *obs.Trace, echo boo
 }
 
 // handleTraces serves the recent-trace ring, newest first:
-// GET /debug/traces.
+// GET /debug/traces. Query parameters narrow and reshape the dump:
+// ?graph={id} keeps only traces annotated with that graph, ?min_ms={f}
+// keeps only traces at least that long (triaging: "show me the slow
+// ones on g1"), and ?format=chrome renders the selection as a Chrome
+// trace-event document loadable by chrome://tracing and Perfetto.
 func (s *Server) handleTraces(w http.ResponseWriter, r *http.Request) {
+	q := r.URL.Query()
+	minUS := 0.0
+	if v := q.Get("min_ms"); v != "" {
+		ms, err := strconv.ParseFloat(v, 64)
+		if err != nil || ms < 0 {
+			writeError(w, http.StatusBadRequest,
+				fmt.Errorf("server: min_ms %q, want a non-negative number", v))
+			return
+		}
+		minUS = ms * 1000
+	}
+	graphF := q.Get("graph")
+	format := q.Get("format")
+	if format != "" && format != "json" && format != "chrome" {
+		writeError(w, http.StatusBadRequest,
+			fmt.Errorf("server: format %q, want json or chrome", format))
+		return
+	}
 	traces := s.cfg.Obs.Traces().Snapshot()
-	if traces == nil {
-		traces = []obs.TraceData{}
+	kept := make([]obs.TraceData, 0, len(traces))
+	for _, td := range traces {
+		if td.TotalUS < minUS {
+			continue
+		}
+		if graphF != "" {
+			g, _ := td.Attrs["graph"].(string)
+			if g != graphF {
+				continue
+			}
+		}
+		kept = append(kept, td)
+	}
+	if format == "chrome" {
+		doc, err := obs.ChromeTrace(kept)
+		if err != nil {
+			writeError(w, http.StatusInternalServerError, err)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusOK)
+		_, _ = w.Write(doc)
+		return
 	}
 	writeJSON(w, http.StatusOK, map[string]any{
-		"count":  len(traces),
-		"traces": traces,
+		"count":  len(kept),
+		"traces": kept,
 	})
+}
+
+// handleWorkload serves the per-graph workload analytics:
+// GET /debug/workload → {"graphs": {id: {top_pairs, ops, slo}}}.
+// ?graph={id} narrows to one graph, ?k={n} bounds the reported heavy
+// hitters (default 32, 0 = the full sketch).
+func (s *Server) handleWorkload(w http.ResponseWriter, r *http.Request) {
+	q := r.URL.Query()
+	k := 32
+	if v := q.Get("k"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil || n < 0 {
+			writeError(w, http.StatusBadRequest,
+				fmt.Errorf("server: k %q, want a non-negative integer", v))
+			return
+		}
+		k = n
+	}
+	graphF := q.Get("graph")
+	out := map[string]obs.WorkloadSnapshot{}
+	for _, info := range s.reg.List() {
+		if graphF != "" && info.ID != graphF {
+			continue
+		}
+		e, ok := s.reg.Get(info.ID)
+		if !ok {
+			continue
+		}
+		wl := e.Workload()
+		if wl == nil {
+			continue // not ready yet: no analytics to report
+		}
+		out[info.ID] = wl.Snapshot(k)
+	}
+	if graphF != "" && len(out) == 0 {
+		writeError(w, http.StatusNotFound, ErrUnknownGraph)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"uptime_ms": time.Since(s.start).Milliseconds(),
+		"graphs":    out,
+	})
+}
+
+// handleProfiles serves the continuous-profiling ring:
+// GET /debug/profiles/ lists the captured files, GET
+// /debug/profiles/{name} streams one (a plain pprof proto —
+// `go tool pprof` reads the URL directly). File names are validated
+// against the collector's own naming scheme, so this can never read
+// outside the ring directory.
+func (s *Server) handleProfiles(w http.ResponseWriter, r *http.Request) {
+	if s.prof == nil {
+		writeError(w, http.StatusNotFound,
+			errors.New("server: continuous profiling not enabled (no profile dir)"))
+		return
+	}
+	name := r.PathValue("name")
+	if name == "" {
+		names, err := obs.ListProfiles(s.prof.Dir())
+		if err != nil {
+			writeError(w, http.StatusInternalServerError, err)
+			return
+		}
+		if names == nil {
+			names = []string{}
+		}
+		writeJSON(w, http.StatusOK, map[string]any{
+			"dir":      s.prof.Dir(),
+			"captures": s.prof.Captures(),
+			"profiles": names,
+		})
+		return
+	}
+	if !obs.ValidProfileName(name) {
+		writeError(w, http.StatusNotFound,
+			fmt.Errorf("server: %q is not a profile ring file", name))
+		return
+	}
+	w.Header().Set("Content-Type", "application/octet-stream")
+	http.ServeFile(w, r, filepath.Join(s.prof.Dir(), name))
 }
 
 // edgeUpdate is the wire shape of one mutation.
@@ -636,9 +838,16 @@ type graphStats struct {
 	// Dynamic carries the live-update overlay gauges: generation
 	// window, pending journal, staleness, rebuild counters.
 	Dynamic *DynamicInfo `json:"dynamic,omitempty"`
+	// Costs is the accountant's per-op resource attribution for this
+	// graph (CPU seconds, allocation deltas, per op: query/batch/
+	// build/rebuild); SLO is the latency objective's burn-rate state
+	// (nil when SLO tracking is off).
+	Costs []obs.CostSnapshot `json:"costs,omitempty"`
+	SLO   *obs.SLOSnapshot   `json:"slo,omitempty"`
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	acct := s.cfg.Obs.Account()
 	out := map[string]graphStats{}
 	for _, info := range s.reg.List() {
 		e, ok := s.reg.Get(info.ID)
@@ -654,6 +863,8 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 			FlatBytes:     info.FlatBytes,
 			Snapshot:      info.Snapshot,
 			Dynamic:       info.Dynamic,
+			Costs:         acct.GraphSnapshot(info.ID),
+			SLO:           e.Workload().SLOSnapshot(),
 		}
 	}
 	writeJSON(w, http.StatusOK, map[string]any{

@@ -22,6 +22,7 @@ import (
 
 	spanhop "repro"
 	"repro/internal/exec"
+	"repro/internal/obs"
 	"repro/internal/snapshot"
 )
 
@@ -257,21 +258,25 @@ func (r *Registry) WarmStart() (int, []WarmStartError) {
 // -snapshot-format change needs no migration.
 func (r *Registry) warmStartFile(id, path string) error {
 	opt := spanhop.OracleOptions{
-		QueryExec: exec.Parallel(r.cfg.queryExecWorkers()),
+		QueryExec: exec.New(exec.Options{
+			Workers: r.cfg.queryExecWorkers(),
+			Labels:  graphLabels(id, ""),
+		}),
 	}
+	pol := r.graphRebuildPolicy(id)
 	var (
 		dyn  *spanhop.DynamicOracle
 		note []byte
 		err  error
 	)
 	if snapshot.IsFlatFile(path) {
-		dyn, note, err = spanhop.OpenDynamicOracleFile(path, nil, opt, r.cfg.rebuildPolicy())
+		dyn, note, err = spanhop.OpenDynamicOracleFile(path, nil, opt, pol)
 	} else {
 		var f *os.File
 		if f, err = os.Open(path); err != nil {
 			return err
 		}
-		dyn, note, err = spanhop.LoadDynamicOracle(f, nil, opt, r.cfg.rebuildPolicy())
+		dyn, note, err = spanhop.LoadDynamicOracle(f, nil, opt, pol)
 		f.Close()
 	}
 	if err != nil {
@@ -304,6 +309,8 @@ func (r *Registry) warmStartFile(id, path string) error {
 		snapTime: snapTime,
 	}
 	e.exec = newExecutor(dyn, r.cfg, e.stats)
+	e.workload = obs.NewWorkload(r.cfg.workloadOptions())
+	e.exec.instrument(id, e.workload, r.cfg.Obs.Account())
 	r.mu.Lock()
 	if r.closed {
 		r.mu.Unlock()

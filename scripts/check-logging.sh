@@ -2,8 +2,14 @@
 # Structured-logging gate: non-test code under internal/ must log
 # through log/slog (via internal/obs) — ad-hoc stdout/stderr prints
 # bypass -log-format/-log-level and are invisible to log shippers, so
-# CI rejects them. Tests and cmd/ tools (whose stdout IS the product)
-# are exempt.
+# CI rejects them. Tests are exempt.
+#
+# cmd/ tools print reports to stdout deliberately, so fmt.Printf/
+# fmt.Fprintf stay legal there — but the global `log` package (which
+# bypasses the daemon's -log-format/-log-level entirely) and bare
+# fmt.Println (an implicit-stdout print with no declared destination,
+# the classic leftover debug line) are stray in any binary: write to
+# an explicit io.Writer or go through log/slog.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -14,4 +20,12 @@ if [ -n "$bad" ]; then
     echo "$bad" >&2
     exit 1
 fi
-echo "check-logging.sh: OK (no ad-hoc prints in internal/)"
+
+badcmd=$(grep -rnE '\b(log\.(Print|Printf|Println|Fatal|Fatalf|Fatalln|Panic|Panicf|Panicln)|fmt\.Println)\(' \
+    cmd/ --include='*.go' | grep -v '_test\.go' || true)
+if [ -n "$badcmd" ]; then
+    echo "check-logging.sh: stray logging in cmd/ — use log/slog (daemons) or an explicit fmt.Fprint* writer (reports):" >&2
+    echo "$badcmd" >&2
+    exit 1
+fi
+echo "check-logging.sh: OK (no ad-hoc prints in internal/, no stray log/fmt.Println in cmd/)"

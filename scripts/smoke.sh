@@ -36,7 +36,9 @@ stage "generate a small weighted grid (binary format)"
 
 start_daemon() {
     "$DIR/bin/spanhopd" -addr "$ADDR" -batch-window 2ms -load "grid=$DIR/grid.bin" \
-        -eps 0.3 -seed 2 -snapshot-dir "$SNAPDIR" >"$1" 2>&1 &
+        -eps 0.3 -seed 2 -snapshot-dir "$SNAPDIR" \
+        -profile-dir "$DIR/profiles" -profile-interval 5s \
+        -slo-target 250ms >"$1" 2>&1 &
     DAEMON_PID=$!
 }
 
@@ -120,6 +122,60 @@ grep -q 'spanhop_build_info{' <<<"$METRICS" || { echo "metrics missing build_inf
 grep -q 'spanhop_go_goroutines' <<<"$METRICS" || { echo "metrics missing runtime gauges"; exit 1; }
 grep -q 'spanhop_events_total{event="build_ready"}' <<<"$METRICS" \
     || { echo "metrics missing lifecycle event counters"; exit 1; }
+
+stage "workload analytics: /debug/workload + loadgen cross-check"
+# loadgen asserts the server's analytics deltas (op mix, sketch total,
+# exact heavy-hitter counts) match the load it just generated.
+"$DIR/bin/loadgen" -addr "http://$ADDR" -graph grid -mix repeat \
+    -concurrency 4 -requests 200 -report-workload | tee "$DIR/workload.out"
+grep -q "workload: server analytics match the generated load" "$DIR/workload.out" \
+    || { echo "loadgen workload cross-check did not pass"; exit 1; }
+WL=$(curl -fsS "http://$ADDR/debug/workload?graph=grid&k=8")
+grep -q '"top_pairs":\[{' <<<"$WL" || { echo "workload missing heavy hitters"; exit 1; }
+grep -q '"op":"query"' <<<"$WL" || { echo "workload missing query op row"; exit 1; }
+grep -q '"slo":{' <<<"$WL" || { echo "workload missing SLO state (-slo-target set)"; exit 1; }
+
+stage "per-graph cost attribution in /metrics and /stats"
+METRICS=$(curl -fsS "http://$ADDR/metrics")
+grep -q 'spanhop_graph_cpu_seconds_total{graph="grid",op="query"}' <<<"$METRICS" \
+    || { echo "metrics missing per-graph query CPU attribution"; exit 1; }
+grep -q 'spanhop_graph_allocs_total{graph="grid"' <<<"$METRICS" \
+    || { echo "metrics missing per-graph alloc attribution"; exit 1; }
+grep -q 'spanhop_slo_burn_rate{graph="grid",window="1m"}' <<<"$METRICS" \
+    || { echo "metrics missing SLO burn-rate gauge"; exit 1; }
+curl -fsS "http://$ADDR/stats" | grep -q '"costs":\[{' \
+    || { echo "stats missing per-graph cost rows"; exit 1; }
+
+stage "chrome trace export from the trace ring"
+CHROME=$(curl -fsS "http://$ADDR/debug/traces?format=chrome")
+grep -q '"traceEvents":\[' <<<"$CHROME" || { echo "chrome export missing traceEvents"; exit 1; }
+grep -q '"ph":"X"' <<<"$CHROME" || { echo "chrome export has no complete events"; exit 1; }
+# The graph filter must narrow the ring to real traces for that graph.
+curl -fsS "http://$ADDR/debug/traces?graph=grid" | grep -q '"count":[1-9]' \
+    || { echo "trace ?graph=grid filter returned nothing"; exit 1; }
+
+stage "continuous profiling: ring capture on disk and over HTTP"
+# The collector captures immediately on startup (cpu runs 2.5s), so by
+# now the ring holds at least one cpu and one heap profile.
+for i in $(seq 1 100); do
+    ls "$DIR"/profiles/cpu-*.pprof >/dev/null 2>&1 \
+        && ls "$DIR"/profiles/heap-*.pprof >/dev/null 2>&1 && break
+    sleep 0.2
+done
+ls "$DIR"/profiles/cpu-*.pprof >/dev/null 2>&1 || { echo "no cpu profile captured"; exit 1; }
+ls "$DIR"/profiles/heap-*.pprof >/dev/null 2>&1 || { echo "no heap profile captured"; exit 1; }
+PROFLIST=$(curl -fsS "http://$ADDR/debug/profiles/")
+grep -q '"profiles":\["' <<<"$PROFLIST" || { echo "profile ring listing empty"; exit 1; }
+PROFNAME=$(sed -n 's/.*"profiles":\["\([^"]*\)".*/\1/p' <<<"$PROFLIST")
+curl -fsS "http://$ADDR/debug/profiles/$PROFNAME" -o "$DIR/one.pprof"
+[ -s "$DIR/one.pprof" ] || { echo "served profile $PROFNAME is empty"; exit 1; }
+# Traversal is stopped before the handler (the mux redirects dotdot
+# segments); names outside the collector's scheme must 404.
+CODE=$(curl -s --path-as-is -o /dev/null -w "%{http_code}" "http://$ADDR/debug/profiles/../grid.bin")
+[ "$CODE" = "404" ] || [ "$CODE" = "301" ] \
+    || { echo "profile handler served a traversal path ($CODE)"; exit 1; }
+CODE=$(curl -s -o /dev/null -w "%{http_code}" "http://$ADDR/debug/profiles/forged.pprof")
+[ "$CODE" = "404" ] || { echo "profile handler served a foreign name ($CODE)"; exit 1; }
 
 stage "structured-logging gate (no ad-hoc prints in internal/)"
 "$(dirname "$0")/check-logging.sh"
