@@ -43,6 +43,15 @@
 // reports as exact (err == 0) must carry precisely the count this run
 // sent for that pair — an end-to-end check that the analytics
 // pipeline neither drops nor double-counts demand.
+//
+// With -report-quality, loadgen snapshots GET /debug/quality before
+// the run, waits for the daemon's background answer auditor to drain
+// the samples it took from this run's traffic, and asserts zero new
+// envelope violations — a closed-loop check that every shadow
+// re-checked answer stayed inside the proven stretch envelope. Any new
+// violation exits non-zero (it is a server correctness alarm, not a
+// load-generation artifact). The -json summary gains a "quality"
+// block (samples audited, violations, max stretch ratio).
 package main
 
 import (
@@ -84,6 +93,7 @@ func main() {
 	workers := flag.Int("workers", 0, "worker cap for the local -verify rebuild; must mirror the daemon's -workers so both sides build the same oracle (0 = the sequential reference build, matching a daemon without -workers/-parallel)")
 	traceSample := flag.Int("trace-sample", 0, "request a server-side trace for every Nth query and print the slowest traced request's span breakdown (0 disables)")
 	reportWorkload := flag.Bool("report-workload", false, "snapshot /debug/workload around the run and assert the server's hot-pair sketch and op mix match the generated load")
+	reportQuality := flag.Bool("report-quality", false, "snapshot /debug/quality around the run and assert the server's answer auditor found zero envelope violations in this run's sampled traffic")
 	timeout := flag.Duration("timeout", 120*time.Second, "build-wait timeout")
 	jsonOut := flag.Bool("json", false, "emit a machine-readable JSON summary on stdout (progress moves to stderr); the shape internal/bench and scripts consume")
 	flag.Parse()
@@ -205,6 +215,18 @@ func main() {
 			fatal(fmt.Errorf("report-workload: pre-run snapshot: %w", err))
 		}
 		beforeWL = snap
+	}
+
+	// The -report-quality baseline: audit counters are cumulative since
+	// graph registration, so the zero-violations assertion compares the
+	// delta across this run.
+	var beforeQ obs.AuditGraphSnapshot
+	if *reportQuality {
+		snap, _, err := fetchQuality(client, *addr, id)
+		if err != nil {
+			fatal(fmt.Errorf("report-quality: pre-run snapshot: %w", err))
+		}
+		beforeQ = snap
 	}
 
 	type sample struct {
@@ -439,6 +461,40 @@ func main() {
 		}
 	}
 
+	// -report-quality: let the daemon's background auditor drain the
+	// samples it took from this run's traffic, then assert no served
+	// answer escaped its stretch envelope. The verdict (and exit)
+	// happens below, after the JSON is emitted.
+	var quality *qualityBlock
+	var qualityErr error
+	if *reportQuality {
+		afterQ, err := awaitQuality(client, *addr, id, beforeQ)
+		if err != nil {
+			fatal(fmt.Errorf("report-quality: %w", err))
+		}
+		maxRatio := 0.0
+		for _, reg := range afterQ.Regimes {
+			if reg.MaxRatio > maxRatio {
+				maxRatio = reg.MaxRatio
+			}
+		}
+		quality = &qualityBlock{
+			SamplesAudited: afterQ.Audited - beforeQ.Audited,
+			Violations:     afterQ.Violations - beforeQ.Violations,
+			MaxRatio:       maxRatio,
+		}
+		switch {
+		case quality.Violations > 0:
+			qualityErr = fmt.Errorf("auditor flagged %d envelope violation(s) during this run (max observed stretch %.4f, envelope [%.4f, %.4f]); see GET /debug/quality?graph=%s for the evidence ring",
+				quality.Violations, maxRatio, afterQ.Envelope.Lo, afterQ.Envelope.Hi, id)
+		case quality.SamplesAudited == 0:
+			infof("quality: no samples audited this run (sampling stride above the request count and no traced requests?) — nothing to assert\n")
+		default:
+			infof("quality: %d answers shadow re-checked, 0 violations, max stretch %.4f within envelope [%.4f, %.4f]\n",
+				quality.SamplesAudited, maxRatio, afterQ.Envelope.Lo, afterQ.Envelope.Hi)
+		}
+	}
+
 	if *jsonOut {
 		sum := jsonSummary{
 			Graph: id, N: info.N, M: info.M, Mix: *mixName,
@@ -451,6 +507,7 @@ func main() {
 			Mutations: mutations, Server: serverStats,
 			SlowestTrace: slowestTrace,
 			Workload:     afterWL,
+			Quality:      quality,
 		}
 		enc := json.NewEncoder(os.Stdout)
 		enc.SetIndent("", "  ")
@@ -475,8 +532,64 @@ func main() {
 			fatal(fmt.Errorf("report-workload: %w", workloadErr))
 		}
 	}
+	if qualityErr != nil {
+		// A violation is a server correctness alarm, never a
+		// load-generation artifact: the auditor compared a served answer
+		// against its own exact recomputation, so transport errors on
+		// this side cannot excuse it.
+		fatal(fmt.Errorf("report-quality: %w", qualityErr))
+	}
 	if errCount > 0 {
 		os.Exit(1)
+	}
+}
+
+// fetchQuality fetches one graph's /debug/quality audit state; ok is
+// false when the server has nothing for the graph.
+func fetchQuality(client *http.Client, addr, id string) (obs.AuditGraphSnapshot, bool, error) {
+	code, body, err := doJSON(client, "GET", addr+"/debug/quality?graph="+id, nil)
+	if err != nil {
+		return obs.AuditGraphSnapshot{}, false, err
+	}
+	if code == http.StatusNotFound {
+		return obs.AuditGraphSnapshot{}, false, nil
+	}
+	if code != http.StatusOK {
+		return obs.AuditGraphSnapshot{}, false, fmt.Errorf("GET /debug/quality: %d: %s", code, body)
+	}
+	var resp struct {
+		Graphs []obs.AuditGraphSnapshot `json:"graphs"`
+	}
+	if err := json.Unmarshal(body, &resp); err != nil {
+		return obs.AuditGraphSnapshot{}, false, err
+	}
+	for _, g := range resp.Graphs {
+		if g.Graph == id {
+			return g, true, nil
+		}
+	}
+	return obs.AuditGraphSnapshot{}, false, nil
+}
+
+// awaitQuality polls /debug/quality until the auditor has drained
+// every sample it accepted (each one audited, dropped, or skipped) or
+// a deadline passes — audits run on background workers, so the
+// counters lag the traffic that fed them.
+func awaitQuality(client *http.Client, addr, id string, before obs.AuditGraphSnapshot) (obs.AuditGraphSnapshot, error) {
+	deadline := time.Now().Add(15 * time.Second)
+	for {
+		snap, ok, err := fetchQuality(client, addr, id)
+		if err != nil {
+			return snap, err
+		}
+		if !ok {
+			return snap, fmt.Errorf("graph %s missing from /debug/quality", id)
+		}
+		settled := snap.Audited+snap.Dropped+snap.BudgetSkips+snap.StaleSkips+snap.Errors
+		if settled >= snap.Sampled || time.Now().After(deadline) {
+			return snap, nil
+		}
+		time.Sleep(100 * time.Millisecond)
 	}
 }
 
@@ -861,4 +974,16 @@ type jsonSummary struct {
 	// Workload is the server's post-run /debug/workload snapshot for
 	// the queried graph (with -report-workload).
 	Workload *obs.WorkloadSnapshot `json:"workload,omitempty"`
+	// Quality is the answer auditor's verdict on this run's sampled
+	// traffic (with -report-quality).
+	Quality *qualityBlock `json:"quality,omitempty"`
+}
+
+// qualityBlock is the -json "quality" member: the run's delta of the
+// server's answer-audit counters plus the cumulative max stretch
+// high-water mark.
+type qualityBlock struct {
+	SamplesAudited int64   `json:"samples_audited"`
+	Violations     int64   `json:"violations"`
+	MaxRatio       float64 `json:"max_ratio"`
 }

@@ -16,7 +16,8 @@
 //	    [-trace-sample N] [-trace-ring N] \
 //	    [-slow-query D] [-slow-query-per-min N] \
 //	    [-workload-topk K] [-slo-target D] [-slo-objective F] \
-//	    [-profile-dir DIR] [-profile-interval D] [-profile-keep N]
+//	    [-profile-dir DIR] [-profile-interval D] [-profile-keep N] \
+//	    [-audit-sample N] [-audit-cpu-frac F]
 //
 // Served graphs accept live edge mutations (POST /graphs/{id}/edges:
 // insert/delete/reweight, each stamped with a generation); queries
@@ -55,6 +56,14 @@
 // pairs, op mix, and SLO burn rate (-slo-target, -slo-objective);
 // with -profile-dir a background profiler keeps a bounded on-disk
 // ring of CPU and heap profiles served at /debug/profiles/.
+//
+// Answer-quality auditing: every -audit-sample'th served query (and
+// every traced one) is shadow re-checked in the background against an
+// exact recomputation at the generation it was served from, under a
+// hard per-graph CPU budget (-audit-cpu-frac). Observed stretch-ratio
+// histograms, violation alarms, and the evidence behind them are at
+// GET /debug/quality and as spanhop_stretch_ratio / spanhop_audit_*
+// in /metrics; an envelope violation also logs a structured ERROR.
 package main
 
 import (
@@ -104,6 +113,8 @@ func main() {
 	profileDir := flag.String("profile-dir", "", "continuous profiling: keep a ring of CPU/heap profiles here (empty disables)")
 	profileInterval := flag.Duration("profile-interval", time.Minute, "continuous profiling capture period")
 	profileKeep := flag.Int("profile-keep", 16, "profiles of each kind kept in the -profile-dir ring")
+	auditSample := flag.Int("audit-sample", 0, "answer-quality auditing: shadow re-check every Nth served query against exact recomputation (0 = default 64, negative disables rate sampling; traced requests always audit)")
+	auditCPUFrac := flag.Float64("audit-cpu-frac", 0, "cap per-graph audit CPU at this fraction of wall time (0 = default 0.05, negative uncaps)")
 	var loads, gens []string
 	flag.Func("load", "preload a graph file as name=path (repeatable)", func(v string) error {
 		loads = append(loads, v)
@@ -166,6 +177,9 @@ func main() {
 		ProfileDir:      *profileDir,
 		ProfileInterval: *profileInterval,
 		ProfileKeep:     *profileKeep,
+
+		AuditSample:  *auditSample,
+		AuditCPUFrac: *auditCPUFrac,
 
 		Obs: observer,
 	})

@@ -263,6 +263,25 @@ func (d *DynamicOracle) QueryAt(gen uint64, s, t V) (Dist, error) {
 	return d.ov.QueryAt(gen, s, t)
 }
 
+// ExactDistanceAt computes the exact s-t distance at a pinned
+// generation via bidirectional Dijkstra over the patched adjacency —
+// no hopset approximation on any path, in any regime. It is
+// deliberately slower than Query (cost scales with the searched ball)
+// and exists for answer auditing: the serving layer shadow-samples
+// served answers and re-checks them against this ground truth.
+// Returns ErrCompactedGen when a rebuild folded gen into the base.
+func (d *DynamicOracle) ExactDistanceAt(gen uint64, s, t V) (Dist, error) {
+	return d.ov.ExactDistanceAt(gen, s, t)
+}
+
+// StretchEnvelope returns the multiplicative answer envelope the
+// current base oracle promises (see DistanceOracle.StretchEnvelope).
+// The improving overlay regime preserves it verbatim; the degrading
+// regime answers exactly (ratio 1 by construction).
+func (d *DynamicOracle) StretchEnvelope() (lo, hi float64) {
+	return d.Oracle().StretchEnvelope()
+}
+
 // QueryStats mirrors DistanceOracle.QueryStats. While the overlay is
 // empty the full static diagnostics pass through; once mutations are
 // pending the overlay path answers and Levels/Fallback read zero (the

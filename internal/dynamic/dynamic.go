@@ -694,6 +694,34 @@ func (d *Oracle) queryRLocked(gen uint64, s, t graph.V) (graph.Dist, error) {
 	return d.sketchQuery(base, epoch, arcs, s, t)
 }
 
+// ExactDistanceAt computes the exact s-t distance on G'(gen) with a
+// bidirectional Dijkstra over the patched adjacency — the same search
+// the degrading regime serves from, run unconditionally regardless of
+// the generation's regime. Unlike QueryAt it never routes through the
+// approximate base oracle, so the answer carries no distortion
+// envelope at all: this is the ground truth the serving layer's
+// answer-quality auditor re-checks sampled answers against. Returns
+// graph.InfDist for disconnected pairs. gen must lie in
+// [FloorGen, Generation] (ErrCompactedGen / ErrFutureGen otherwise —
+// an auditor holding a generation a rebuild compacted away must treat
+// that as a dropped sample, never a violation). Cost scales with the
+// searched ball, not the hopset depth; callers budget accordingly.
+func (d *Oracle) ExactDistanceAt(gen uint64, s, t graph.V) (graph.Dist, error) {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	if err := d.checkGenLocked(gen); err != nil {
+		return 0, err
+	}
+	n := d.baseG.NumVertices()
+	if s < 0 || s >= n || t < 0 || t >= n {
+		return 0, fmt.Errorf("dynamic: query (%d,%d) out of range n=%d", s, t, n)
+	}
+	if s == t {
+		return 0, nil
+	}
+	return d.exactPatchedLocked(gen, s, t), nil
+}
+
 // Swap installs a freshly built base oracle reflecting G'(upTo):
 // journal entries with gen ≤ upTo are compacted away, pair histories
 // drop versions the new base already embodies, and the P×P estimate

@@ -48,6 +48,7 @@ const (
 	OpMutate  = "mutate"  // edge-mutation batch application
 	OpBuild   = "build"   // initial oracle construction
 	OpRebuild = "rebuild" // overlay journal fold
+	OpAudit   = "audit"   // answer-quality shadow re-check
 )
 
 // costKey identifies one counter cell.

@@ -1,0 +1,686 @@
+package obs
+
+// Answer-quality auditing: is the oracle telling the truth?
+//
+// Every dashboard PR 7/9 added watches latency, cost, and traffic —
+// none of them would notice the one failure mode that actually
+// matters for a distance oracle: silently wrong answers. The Auditor
+// closes that gap by shadow-sampling served queries and re-checking
+// them against an exact recomputation (bidirectional Dijkstra over
+// the patched adjacency, pinned to the generation the answer was
+// served at). The observed stretch ratio served/exact is accumulated
+// into per-(graph, regime) log-spaced histograms; a ratio outside the
+// regime's proven envelope is a correctness alarm — the theorem says
+// it cannot happen, so if it does, the build is broken and the
+// evidence is preserved.
+//
+// Design constraints, in order:
+//
+//   - Auditing must never starve serving. Samples flow through a
+//     bounded drop-oldest queue into a small fixed worker pool, and
+//     each graph carries a hard CPU budget: cumulative audit thread-CPU
+//     may not exceed CPUFrac of the wall time since the graph
+//     registered. Over budget → the sample is counted and discarded.
+//   - The package cannot import the oracle. Rechecking is injected as
+//     a RecheckFunc per graph; a recheck against a generation that a
+//     rebuild has since compacted away returns ErrAuditStale and is a
+//     counted skip, never a violation.
+//   - Everything is nil-safe: a nil *Auditor accepts and drops all
+//     calls, so library users and tests pay nothing.
+
+import (
+	"errors"
+	"log/slog"
+	"math"
+	"runtime"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// ErrAuditStale is returned by a RecheckFunc when the pinned
+// generation has been compacted away by a rebuild between sampling
+// and auditing. The sample is uncheckable — counted as a stale skip,
+// never as a violation.
+var ErrAuditStale = errors.New("obs: audited generation compacted away")
+
+// RecheckFunc recomputes the exact distance for (s, t) on the graph
+// as of generation gen. unreachable reports a disconnected pair (the
+// dist value is then meaningless). Implementations are called from
+// auditor worker goroutines and must be safe for concurrent use.
+type RecheckFunc func(gen uint64, s, t int32) (dist int64, unreachable bool, err error)
+
+// Envelope is the multiplicative answer guarantee for one graph:
+// every correctly served distance lies in [Lo·d, Hi·d] of the exact
+// distance d. The degrading overlay regime is held to exactness
+// (ratio ≡ 1) regardless of the envelope, because its serving path
+// *is* the exact search.
+type Envelope struct {
+	Lo float64 `json:"lo"`
+	Hi float64 `json:"hi"`
+}
+
+// AuditSample is one served answer queued for shadow re-checking.
+type AuditSample struct {
+	Graph       string
+	S, T        int32
+	Answer      int64
+	Unreachable bool // the served answer was "disconnected"
+	Regime      string
+	Gen         uint64
+	TraceID     string // non-empty when the request was traced
+}
+
+// AuditEvidence preserves one audited query with full context — the
+// evidence ring holds the offending queries behind each violation so
+// an operator can reproduce the wrong answer after the alarm fires.
+type AuditEvidence struct {
+	Time              time.Time `json:"time"`
+	S                 int32     `json:"s"`
+	T                 int32     `json:"t"`
+	Gen               uint64    `json:"gen"`
+	Regime            string    `json:"regime"`
+	Served            int64     `json:"served"`
+	Exact             int64     `json:"exact"`
+	ServedUnreachable bool      `json:"served_unreachable,omitempty"`
+	ExactUnreachable  bool      `json:"exact_unreachable,omitempty"`
+	Ratio             float64   `json:"ratio"` // 0 when not meaningfully finite
+	TraceID           string    `json:"trace_id,omitempty"`
+	Reason            string    `json:"reason,omitempty"`
+}
+
+// Violation reasons recorded in evidence and logs.
+const (
+	ReasonBelowEnvelope      = "below-envelope"
+	ReasonAboveEnvelope      = "above-envelope"
+	ReasonExactMismatch      = "exact-mismatch"       // degrading regime answered ≠ exact
+	ReasonUnreachableMismatch = "unreachable-mismatch" // connectivity disagreement
+)
+
+// stretchBounds are the stretch-ratio histogram bucket upper bounds:
+// powers of two, geometrically refined toward 1.0 where correct
+// answers concentrate (±3% resolution near 1, coarsening to octaves
+// at the tails). Symmetric in log space so under- and over-estimates
+// are resolved equally.
+var stretchBounds = func() []float64 {
+	exps := []float64{-1, -0.5, -0.25, -0.125, -0.0625, -0.03125,
+		0, 0.03125, 0.0625, 0.125, 0.25, 0.5, 1, 2}
+	b := make([]float64, len(exps))
+	for i, e := range exps {
+		b[i] = math.Pow(2, e)
+	}
+	return b
+}()
+
+// StretchBuckets returns a copy of the histogram bucket upper bounds
+// shared by /debug/quality and the /metrics exposition.
+func StretchBuckets() []float64 {
+	out := make([]float64, len(stretchBounds))
+	copy(out, stretchBounds)
+	return out
+}
+
+func bucketOf(ratio float64) int {
+	for i, b := range stretchBounds {
+		if ratio <= b {
+			return i
+		}
+	}
+	return len(stretchBounds) // overflow bucket
+}
+
+// AuditorOptions configure NewAuditor. Zero values pick defaults.
+type AuditorOptions struct {
+	// SampleEvery audits every Nth served query (deterministic).
+	// 0 picks the default; negative disables rate sampling (traced
+	// requests are still always audited).
+	SampleEvery int
+	// CPUFrac caps cumulative per-graph audit CPU at this fraction of
+	// wall time since the graph registered. 0 picks the default;
+	// negative disables the cap.
+	CPUFrac float64
+	// Queue bounds the pending-sample channel (drop-oldest beyond).
+	Queue int
+	// Workers is the recheck goroutine count.
+	Workers int
+	// Evidence bounds the per-graph violation evidence ring.
+	Evidence int
+
+	Log    *slog.Logger
+	Events *Events
+	Acct   *Accountant // audit CPU metered under op=audit
+	Traces *Ring       // audit outcomes annotated onto finished traces
+}
+
+// Defaults for AuditorOptions zero values.
+const (
+	DefaultAuditSample   = 64
+	DefaultAuditCPUFrac  = 0.05
+	defaultAuditQueue    = 256
+	defaultAuditWorkers  = 2
+	defaultAuditEvidence = 16
+)
+
+// auditRegime accumulates per-(graph, regime) stretch observations.
+type auditRegime struct {
+	count      int64
+	violations int64
+	sum        float64
+	max        float64
+	min        float64
+	buckets    []int64 // len(stretchBounds)+1; last is overflow
+}
+
+// auditGraph is one registered graph's audit state. Audits are
+// low-rate background work, so a single mutex per graph is plenty.
+type auditGraph struct {
+	mu      sync.Mutex
+	env     Envelope
+	recheck RecheckFunc
+	start   time.Time // budget wall-clock base
+
+	sampled     int64 // accepted into the queue
+	audited     int64 // rechecks completed and classified
+	dropped     int64 // evicted by drop-oldest (or queue full)
+	budgetSkips int64 // discarded: over CPU budget
+	staleSkips  int64 // discarded: generation compacted away
+	errs        int64 // recheck failed for any other reason
+	violations  int64
+	cpuNS       int64 // cumulative audit thread-CPU
+
+	regimes  map[string]*auditRegime
+	evidence []AuditEvidence // bounded ring of violations
+	evNext   int
+	evN      int
+	worst    *AuditEvidence // largest |log ratio| over ALL audits
+	worstDev float64
+}
+
+func (g *auditGraph) regime(name string) *auditRegime {
+	r := g.regimes[name]
+	if r == nil {
+		r = &auditRegime{buckets: make([]int64, len(stretchBounds)+1)}
+		g.regimes[name] = r
+	}
+	return r
+}
+
+// Auditor continuously re-checks a sample of served answers against
+// exact recomputation. Safe for concurrent use; nil is valid and
+// inert.
+type Auditor struct {
+	sampleEvery int
+	cpuFrac     float64
+	evidenceCap int
+	log         *slog.Logger
+	events      *Events
+	acct        *Accountant
+	traces      *Ring
+
+	sampleC atomic.Uint64
+
+	mu     sync.RWMutex
+	graphs map[string]*auditGraph
+
+	queue  chan AuditSample
+	quit   chan struct{}
+	wg     sync.WaitGroup
+	closed atomic.Bool
+}
+
+// NewAuditor starts an auditor with opts.Workers background recheck
+// workers. Close releases them.
+func NewAuditor(opts AuditorOptions) *Auditor {
+	if opts.SampleEvery == 0 {
+		opts.SampleEvery = DefaultAuditSample
+	}
+	if opts.CPUFrac == 0 {
+		opts.CPUFrac = DefaultAuditCPUFrac
+	}
+	if opts.Queue <= 0 {
+		opts.Queue = defaultAuditQueue
+	}
+	if opts.Workers <= 0 {
+		opts.Workers = defaultAuditWorkers
+	}
+	if opts.Evidence <= 0 {
+		opts.Evidence = defaultAuditEvidence
+	}
+	a := &Auditor{
+		sampleEvery: opts.SampleEvery,
+		cpuFrac:     opts.CPUFrac,
+		evidenceCap: opts.Evidence,
+		log:         opts.Log,
+		events:      opts.Events,
+		acct:        opts.Acct,
+		traces:      opts.Traces,
+		graphs:      make(map[string]*auditGraph),
+		queue:       make(chan AuditSample, opts.Queue),
+		quit:        make(chan struct{}),
+	}
+	a.wg.Add(opts.Workers)
+	for i := 0; i < opts.Workers; i++ {
+		go a.worker()
+	}
+	return a
+}
+
+// SampleEvery reports the every-Nth sampling stride (≤ 0 when rate
+// sampling is disabled).
+func (a *Auditor) SampleEvery() int {
+	if a == nil {
+		return 0
+	}
+	return a.sampleEvery
+}
+
+// CPUFrac reports the per-graph audit CPU budget fraction (≤ 0 when
+// uncapped).
+func (a *Auditor) CPUFrac() float64 {
+	if a == nil {
+		return 0
+	}
+	return a.cpuFrac
+}
+
+// Register installs (or refreshes, preserving counters) a graph's
+// exact-recheck hook and answer envelope. Samples for unregistered
+// graphs are rejected at Offer.
+func (a *Auditor) Register(graph string, env Envelope, recheck RecheckFunc) {
+	if a == nil || recheck == nil {
+		return
+	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if g := a.graphs[graph]; g != nil {
+		g.mu.Lock()
+		g.env = env
+		g.recheck = recheck
+		g.mu.Unlock()
+		return
+	}
+	a.graphs[graph] = &auditGraph{
+		env:     env,
+		recheck: recheck,
+		start:   time.Now(),
+		regimes: make(map[string]*auditRegime),
+	}
+}
+
+// Forget drops a graph's audit state (graph deleted). Queued samples
+// for it become no-ops.
+func (a *Auditor) Forget(graph string) {
+	if a == nil {
+		return
+	}
+	a.mu.Lock()
+	delete(a.graphs, graph)
+	a.mu.Unlock()
+}
+
+// Close stops the workers. Queued samples are abandoned.
+func (a *Auditor) Close() {
+	if a == nil || a.closed.Swap(true) {
+		return
+	}
+	close(a.quit)
+	a.wg.Wait()
+}
+
+func (a *Auditor) graph(id string) *auditGraph {
+	a.mu.RLock()
+	g := a.graphs[id]
+	a.mu.RUnlock()
+	return g
+}
+
+// SampleHit reports whether the next served query falls on the
+// deterministic every-Nth sampling grid. Traced requests bypass this
+// and are always offered.
+func (a *Auditor) SampleHit() bool {
+	if a == nil || a.sampleEvery <= 0 {
+		return false
+	}
+	return a.sampleC.Add(1)%uint64(a.sampleEvery) == 0
+}
+
+// Offer enqueues a sample for background auditing, evicting the
+// oldest queued sample when full (serving latency is never blocked on
+// audit capacity). Reports whether the sample was accepted.
+func (a *Auditor) Offer(s AuditSample) bool {
+	if a == nil || a.closed.Load() {
+		return false
+	}
+	g := a.graph(s.Graph)
+	if g == nil {
+		return false
+	}
+	accept := func() {
+		g.mu.Lock()
+		g.sampled++
+		g.mu.Unlock()
+	}
+	select {
+	case a.queue <- s:
+		accept()
+		return true
+	default:
+	}
+	// Full: pop the oldest (drop attributed to its graph), retry once.
+	select {
+	case old := <-a.queue:
+		if og := a.graph(old.Graph); og != nil {
+			og.mu.Lock()
+			og.dropped++
+			og.mu.Unlock()
+		}
+	default:
+	}
+	select {
+	case a.queue <- s:
+		accept()
+		return true
+	default:
+		g.mu.Lock()
+		g.dropped++
+		g.mu.Unlock()
+		return false
+	}
+}
+
+func (a *Auditor) worker() {
+	defer a.wg.Done()
+	for {
+		select {
+		case <-a.quit:
+			return
+		case s := <-a.queue:
+			a.audit(s)
+		}
+	}
+}
+
+// audit re-checks one sample: budget gate, exact recompute (metered
+// as op=audit), envelope classification, histogram/evidence/alarm.
+func (a *Auditor) audit(s AuditSample) {
+	g := a.graph(s.Graph)
+	if g == nil {
+		return // graph deleted between sampling and auditing
+	}
+
+	g.mu.Lock()
+	if a.cpuFrac > 0 {
+		elapsed := time.Since(g.start).Nanoseconds()
+		if elapsed > 0 && float64(g.cpuNS) > a.cpuFrac*float64(elapsed) {
+			g.budgetSkips++
+			g.mu.Unlock()
+			return
+		}
+	}
+	recheck := g.recheck
+	env := g.env
+	g.mu.Unlock()
+
+	// The recheck runs thread-locked so its CPU is attributable both
+	// to the Accountant cell (op=audit) and to this graph's budget.
+	runtime.LockOSThread()
+	cs := a.acct.Begin()
+	cpu0 := threadCPU()
+	exact, exUnreach, err := recheck(s.Gen, s.S, s.T)
+	cpu := threadCPU() - cpu0
+	a.acct.End(cs, s.Graph, OpAudit, 1, err != nil && !errors.Is(err, ErrAuditStale))
+	runtime.UnlockOSThread()
+
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if cpu > 0 {
+		g.cpuNS += cpu
+	}
+	if err != nil {
+		if errors.Is(err, ErrAuditStale) {
+			g.staleSkips++
+		} else {
+			g.errs++
+			if a.log != nil {
+				a.log.Warn("audit recheck failed",
+					"graph", s.Graph, "s", s.S, "t", s.T,
+					"gen", s.Gen, "err", err)
+			}
+		}
+		return
+	}
+	g.audited++
+
+	// Classify. ratio is only meaningful when both sides agree the
+	// pair is reachable (finite); connectivity disagreements are
+	// violations with no ratio.
+	var ratio float64
+	finite := false
+	reason := ""
+	switch {
+	case s.Unreachable && exUnreach:
+		ratio, finite = 1, true
+	case s.Unreachable != exUnreach:
+		reason = ReasonUnreachableMismatch
+	case exact == 0:
+		if s.Answer == 0 {
+			ratio, finite = 1, true
+		} else {
+			reason = ReasonExactMismatch
+		}
+	default:
+		ratio = float64(s.Answer) / float64(exact)
+		finite = true
+	}
+	if reason == "" && finite && !(s.Unreachable && exUnreach) {
+		const slack = 1e-9 // float envelope comparison headroom
+		switch {
+		case s.Regime == "degrading":
+			// The degrading serving path IS the exact search:
+			// anything but integer equality is a broken build.
+			if s.Answer != exact {
+				reason = ReasonExactMismatch
+			}
+		case ratio < env.Lo-slack:
+			reason = ReasonBelowEnvelope
+		case ratio > env.Hi+slack:
+			reason = ReasonAboveEnvelope
+		}
+	}
+
+	if finite {
+		r := g.regime(s.Regime)
+		r.count++
+		r.sum += ratio
+		if r.count == 1 || ratio > r.max {
+			r.max = ratio
+		}
+		if r.count == 1 || ratio < r.min {
+			r.min = ratio
+		}
+		r.buckets[bucketOf(ratio)]++
+		if reason != "" {
+			r.violations++
+		}
+	}
+
+	ev := AuditEvidence{
+		Time:              time.Now(),
+		S:                 s.S,
+		T:                 s.T,
+		Gen:               s.Gen,
+		Regime:            s.Regime,
+		Served:            s.Answer,
+		Exact:             exact,
+		ServedUnreachable: s.Unreachable,
+		ExactUnreachable:  exUnreach,
+		TraceID:           s.TraceID,
+		Reason:            reason,
+	}
+	if finite {
+		ev.Ratio = ratio
+	}
+
+	// Worst offender: the audit whose ratio strays farthest from 1 in
+	// log space, violation or not. Ratio-0 served answers (zero for a
+	// reachable pair) produce a -Inf deviation sentinel that wins; the
+	// stored evidence stays finite for JSON.
+	if finite {
+		dev := math.Abs(math.Log2(ratio))
+		if ratio == 0 {
+			dev = math.Inf(1)
+		}
+		if g.worst == nil || dev > g.worstDev {
+			evCopy := ev
+			g.worst = &evCopy
+			g.worstDev = dev
+		}
+	} else if g.worst == nil {
+		evCopy := ev
+		g.worst = &evCopy
+		g.worstDev = math.Inf(1)
+	}
+
+	if reason == "" {
+		if s.TraceID != "" {
+			a.traces.Annotate(s.TraceID, "audit", "ok", "audit_ratio", ev.Ratio)
+		}
+		return
+	}
+
+	// Correctness alarm: the theorem says this cannot happen.
+	g.violations++
+	if len(g.evidence) < a.evidenceCap {
+		g.evidence = append(g.evidence, ev)
+		g.evN = len(g.evidence)
+	} else {
+		g.evidence[g.evNext] = ev
+	}
+	g.evNext = (g.evNext + 1) % a.evidenceCap
+	a.events.Count("quality_violation")
+	if a.log != nil {
+		a.log.Error("answer-quality violation: served distance outside envelope",
+			"graph", s.Graph, "reason", reason,
+			"s", s.S, "t", s.T, "gen", s.Gen, "regime", s.Regime,
+			"served", s.Answer, "exact", exact, "ratio", ev.Ratio,
+			"envelope_lo", env.Lo, "envelope_hi", env.Hi,
+			"trace", s.TraceID)
+	}
+	if s.TraceID != "" {
+		a.traces.Annotate(s.TraceID, "audit", "violation",
+			"audit_ratio", ev.Ratio, "audit_reason", reason)
+	}
+}
+
+// AuditRegimeSnapshot is one (graph, regime) histogram row.
+type AuditRegimeSnapshot struct {
+	Regime     string  `json:"regime"`
+	Count      int64   `json:"count"`
+	Violations int64   `json:"violations"`
+	MeanRatio  float64 `json:"mean_ratio"`
+	MinRatio   float64 `json:"min_ratio"`
+	MaxRatio   float64 `json:"max_ratio"`
+	SumRatio   float64 `json:"sum_ratio"`
+	// Buckets aligns with StretchBuckets(); the extra final element
+	// counts ratios above the last bound.
+	Buckets []int64 `json:"buckets"`
+}
+
+// AuditGraphSnapshot is one graph's full audit state.
+type AuditGraphSnapshot struct {
+	Graph       string                `json:"graph"`
+	Envelope    Envelope              `json:"envelope"`
+	Sampled     int64                 `json:"sampled"`
+	Audited     int64                 `json:"audited"`
+	Dropped     int64                 `json:"dropped"`
+	BudgetSkips int64                 `json:"budget_skips"`
+	StaleSkips  int64                 `json:"stale_skips"`
+	Errors      int64                 `json:"errors"`
+	Violations  int64                 `json:"violations"`
+	AuditCPUNS  int64                 `json:"audit_cpu_ns"`
+	Regimes     []AuditRegimeSnapshot `json:"regimes"`
+	Evidence    []AuditEvidence       `json:"evidence"`
+	Worst       *AuditEvidence        `json:"worst,omitempty"`
+}
+
+func (g *auditGraph) snapshot(name string) AuditGraphSnapshot {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	snap := AuditGraphSnapshot{
+		Graph:       name,
+		Envelope:    g.env,
+		Sampled:     g.sampled,
+		Audited:     g.audited,
+		Dropped:     g.dropped,
+		BudgetSkips: g.budgetSkips,
+		StaleSkips:  g.staleSkips,
+		Errors:      g.errs,
+		Violations:  g.violations,
+		AuditCPUNS:  g.cpuNS,
+		Regimes:     make([]AuditRegimeSnapshot, 0, len(g.regimes)),
+		Evidence:    make([]AuditEvidence, 0, g.evN),
+	}
+	for name, r := range g.regimes {
+		rs := AuditRegimeSnapshot{
+			Regime:     name,
+			Count:      r.count,
+			Violations: r.violations,
+			MinRatio:   r.min,
+			MaxRatio:   r.max,
+			SumRatio:   r.sum,
+			Buckets:    append([]int64(nil), r.buckets...),
+		}
+		if r.count > 0 {
+			rs.MeanRatio = r.sum / float64(r.count)
+		}
+		snap.Regimes = append(snap.Regimes, rs)
+	}
+	sort.Slice(snap.Regimes, func(i, j int) bool {
+		return snap.Regimes[i].Regime < snap.Regimes[j].Regime
+	})
+	// Evidence newest-first, like the trace ring.
+	for i := 1; i <= g.evN; i++ {
+		snap.Evidence = append(snap.Evidence,
+			g.evidence[(g.evNext-i+len(g.evidence))%len(g.evidence)])
+	}
+	if g.worst != nil {
+		w := *g.worst
+		snap.Worst = &w
+	}
+	return snap
+}
+
+// Snapshot returns every registered graph's audit state, sorted by
+// graph id.
+func (a *Auditor) Snapshot() []AuditGraphSnapshot {
+	if a == nil {
+		return nil
+	}
+	a.mu.RLock()
+	names := make([]string, 0, len(a.graphs))
+	for name := range a.graphs {
+		names = append(names, name)
+	}
+	a.mu.RUnlock()
+	sort.Strings(names)
+	out := make([]AuditGraphSnapshot, 0, len(names))
+	for _, name := range names {
+		if g := a.graph(name); g != nil {
+			out = append(out, g.snapshot(name))
+		}
+	}
+	return out
+}
+
+// GraphSnapshot returns one graph's audit state.
+func (a *Auditor) GraphSnapshot(graph string) (AuditGraphSnapshot, bool) {
+	if a == nil {
+		return AuditGraphSnapshot{}, false
+	}
+	g := a.graph(graph)
+	if g == nil {
+		return AuditGraphSnapshot{}, false
+	}
+	return g.snapshot(graph), true
+}

@@ -1,0 +1,392 @@
+package obs
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"testing"
+	"time"
+)
+
+// fixedRecheck returns a RecheckFunc answering a constant exact
+// distance (or error) regardless of the query.
+func fixedRecheck(exact int64, unreach bool, err error) RecheckFunc {
+	return func(gen uint64, s, t int32) (int64, bool, error) {
+		return exact, unreach, err
+	}
+}
+
+// awaitAudit polls until the graph's audit pipeline has fully drained
+// n offered samples (audited, skipped, or errored).
+func awaitAudit(t *testing.T, a *Auditor, graph string, n int64) AuditGraphSnapshot {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		snap, ok := a.GraphSnapshot(graph)
+		if ok && snap.Audited+snap.BudgetSkips+snap.StaleSkips+snap.Errors >= n {
+			return snap
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("audit pipeline did not drain %d samples: %+v", n, snap)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+}
+
+func newTestAuditor(t *testing.T, opts AuditorOptions) *Auditor {
+	t.Helper()
+	if opts.CPUFrac == 0 {
+		opts.CPUFrac = -1 // tests want deterministic audits, not budget skips
+	}
+	a := NewAuditor(opts)
+	t.Cleanup(a.Close)
+	return a
+}
+
+func TestAuditorCleanAnswer(t *testing.T) {
+	a := newTestAuditor(t, AuditorOptions{SampleEvery: 1})
+	a.Register("g", Envelope{Lo: 0.9, Hi: 2}, fixedRecheck(100, false, nil))
+	if !a.Offer(AuditSample{Graph: "g", S: 1, T: 2, Answer: 130, Regime: "clean", Gen: 0}) {
+		t.Fatal("Offer rejected")
+	}
+	snap := awaitAudit(t, a, "g", 1)
+	if snap.Audited != 1 || snap.Violations != 0 {
+		t.Fatalf("audited=%d violations=%d, want 1/0", snap.Audited, snap.Violations)
+	}
+	if len(snap.Regimes) != 1 || snap.Regimes[0].Regime != "clean" {
+		t.Fatalf("regimes = %+v, want one clean row", snap.Regimes)
+	}
+	r := snap.Regimes[0]
+	if r.Count != 1 || math.Abs(r.MaxRatio-1.3) > 1e-12 || math.Abs(r.SumRatio-1.3) > 1e-12 {
+		t.Fatalf("regime row = %+v, want count 1 ratio 1.3", r)
+	}
+	var total int64
+	for _, b := range r.Buckets {
+		total += b
+	}
+	if total != 1 {
+		t.Fatalf("histogram holds %d observations, want 1", total)
+	}
+	if len(r.Buckets) != len(StretchBuckets())+1 {
+		t.Fatalf("bucket count %d, want %d", len(r.Buckets), len(StretchBuckets())+1)
+	}
+	if snap.Worst == nil || snap.Worst.Ratio != 1.3 {
+		t.Fatalf("worst = %+v, want ratio 1.3", snap.Worst)
+	}
+	if len(snap.Evidence) != 0 {
+		t.Fatalf("clean audit left evidence: %+v", snap.Evidence)
+	}
+}
+
+func TestAuditorEnvelopeViolation(t *testing.T) {
+	events := NewEvents()
+	ring := NewRing(8)
+	ring.Add(TraceData{ID: "tr-1"})
+	a := newTestAuditor(t, AuditorOptions{SampleEvery: 1, Events: events, Traces: ring})
+	a.Register("g", Envelope{Lo: 0.9, Hi: 1.5}, fixedRecheck(100, false, nil))
+	a.Offer(AuditSample{Graph: "g", S: 3, T: 4, Answer: 200, Regime: "clean", Gen: 7, TraceID: "tr-1"})
+	snap := awaitAudit(t, a, "g", 1)
+	if snap.Violations != 1 {
+		t.Fatalf("violations = %d, want 1", snap.Violations)
+	}
+	if len(snap.Evidence) != 1 {
+		t.Fatalf("evidence = %+v, want one entry", snap.Evidence)
+	}
+	ev := snap.Evidence[0]
+	if ev.Reason != ReasonAboveEnvelope || ev.Served != 200 || ev.Exact != 100 || ev.Gen != 7 {
+		t.Fatalf("evidence = %+v", ev)
+	}
+	if ev.TraceID != "tr-1" {
+		t.Fatalf("evidence trace id = %q, want tr-1", ev.TraceID)
+	}
+	if got := events.Get("quality_violation"); got != 1 {
+		t.Fatalf("quality_violation event count = %d, want 1", got)
+	}
+	// The finished trace carries the audit outcome.
+	tds := ring.Snapshot()
+	if len(tds) != 1 || tds[0].Attrs["audit"] != "violation" || tds[0].Attrs["audit_reason"] != ReasonAboveEnvelope {
+		t.Fatalf("trace attrs = %+v, want audit=violation", tds[0].Attrs)
+	}
+}
+
+func TestAuditorBelowEnvelope(t *testing.T) {
+	a := newTestAuditor(t, AuditorOptions{SampleEvery: 1})
+	a.Register("g", Envelope{Lo: 0.9, Hi: 2}, fixedRecheck(100, false, nil))
+	a.Offer(AuditSample{Graph: "g", Answer: 50, Regime: "improving"})
+	snap := awaitAudit(t, a, "g", 1)
+	if snap.Violations != 1 || len(snap.Evidence) != 1 || snap.Evidence[0].Reason != ReasonBelowEnvelope {
+		t.Fatalf("snapshot = %+v, want one below-envelope violation", snap)
+	}
+}
+
+func TestAuditorDegradingRequiresExactness(t *testing.T) {
+	// 101/100 is comfortably inside the envelope, but the degrading
+	// serving path is an exact search: any inequality is a violation.
+	a := newTestAuditor(t, AuditorOptions{SampleEvery: 1})
+	a.Register("g", Envelope{Lo: 0.5, Hi: 3}, fixedRecheck(100, false, nil))
+	a.Offer(AuditSample{Graph: "g", Answer: 101, Regime: "degrading"})
+	a.Offer(AuditSample{Graph: "g", Answer: 100, Regime: "degrading"})
+	snap := awaitAudit(t, a, "g", 2)
+	if snap.Violations != 1 {
+		t.Fatalf("violations = %d, want 1 (inexact degrading answer only)", snap.Violations)
+	}
+	if len(snap.Evidence) != 1 || snap.Evidence[0].Reason != ReasonExactMismatch {
+		t.Fatalf("evidence = %+v, want exact-mismatch", snap.Evidence)
+	}
+}
+
+func TestAuditorUnreachableMismatch(t *testing.T) {
+	a := newTestAuditor(t, AuditorOptions{SampleEvery: 1})
+	a.Register("g", Envelope{Lo: 0.9, Hi: 2}, fixedRecheck(100, false, nil))
+	a.Offer(AuditSample{Graph: "g", Answer: 1 << 60, Unreachable: true, Regime: "clean"})
+	snap := awaitAudit(t, a, "g", 1)
+	if snap.Violations != 1 || len(snap.Evidence) != 1 {
+		t.Fatalf("snapshot = %+v, want one violation", snap)
+	}
+	ev := snap.Evidence[0]
+	if ev.Reason != ReasonUnreachableMismatch || ev.Ratio != 0 {
+		t.Fatalf("evidence = %+v, want unreachable-mismatch with no ratio", ev)
+	}
+	// No finite ratio → no histogram observation.
+	for _, r := range snap.Regimes {
+		if r.Count != 0 {
+			t.Fatalf("regime row %+v counted a non-finite ratio", r)
+		}
+	}
+}
+
+func TestAuditorBothUnreachableOK(t *testing.T) {
+	a := newTestAuditor(t, AuditorOptions{SampleEvery: 1})
+	a.Register("g", Envelope{Lo: 0.9, Hi: 2}, fixedRecheck(0, true, nil))
+	a.Offer(AuditSample{Graph: "g", Answer: 1 << 60, Unreachable: true, Regime: "clean"})
+	snap := awaitAudit(t, a, "g", 1)
+	if snap.Violations != 0 {
+		t.Fatalf("violations = %d; agreeing on disconnection is not a violation", snap.Violations)
+	}
+	if snap.Regimes[0].Count != 1 || snap.Regimes[0].MaxRatio != 1 {
+		t.Fatalf("regime row = %+v, want ratio-1 observation", snap.Regimes[0])
+	}
+}
+
+func TestAuditorStaleSkip(t *testing.T) {
+	a := newTestAuditor(t, AuditorOptions{SampleEvery: 1})
+	a.Register("g", Envelope{Lo: 0.9, Hi: 2}, fixedRecheck(0, false, fmt.Errorf("wrapped: %w", ErrAuditStale)))
+	a.Offer(AuditSample{Graph: "g", Answer: 10, Regime: "clean"})
+	snap := awaitAudit(t, a, "g", 1)
+	if snap.StaleSkips != 1 || snap.Audited != 0 || snap.Violations != 0 || snap.Errors != 0 {
+		t.Fatalf("snapshot = %+v, want one stale skip and nothing else", snap)
+	}
+}
+
+func TestAuditorRecheckError(t *testing.T) {
+	a := newTestAuditor(t, AuditorOptions{SampleEvery: 1})
+	a.Register("g", Envelope{Lo: 0.9, Hi: 2}, fixedRecheck(0, false, errors.New("boom")))
+	a.Offer(AuditSample{Graph: "g", Answer: 10, Regime: "clean"})
+	snap := awaitAudit(t, a, "g", 1)
+	if snap.Errors != 1 || snap.Violations != 0 {
+		t.Fatalf("snapshot = %+v, want one error, no violations", snap)
+	}
+}
+
+func TestAuditorBudgetSkip(t *testing.T) {
+	a := newTestAuditor(t, AuditorOptions{SampleEvery: 1, CPUFrac: 0.01})
+	a.Register("g", Envelope{Lo: 0.9, Hi: 2}, fixedRecheck(100, false, nil))
+	// White-box: pretend past audits already burned an hour of CPU, so
+	// any budget fraction of the wall time since Register is exceeded.
+	g := a.graph("g")
+	g.mu.Lock()
+	g.cpuNS = int64(time.Hour)
+	g.mu.Unlock()
+	time.Sleep(time.Millisecond) // ensure elapsed wall > 0
+	a.Offer(AuditSample{Graph: "g", Answer: 100, Regime: "clean"})
+	snap := awaitAudit(t, a, "g", 1)
+	if snap.BudgetSkips != 1 || snap.Audited != 0 {
+		t.Fatalf("snapshot = %+v, want one budget skip, zero audits", snap)
+	}
+}
+
+func TestAuditorEvidenceRingBounded(t *testing.T) {
+	a := newTestAuditor(t, AuditorOptions{SampleEvery: 1, Evidence: 2, Workers: 1})
+	a.Register("g", Envelope{Lo: 0.9, Hi: 1.1}, fixedRecheck(100, false, nil))
+	// Three violations with distinct served values; a single worker
+	// audits them in offer order.
+	for i, served := range []int64{200, 300, 400} {
+		a.Offer(AuditSample{Graph: "g", S: int32(i), Answer: served, Regime: "clean"})
+	}
+	snap := awaitAudit(t, a, "g", 3)
+	if snap.Violations != 3 {
+		t.Fatalf("violations = %d, want 3", snap.Violations)
+	}
+	if len(snap.Evidence) != 2 {
+		t.Fatalf("evidence holds %d entries, want cap 2", len(snap.Evidence))
+	}
+	// Newest first: the 400 then the 300; the 200 was evicted.
+	if snap.Evidence[0].Served != 400 || snap.Evidence[1].Served != 300 {
+		t.Fatalf("evidence order = [%d, %d], want [400, 300]",
+			snap.Evidence[0].Served, snap.Evidence[1].Served)
+	}
+	// Worst offender survives eviction (largest |log2 ratio| = 4x).
+	if snap.Worst == nil || snap.Worst.Served != 400 {
+		t.Fatalf("worst = %+v, want the 4x answer", snap.Worst)
+	}
+}
+
+func TestAuditorDropOldest(t *testing.T) {
+	block := make(chan struct{})
+	started := make(chan struct{}, 16)
+	a := newTestAuditor(t, AuditorOptions{SampleEvery: 1, Queue: 2, Workers: 1})
+	a.Register("g", Envelope{Lo: 0.9, Hi: 2}, func(gen uint64, s, t int32) (int64, bool, error) {
+		started <- struct{}{}
+		<-block
+		return 100, false, nil
+	})
+	defer close(block)
+	// First sample occupies the worker; wait until its recheck started
+	// so the next two deterministically sit in the queue.
+	a.Offer(AuditSample{Graph: "g", S: 0, Answer: 100, Regime: "clean"})
+	select {
+	case <-started:
+	case <-time.After(5 * time.Second):
+		t.Fatal("worker never picked up the first sample")
+	}
+	a.Offer(AuditSample{Graph: "g", S: 1, Answer: 100, Regime: "clean"})
+	a.Offer(AuditSample{Graph: "g", S: 2, Answer: 100, Regime: "clean"})
+	// Queue full: this evicts the oldest queued sample, never blocks.
+	if !a.Offer(AuditSample{Graph: "g", S: 3, Answer: 100, Regime: "clean"}) {
+		t.Fatal("Offer blocked or rejected instead of dropping oldest")
+	}
+	snap, _ := a.GraphSnapshot("g")
+	if snap.Sampled != 4 || snap.Dropped != 1 {
+		t.Fatalf("sampled=%d dropped=%d, want 4/1", snap.Sampled, snap.Dropped)
+	}
+}
+
+func TestAuditorOfferUnregistered(t *testing.T) {
+	a := newTestAuditor(t, AuditorOptions{SampleEvery: 1})
+	if a.Offer(AuditSample{Graph: "nope", Answer: 1}) {
+		t.Fatal("Offer accepted a sample for an unregistered graph")
+	}
+	a.Register("g", Envelope{Lo: 0, Hi: 2}, fixedRecheck(1, false, nil))
+	a.Forget("g")
+	if a.Offer(AuditSample{Graph: "g", Answer: 1}) {
+		t.Fatal("Offer accepted a sample for a forgotten graph")
+	}
+	if _, ok := a.GraphSnapshot("g"); ok {
+		t.Fatal("GraphSnapshot found a forgotten graph")
+	}
+}
+
+func TestAuditorRegisterRefreshPreservesCounters(t *testing.T) {
+	a := newTestAuditor(t, AuditorOptions{SampleEvery: 1})
+	a.Register("g", Envelope{Lo: 0.9, Hi: 2}, fixedRecheck(100, false, nil))
+	a.Offer(AuditSample{Graph: "g", Answer: 100, Regime: "clean"})
+	awaitAudit(t, a, "g", 1)
+	// A rebuild refreshes the recheck hook and envelope in place.
+	a.Register("g", Envelope{Lo: 0.8, Hi: 3}, fixedRecheck(50, false, nil))
+	snap, ok := a.GraphSnapshot("g")
+	if !ok || snap.Audited != 1 {
+		t.Fatalf("refresh lost counters: %+v", snap)
+	}
+	if snap.Envelope.Hi != 3 {
+		t.Fatalf("refresh kept stale envelope: %+v", snap.Envelope)
+	}
+}
+
+func TestAuditorSampleHit(t *testing.T) {
+	a := newTestAuditor(t, AuditorOptions{SampleEvery: 4})
+	hits := 0
+	for i := 0; i < 16; i++ {
+		if a.SampleHit() {
+			hits++
+		}
+	}
+	if hits != 4 {
+		t.Fatalf("SampleHit fired %d/16 with stride 4, want 4", hits)
+	}
+	// Negative stride disables rate sampling entirely.
+	d := newTestAuditor(t, AuditorOptions{SampleEvery: -1})
+	for i := 0; i < 8; i++ {
+		if d.SampleHit() {
+			t.Fatal("disabled sampler reported a hit")
+		}
+	}
+}
+
+func TestAuditorNilSafe(t *testing.T) {
+	var a *Auditor
+	a.Register("g", Envelope{}, fixedRecheck(1, false, nil))
+	if a.Offer(AuditSample{Graph: "g"}) {
+		t.Fatal("nil auditor accepted a sample")
+	}
+	if a.SampleHit() || a.SampleEvery() != 0 || a.CPUFrac() != 0 {
+		t.Fatal("nil auditor reported active sampling")
+	}
+	if got := a.Snapshot(); got != nil {
+		t.Fatalf("nil auditor snapshot = %+v", got)
+	}
+	if _, ok := a.GraphSnapshot("g"); ok {
+		t.Fatal("nil auditor returned a graph snapshot")
+	}
+	a.Forget("g")
+	a.Close()
+}
+
+func TestStretchBucketsShape(t *testing.T) {
+	b := StretchBuckets()
+	for i := 1; i < len(b); i++ {
+		if b[i] <= b[i-1] {
+			t.Fatalf("bucket bounds not strictly increasing at %d: %v", i, b)
+		}
+	}
+	// 1.0 must be an exact bound so correct answers land in a
+	// dedicated bucket, and the mutable copy must not alias.
+	found := false
+	for _, v := range b {
+		if v == 1 {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("no 1.0 bound in %v", b)
+	}
+	b[0] = 99
+	if StretchBuckets()[0] == 99 {
+		t.Fatal("StretchBuckets returned an aliased slice")
+	}
+	if bucketOf(1) != bucketOf(0.999) && bucketOf(1) == bucketOf(1.001) {
+		t.Fatal("ratio 1.0 shares a bucket with over-estimates")
+	}
+	if got := bucketOf(1e9); got != len(b) {
+		t.Fatalf("overflow ratio bucket = %d, want %d", got, len(b))
+	}
+}
+
+func TestRingAnnotate(t *testing.T) {
+	r := NewRing(2)
+	r.Add(TraceData{ID: "a", Attrs: map[string]any{"k": 1}})
+	before := r.Snapshot() // holds the original attrs map
+	if !r.Annotate("a", "audit", "ok") {
+		t.Fatal("Annotate missed a buffered trace")
+	}
+	after := r.Snapshot()
+	if after[0].Attrs["audit"] != "ok" || after[0].Attrs["k"] != 1 {
+		t.Fatalf("annotated attrs = %+v", after[0].Attrs)
+	}
+	// Copy-on-write: snapshots taken before the annotation keep their
+	// consistent view.
+	if _, leaked := before[0].Attrs["audit"]; leaked {
+		t.Fatal("Annotate mutated a previously published attrs map")
+	}
+	if r.Annotate("gone", "k", "v") {
+		t.Fatal("Annotate matched a trace that was never added")
+	}
+	r.Add(TraceData{ID: "b"})
+	r.Add(TraceData{ID: "c"}) // evicts "a"
+	if r.Annotate("a", "k", "v") {
+		t.Fatal("Annotate matched an evicted trace")
+	}
+	var nilRing *Ring
+	if nilRing.Annotate("a", "k", "v") {
+		t.Fatal("nil ring annotated")
+	}
+}

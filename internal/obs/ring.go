@@ -36,6 +36,42 @@ func (r *Ring) Add(td TraceData) {
 	r.mu.Unlock()
 }
 
+// Annotate attaches key/value attributes to an already-filed trace,
+// located by ID (newest match wins). It exists for outcomes that
+// arrive after the trace is finished and published — an answer audit
+// completes asynchronously, seconds after the response it re-checked
+// shipped. Snapshot hands out the Attrs map by reference, so the map
+// is replaced copy-on-write rather than mutated: readers holding an
+// old snapshot keep a consistent view. Reports whether the trace was
+// still buffered; a false return means the ring already evicted it
+// (the outcome is not lost — it also lands in the audit counters).
+// No-op on a nil ring or with an empty id.
+func (r *Ring) Annotate(id string, kvs ...any) bool {
+	if r == nil || id == "" || len(kvs) == 0 {
+		return false
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for i := 1; i <= r.n; i++ {
+		slot := (r.next - i + len(r.buf)) % len(r.buf)
+		if r.buf[slot].ID != id {
+			continue
+		}
+		attrs := make(map[string]any, len(r.buf[slot].Attrs)+len(kvs)/2)
+		for k, v := range r.buf[slot].Attrs {
+			attrs[k] = v
+		}
+		for j := 0; j+1 < len(kvs); j += 2 {
+			if k, ok := kvs[j].(string); ok {
+				attrs[k] = kvs[j+1]
+			}
+		}
+		r.buf[slot].Attrs = attrs
+		return true
+	}
+	return false
+}
+
 // Snapshot returns the buffered traces newest-first.
 func (r *Ring) Snapshot() []TraceData {
 	if r == nil {

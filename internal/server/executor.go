@@ -87,8 +87,15 @@ type Executor struct {
 	id       string
 	workload *obs.Workload
 	acct     *obs.Accountant
+	aud      *obs.Auditor
 	lblQuery context.Context // pprof labels for coalesced-batch compute
 	lblBatch context.Context // pprof labels for explicit-batch compute
+	// corrupt, when set (tests only), rewrites computed results before
+	// caching, auditing, and response delivery — the fault-injection
+	// hook that proves the answer auditor catches a wrong served
+	// distance end to end. Atomic so -race tests can arm it while the
+	// executor serves.
+	corrupt atomic.Pointer[func(s, t graph.V, st spanhop.QueryStats) spanhop.QueryStats]
 	// batchWaiters bounds explicit Batch calls parked on the pool, so
 	// batch traffic gets the same fail-fast contract as the coalesced
 	// path instead of unbounded goroutine pileup.
@@ -128,10 +135,11 @@ func newExecutor(oracle servingOracle, cfg Config, stats *GraphStats) *Executor 
 // the compute sections. The label contexts are built once here so the
 // hot path never calls pprof.WithLabels (which allocates); applying a
 // prebuilt context via pprof.SetGoroutineLabels is allocation-free.
-func (x *Executor) instrument(id string, wl *obs.Workload, acct *obs.Accountant) {
+func (x *Executor) instrument(id string, wl *obs.Workload, acct *obs.Accountant, aud *obs.Auditor) {
 	x.id = id
 	x.workload = wl
 	x.acct = acct
+	x.aud = aud
 	x.lblQuery = pprof.WithLabels(context.Background(),
 		pprof.Labels("graph", id, "op", obs.OpQuery))
 	x.lblBatch = pprof.WithLabels(context.Background(),
@@ -276,6 +284,7 @@ func (x *Executor) Batch(ctx context.Context, pairs [][2]graph.V) ([]spanhop.Que
 	// flushes the cache while this QueryBatch runs, the results below
 	// belong to the old generation and must not be re-cached.
 	epoch := x.cache.epoch()
+	regime, gen, auditing := x.auditInfo()
 	cs := x.acct.Begin()
 	if x.lblBatch != nil {
 		// Prebuilt label context: the compute section's CPU samples
@@ -288,11 +297,19 @@ func (x *Executor) Batch(ctx context.Context, pairs [][2]graph.V) ([]spanhop.Que
 		pprof.SetGoroutineLabels(ctx)
 	}
 	x.acct.End(cs, x.id, obs.OpBatch, len(pairs), err != nil)
+	if f := x.corrupt.Load(); f != nil && err == nil {
+		for i := range res {
+			res[i] = (*f)(pairs[i][0], pairs[i][1], res[i])
+		}
+	}
 	tr.SpanSince("exec", start)
 	x.workload.RecordOp(obs.OpBatch, len(pairs), time.Since(start), err != nil)
 	if err != nil {
 		x.stats.failures.Add(1)
 		return nil, err
+	}
+	if auditing {
+		x.auditOffer(regime, gen, pairs, res, func(int) *obs.Trace { return tr })
 	}
 	for i, p := range pairs {
 		x.cache.put(p, res[i], epoch)
@@ -385,6 +402,7 @@ func (x *Executor) dispatch(batch []request) {
 		x.stats.coalesced.Add(1)
 		x.stats.coalescedQueries.Add(int64(len(batch)))
 		epoch := x.cache.epoch()
+		regime, gen, auditing := x.auditInfo()
 		t0 := time.Time{}
 		if traced {
 			t0 = time.Now()
@@ -398,9 +416,20 @@ func (x *Executor) dispatch(batch []request) {
 		}
 		res, err := x.oracle.QueryBatch(pairs)
 		x.acct.End(cs, x.id, obs.OpQuery, len(batch), err != nil)
+		if f := x.corrupt.Load(); f != nil && err == nil {
+			for i := range res {
+				res[i] = (*f)(pairs[i][0], pairs[i][1], res[i])
+			}
+		}
 		var dur time.Duration
 		if traced {
 			dur = time.Since(t0)
+		}
+		if auditing && err == nil {
+			// Offer before responses ship: sampled traces gain their
+			// "audit" attribute while the handler still owns the trace.
+			x.auditOffer(regime, gen, pairs, res,
+				func(i int) *obs.Trace { return batch[i].tr })
 		}
 		for i, r := range batch {
 			if r.tr != nil {
@@ -427,6 +456,59 @@ func (x *Executor) annotateOracle(tr *obs.Trace) {
 		regime, gen := ti.TraceInfo()
 		tr.Annotate("regime", regime)
 		tr.Annotate("generation", gen)
+	}
+}
+
+// auditInfo pins the overlay regime and generation before a batch
+// computes, so audit samples carry the generation their answers were
+// actually served from. ok is false when auditing is off for this
+// executor or the oracle exposes no generation to pin.
+func (x *Executor) auditInfo() (regime string, gen uint64, ok bool) {
+	if x.aud == nil {
+		return "", 0, false
+	}
+	ti, isTI := x.oracle.(traceInfoer)
+	if !isTI {
+		return "", 0, false
+	}
+	regime, gen = ti.TraceInfo()
+	return regime, gen, true
+}
+
+// auditOffer shadow-samples a computed batch into the auditor: traced
+// requests always, the rest on the deterministic every-Nth grid. The
+// pre-compute (regime, gen) pin is re-read here — if either moved, a
+// mutation or rebuild landed while the batch computed, and the
+// answers cannot be attributed to a single generation; the whole
+// batch is skipped (this is sampling, not proof, and a torn pin would
+// manufacture false violations). Generations only increase, so
+// equality means no mutation committed in between.
+func (x *Executor) auditOffer(regime string, gen uint64, pairs [][2]graph.V,
+	res []spanhop.QueryStats, trOf func(i int) *obs.Trace) {
+	r2, g2, ok := x.auditInfo()
+	if !ok || r2 != regime || g2 != gen {
+		return
+	}
+	for i := range pairs {
+		tr := trOf(i)
+		if tr == nil && !x.aud.SampleHit() {
+			continue
+		}
+		s := obs.AuditSample{
+			Graph:       x.id,
+			S:           int32(pairs[i][0]),
+			T:           int32(pairs[i][1]),
+			Answer:      int64(res[i].Dist),
+			Unreachable: res[i].Dist >= graph.InfDist,
+			Regime:      regime,
+			Gen:         gen,
+		}
+		if tr != nil {
+			s.TraceID = tr.ID()
+		}
+		if x.aud.Offer(s) && tr != nil {
+			tr.Annotate("audit", "sampled")
+		}
 	}
 }
 

@@ -249,6 +249,11 @@ func TestMetricsExposition(t *testing.T) {
 		"spanhop_build_info", "spanhop_events_total", "spanhop_traces_buffered",
 		"spanhop_go_goroutines", "spanhop_go_heap_alloc_bytes", "spanhop_go_gc_cycles_total",
 		"spanhop_go_sched_latency_seconds", "spanhop_query_latency_seconds",
+		"spanhop_stretch_ratio", "spanhop_stretch_ratio_max",
+		"spanhop_quality_violations_total", "spanhop_audit_samples_total",
+		"spanhop_audit_checked_total", "spanhop_audit_dropped_total",
+		"spanhop_audit_budget_skips_total", "spanhop_audit_stale_skips_total",
+		"spanhop_audit_cpu_seconds_total",
 	} {
 		if _, ok := types[want]; !ok {
 			t.Errorf("family %s missing from /metrics", want)

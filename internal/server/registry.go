@@ -280,6 +280,11 @@ type Registry struct {
 	snapStop chan struct{}
 	snapWG   sync.WaitGroup
 
+	// aud continuously re-checks a sample of served answers against
+	// exact recomputation (the answer-quality tentpole); executors
+	// feed it, /debug/quality and /metrics read it.
+	aud *obs.Auditor
+
 	// snapLocks holds one mutex per graph id ever snapshotted: all
 	// file operations on {id}.snap(.tmp) — background writes, forced
 	// writes, DELETE cleanup — serialize on it, so a stale writer for
@@ -296,6 +301,14 @@ func NewRegistry(cfg Config) *Registry {
 		entries:  make(map[string]*Entry),
 		queue:    make(chan *Entry, cfg.BuildQueue),
 		snapStop: make(chan struct{}),
+		aud: obs.NewAuditor(obs.AuditorOptions{
+			SampleEvery: cfg.AuditSample,
+			CPUFrac:     cfg.AuditCPUFrac,
+			Log:         cfg.Obs.Log(),
+			Events:      cfg.Obs.Events(),
+			Acct:        cfg.Obs.Account(),
+			Traces:      cfg.Obs.Traces(),
+		}),
 	}
 	for i := 0; i < cfg.BuildWorkers; i++ {
 		r.wg.Add(1)
@@ -462,7 +475,9 @@ func (r *Registry) Delete(id string) (State, error) {
 	lock.Unlock()
 	// Evict the graph's cost rows too: /metrics should not grow one
 	// stale label set per deleted graph for the process lifetime.
+	// Same for its audit state; queued audit samples become no-ops.
 	r.cfg.Obs.Account().Forget(id)
+	r.aud.Forget(id)
 	r.cfg.Obs.Event("graph_deleted", "graph", id, "state", string(state))
 	return state, nil
 }
@@ -586,7 +601,8 @@ func (r *Registry) build(e *Entry) {
 	dyn := spanhop.NewDynamicOracle(oracle, r.graphRebuildPolicy(e.id))
 	ex := newExecutor(dyn, r.cfg, e.stats)
 	wl := obs.NewWorkload(r.cfg.workloadOptions())
-	ex.instrument(e.id, wl, acct)
+	r.registerAudit(e.id, dyn)
+	ex.instrument(e.id, wl, acct, r.aud)
 	r.hookRebuild(e, dyn, ex)
 	e.mu.Lock()
 	e.dyn = dyn
@@ -796,6 +812,32 @@ func (r *Registry) Close() {
 	// Wait out the flushed snapshot writers: after Close returns,
 	// nothing touches the snapshot directory.
 	r.snapWG.Wait()
+	// Stop the audit workers last: executors are closed, so no new
+	// samples arrive; whatever is still queued is abandoned.
+	r.aud.Close()
+}
+
+// registerAudit installs a ready graph's exact-recheck hook and
+// stretch envelope into the answer auditor. The recheck pins the
+// sampled generation through the dynamic overlay's patched
+// bidirectional Dijkstra — ground truth, no hopset on any path — and
+// maps a generation compacted away by a rebuild to obs.ErrAuditStale
+// (a counted skip, never a violation). Runs before the executor is
+// instrumented so the first sampled query already finds the graph
+// registered.
+func (r *Registry) registerAudit(id string, dyn *spanhop.DynamicOracle) {
+	lo, hi := dyn.StretchEnvelope()
+	r.aud.Register(id, obs.Envelope{Lo: lo, Hi: hi},
+		func(gen uint64, s, t int32) (int64, bool, error) {
+			d, err := dyn.ExactDistanceAt(gen, graph.V(s), graph.V(t))
+			if err != nil {
+				if errors.Is(err, spanhop.ErrCompactedGen) {
+					return 0, false, obs.ErrAuditStale
+				}
+				return 0, false, err
+			}
+			return int64(d), d >= graph.InfDist, nil
+		})
 }
 
 // ApplyUpdates applies a mutation batch to a ready graph's dynamic

@@ -107,6 +107,20 @@ type Config struct {
 	ProfileDir      string
 	ProfileInterval time.Duration
 	ProfileKeep     int
+
+	// AuditSample drives continuous answer-quality auditing: every Nth
+	// served query is shadow-sampled and re-checked in the background
+	// against an exact recomputation at the generation it was served
+	// from, with envelope violations alarmed at /debug/quality and in
+	// /metrics. Traced requests are always audited regardless of the
+	// stride. 0 takes the default (obs.DefaultAuditSample), negative
+	// disables rate-based sampling (traced requests still audit).
+	AuditSample int
+	// AuditCPUFrac caps cumulative per-graph audit CPU at this
+	// fraction of wall time since the graph became ready, so auditing
+	// can never starve serving. 0 takes the default
+	// (obs.DefaultAuditCPUFrac), negative removes the cap.
+	AuditCPUFrac float64
 }
 
 // workloadOptions resolves the per-graph workload analytics options.
@@ -255,6 +269,7 @@ func New(cfg Config) *Server {
 	s.mux.HandleFunc("GET /stats", s.handleStats)
 	s.mux.HandleFunc("GET /debug/traces", s.handleTraces)
 	s.mux.HandleFunc("GET /debug/workload", s.handleWorkload)
+	s.mux.HandleFunc("GET /debug/quality", s.handleQuality)
 	s.mux.HandleFunc("GET /debug/profiles/{name...}", s.handleProfiles)
 	// net/http/pprof registers on DefaultServeMux; this server runs its
 	// own mux, so route the profile surface explicitly.
@@ -662,6 +677,35 @@ func (s *Server) handleWorkload(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]any{
 		"uptime_ms": time.Since(s.start).Milliseconds(),
 		"graphs":    out,
+	})
+}
+
+// handleQuality serves the answer-quality audit state:
+// GET /debug/quality → {uptime_ms, sample_every, cpu_frac,
+// stretch_buckets, graphs: [per-graph histograms, counters, evidence,
+// worst offender]}. ?graph={id} narrows to one graph (404 on
+// unknown). Violations here are correctness alarms: a served distance
+// escaped the envelope the paper proves, so the page preserves the
+// offending queries verbatim for reproduction.
+func (s *Server) handleQuality(w http.ResponseWriter, r *http.Request) {
+	aud := s.reg.aud
+	var graphs []obs.AuditGraphSnapshot
+	if graphF := r.URL.Query().Get("graph"); graphF != "" {
+		snap, ok := aud.GraphSnapshot(graphF)
+		if !ok {
+			writeError(w, http.StatusNotFound, ErrUnknownGraph)
+			return
+		}
+		graphs = []obs.AuditGraphSnapshot{snap}
+	} else if graphs = aud.Snapshot(); graphs == nil {
+		graphs = []obs.AuditGraphSnapshot{}
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"uptime_ms":       time.Since(s.start).Milliseconds(),
+		"sample_every":    aud.SampleEvery(),
+		"cpu_frac":        aud.CPUFrac(),
+		"stretch_buckets": obs.StretchBuckets(),
+		"graphs":          graphs,
 	})
 }
 

@@ -310,7 +310,8 @@ func (r *Registry) warmStartFile(id, path string) error {
 	}
 	e.exec = newExecutor(dyn, r.cfg, e.stats)
 	e.workload = obs.NewWorkload(r.cfg.workloadOptions())
-	e.exec.instrument(id, e.workload, r.cfg.Obs.Account())
+	r.registerAudit(id, dyn)
+	e.exec.instrument(id, e.workload, r.cfg.Obs.Account(), r.aud)
 	r.mu.Lock()
 	if r.closed {
 		r.mu.Unlock()

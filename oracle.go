@@ -167,6 +167,33 @@ func (o *DistanceOracle) Eps() float64 { return o.eps }
 // Seed returns the seed the oracle was built (or restored) with.
 func (o *DistanceOracle) Seed() uint64 { return o.seed }
 
+// StretchEnvelope returns the multiplicative envelope [lo·d, hi·d]
+// every answered distance provably lies in: lo = 1−ε from the
+// Klein–Subramanian rounding floor, hi = (1+ε)·D(n) where D(n) is the
+// hopset construction's per-level distortion compounded over the
+// EST-clustering recursion depth (Lemma 4.2 via
+// hopset.Params.ExpectedDistortion). The bound is the theorem's — in
+// practice observed stretch concentrates far inside it; the serving
+// layer's answer auditor alarms only when an answer escapes this
+// envelope, because that can never happen in a correct build.
+// Degenerate oracles answer exactly (0 or InfDist), so hi is 1.
+func (o *DistanceOracle) StretchEnvelope() (lo, hi float64) {
+	lo = 1 - o.eps
+	if lo < 0 {
+		lo = 0
+	}
+	if o.degenerate {
+		return lo, 1
+	}
+	wp := hopset.DefaultWeightedParams(o.seed)
+	wp.Zeta = o.eps
+	hi = (1 + o.eps) * wp.Params.ExpectedDistortion(int(o.g.NumVertices()))
+	if hi < 1 {
+		hi = 1
+	}
+	return lo, hi
+}
+
 // Graph returns the base graph the oracle answers queries on. For a
 // snapshot-restored oracle this is the caller-supplied graph when one
 // was passed to LoadOracle, or the snapshot's embedded copy otherwise.

@@ -38,7 +38,7 @@ start_daemon() {
     "$DIR/bin/spanhopd" -addr "$ADDR" -batch-window 2ms -load "grid=$DIR/grid.bin" \
         -eps 0.3 -seed 2 -snapshot-dir "$SNAPDIR" \
         -profile-dir "$DIR/profiles" -profile-interval 5s \
-        -slo-target 250ms >"$1" 2>&1 &
+        -slo-target 250ms -audit-sample 1 -audit-cpu-frac 0.5 >"$1" 2>&1 &
     DAEMON_PID=$!
 }
 
@@ -251,6 +251,31 @@ grep -q 'spanhop_generation{graph="grid"} 2' <<<"$METRICS" \
     || { echo "metrics missing generation gauge"; exit 1; }
 grep -q 'spanhop_requests_total{graph="grid"}' <<<"$METRICS" \
     || { echo "metrics missing request counter"; exit 1; }
+
+stage "answer-quality auditing: traced burst over the mutated graph"
+# Every query is sampled (-audit-sample 1) and the graph carries live
+# mutations, so the auditor re-checks clean/improving/degrading
+# answers alike. loadgen waits for the audit queue to drain and
+# asserts zero envelope violations for the traffic it generated.
+"$DIR/bin/loadgen" -addr "http://$ADDR" -graph grid -mix uniform \
+    -concurrency 4 -requests 100 -trace-sample 2 -report-quality | tee "$DIR/quality.out"
+grep -q "quality: .* answers shadow re-checked, 0 violations" "$DIR/quality.out" \
+    || { echo "loadgen quality cross-check did not pass"; exit 1; }
+QUALITY=$(curl -fsS "http://$ADDR/debug/quality?graph=grid")
+grep -q '"audited":[1-9]' <<<"$QUALITY" || { echo "auditor checked no samples"; exit 1; }
+grep -q '"violations":0' <<<"$QUALITY" || { echo "auditor reported violations"; exit 1; }
+grep -q '"evidence":\[\]' <<<"$QUALITY" \
+    || { echo "evidence ring not empty (or missing) on a correct build"; exit 1; }
+grep -q '"regime":"degrading"' <<<"$QUALITY" \
+    || { echo "no degrading-regime audits despite live deletions"; exit 1; }
+# The stretch histogram reaches /metrics, and a hostile filter 404s.
+METRICS=$(curl -fsS "http://$ADDR/metrics")
+grep -q 'spanhop_stretch_ratio_bucket{graph="grid"' <<<"$METRICS" \
+    || { echo "metrics missing stretch-ratio histogram"; exit 1; }
+grep -q 'spanhop_quality_violations_total{graph="grid"} 0' <<<"$METRICS" \
+    || { echo "metrics missing zero violation counter"; exit 1; }
+CODE=$(curl -s -o /dev/null -w "%{http_code}" "http://$ADDR/debug/quality?graph=nosuch")
+[ "$CODE" = "404" ] || { echo "hostile quality filter returned $CODE, want 404"; exit 1; }
 
 stage "persist the journal, restart, and verify the replay"
 curl -fsS -X POST "http://$ADDR/graphs/grid/snapshot" >/dev/null
